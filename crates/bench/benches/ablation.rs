@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the model's in-flight gain assumption (paper §5: "2 BDP in flight"
+//!   vs the refined 1–2 BDP drift) — sweep the gain and quantify how the
+//!   predicted BBR share moves;
+//! * closed-form quadratic vs bisection root finding for Eq. (18);
+//! * CUBIC with and without HyStart against a BBR flow (the slow-start
+//!   calibration finding in DESIGN.md §7).
+
+use bbrdom_core::model::two_flow::{solve_with_gamma, solve_with_gamma_and_gain};
+use bbrdom_core::model::LinkParams;
+use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// BBR-vs-CUBIC slice with HyStart toggled; returns CUBIC's throughput.
+fn hystart_slice(hystart: bool) -> f64 {
+    let rate = Rate::from_mbps(20.0);
+    let rtt = SimDuration::from_millis(20);
+    let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, 2.0);
+    let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(5.0)));
+    let cubic = if hystart {
+        bbrdom_cca::Cubic::new()
+    } else {
+        bbrdom_cca::Cubic::without_hystart()
+    };
+    sim.add_flow(FlowConfig::new(Box::new(cubic), rtt));
+    sim.add_flow(FlowConfig::new(Box::new(bbrdom_cca::Bbr::new(0)), rtt));
+    let r = sim.run();
+    r.flows[0].throughput_mbps()
+}
+
+fn gain_sweep() -> f64 {
+    let mut acc = 0.0;
+    for bdp in [2.0, 5.0, 10.0, 20.0, 50.0] {
+        let l = LinkParams::from_paper_units(50.0, 40.0, bdp);
+        for gain in [1.2, 1.4, 1.6, 1.8, 2.0] {
+            acc += solve_with_gamma_and_gain(&l, 0.7, gain).unwrap().bbr_bandwidth;
+        }
+    }
+    acc
+}
+
+/// Bisection reference for Eq. (18), as used by the model's tests.
+fn bisect(l: &LinkParams, gamma: f64) -> f64 {
+    let d = l.bdp();
+    let b = l.buffer;
+    let s = (b - d) / 2.0;
+    let f = |bb: f64| s + s / (s + bb) * d - gamma * (b - bb + (b - bb) / b * d);
+    let (mut lo, mut hi) = (1.0, b);
+    let f_lo = f(lo);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if (f(mid) > 0.0) == (f_lo > 0.0) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.bench_function("model_gain_sweep_25pts", |b| b.iter(|| black_box(gain_sweep())));
+    let l = LinkParams::from_paper_units(50.0, 40.0, 10.0);
+    g.bench_function("eq18_closed_form", |b| {
+        b.iter(|| black_box(solve_with_gamma(&l, 0.7).unwrap().bbr_buffer))
+    });
+    g.bench_function("eq18_bisection_100iters", |b| {
+        b.iter(|| black_box(bisect(&l, 0.7)))
+    });
+    g.sample_size(10);
+    g.bench_function("cubic_with_hystart_vs_bbr", |b| {
+        b.iter(|| black_box(hystart_slice(true)))
+    });
+    g.bench_function("cubic_without_hystart_vs_bbr", |b| {
+        b.iter(|| black_box(hystart_slice(false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Fig. 1: the Ware et al. baseline model across the buffer
+//! sweep, plus one simulated point (1 CUBIC vs 1 BBR).
+
+use bbrdom_core::model::ware::WareModel;
+use bbrdom_core::model::LinkParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ware_sweep() -> f64 {
+    let mut acc = 0.0;
+    for i in 1..=100 {
+        let b = i as f64 * 0.5;
+        let m = WareModel::new(LinkParams::from_paper_units(50.0, 40.0, b), 1, 120.0);
+        acc += m.predict().unwrap().bbr_mbps();
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.bench_function("ware_model_sweep_100pts", |b| {
+        b.iter(|| black_box(ware_sweep()))
+    });
+    g.sample_size(10);
+    g.bench_function("sim_point_1v1_bbr", |b| {
+        b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 2.0, bbrdom_cca::CcaKind::Bbr)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

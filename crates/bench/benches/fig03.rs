@@ -1,0 +1,33 @@
+//! Bench for Fig. 3: the paper's 2-flow model (closed-form quadratic)
+//! across all four panels' sweeps, plus one simulated validation point.
+
+use bbrdom_core::model::two_flow::TwoFlowModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn model_sweep() -> f64 {
+    let mut acc = 0.0;
+    for (mbps, rtt) in [(50.0, 40.0), (50.0, 80.0), (100.0, 40.0), (100.0, 80.0)] {
+        for i in 2..=60 {
+            let b = i as f64 * 0.5;
+            acc += TwoFlowModel::from_paper_units(mbps, rtt, b)
+                .solve()
+                .unwrap()
+                .bbr_mbps();
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03");
+    g.bench_function("two_flow_model_4panels", |b| b.iter(|| black_box(model_sweep())));
+    g.sample_size(10);
+    g.bench_function("sim_validation_point", |b| {
+        b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 5.0, bbrdom_cca::CcaKind::Bbr)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

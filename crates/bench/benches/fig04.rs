@@ -1,0 +1,26 @@
+//! Bench for Fig. 4: the multi-flow predicted region (both CUBIC
+//! synchronization bounds) over the buffer sweep.
+
+use bbrdom_core::model::multi_flow::MultiFlowModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn region_sweep(n_cubic: u32, n_bbr: u32) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..=30 {
+        let m = MultiFlowModel::from_paper_units(100.0, 40.0, i as f64, n_cubic, n_bbr);
+        let (sync, desync) = m.predicted_region().unwrap();
+        acc += sync.bbr_per_flow + desync.bbr_per_flow;
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04");
+    g.bench_function("region_5v5", |b| b.iter(|| black_box(region_sweep(5, 5))));
+    g.bench_function("region_10v10", |b| b.iter(|| black_box(region_sweep(10, 10))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for Fig. 5: per-distribution model bounds (diminishing returns
+//! curves) for the paper's four panels.
+
+use bbrdom_core::model::multi_flow::{MultiFlowModel, SyncMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn curves() -> f64 {
+    let mut acc = 0.0;
+    for (n, buf) in [(10u32, 3.0), (20, 3.0), (10, 10.0), (20, 10.0)] {
+        for k in 1..=n {
+            let m = MultiFlowModel::from_paper_units(100.0, 40.0, buf, n - k, k);
+            for mode in SyncMode::BOTH {
+                acc += m.solve(mode).unwrap().bbr_per_flow;
+            }
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig05/model_bounds_4panels", |b| b.iter(|| black_box(curves())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

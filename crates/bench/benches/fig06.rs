@@ -1,0 +1,22 @@
+//! Bench for Fig. 6: the Nash-equilibrium crossing — distribution curve
+//! plus the Eq. (25) bisection solve.
+
+use bbrdom_core::model::multi_flow::SyncMode;
+use bbrdom_core::model::nash::NashPredictor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let p = NashPredictor::from_paper_units(100.0, 40.0, 3.0, 10);
+    let mut g = c.benchmark_group("fig06");
+    g.bench_function("distribution_curve", |b| {
+        b.iter(|| black_box(p.distribution_curve(SyncMode::Synchronized).unwrap()))
+    });
+    g.bench_function("ne_crossing_solve", |b| {
+        b.iter(|| black_box(p.predict(SyncMode::Synchronized).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

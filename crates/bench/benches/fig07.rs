@@ -1,0 +1,20 @@
+//! Bench for Fig. 7: one CUBIC-vs-challenger simulation slice per
+//! post-BBR algorithm (BBR, BBRv2, Copa, Vivace).
+
+use bbrdom_cca::CcaKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    for x in CcaKind::CHALLENGERS {
+        g.bench_function(format!("sim_1v1_{}", x.name()), |b| {
+            b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 2.0, x)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

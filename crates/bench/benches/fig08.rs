@@ -1,0 +1,30 @@
+//! Bench for Fig. 8: the full payoff-curve measurement (throughput and
+//! queuing delay over every CUBIC/BBR split) at smoke scale.
+
+use bbrdom_cca::CcaKind;
+use bbrdom_experiments::payoff::measure_payoffs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let profile = bbrdom_bench::bench_profile();
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("payoff_curves_4flows", |b| {
+        b.iter(|| {
+            black_box(measure_payoffs(
+                20.0,
+                20.0,
+                2.0,
+                4,
+                CcaKind::Bbr,
+                &profile,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

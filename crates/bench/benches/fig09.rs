@@ -1,0 +1,29 @@
+//! Bench for Fig. 9: the Nash-region prediction over the buffer sweep
+//! (the model side of all six panels) and one empirical NE search.
+
+use bbrdom_cca::CcaKind;
+use bbrdom_core::model::nash::nash_region_over_buffers;
+use bbrdom_experiments::payoff::{default_epsilon_mbps, measure_payoffs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Start at 1 BDP: the model's validity floor (§2.3 assumptions).
+    let buffers: Vec<f64> = (2..=100).map(|i| i as f64 * 0.5).collect();
+    let mut g = c.benchmark_group("fig09");
+    g.bench_function("nash_region_50flows_100pts", |b| {
+        b.iter(|| black_box(nash_region_over_buffers(100.0, 40.0, &buffers, 50).unwrap()))
+    });
+    g.sample_size(10);
+    let profile = bbrdom_bench::bench_profile();
+    g.bench_function("empirical_ne_search_4flows", |b| {
+        b.iter(|| {
+            let m = measure_payoffs(20.0, 20.0, 3.0, 4, CcaKind::Bbr, &profile, 11);
+            black_box(m.observed_ne_cubic_counts(default_epsilon_mbps(20.0, 4)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

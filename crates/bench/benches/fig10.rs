@@ -1,0 +1,28 @@
+//! Bench for Fig. 10: multi-group (multi-RTT) Nash-equilibrium
+//! enumeration over the full (n+1)^3 state space with synthetic payoffs
+//! (the game-theory machinery; the simulation side is the repro binary).
+
+use bbrdom_core::game::multigroup::{GroupPayoffs, MultiGroupGame};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn enumerate(n: u32) -> usize {
+    let rtts = [10.0, 30.0, 50.0];
+    let game = MultiGroupGame::new(vec![n; 3], move |state: &[u32]| {
+        let total: u32 = state.iter().sum();
+        GroupPayoffs {
+            bbr: rtts.iter().map(|r| 10.0 + r / 10.0 - 1.2 * total as f64).collect(),
+            cubic: rtts.iter().map(|r| 10.0 - r / 25.0 + 0.4 * total as f64).collect(),
+        }
+    });
+    game.nash_equilibria().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("ne_enumeration_11x11x11", |b| b.iter(|| black_box(enumerate(10))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

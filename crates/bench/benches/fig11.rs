@@ -1,0 +1,17 @@
+//! Bench for Fig. 11: BBRv2-vs-CUBIC simulation slice (the NE search for
+//! BBRv2 reuses Fig. 9's machinery with this matchup inside).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("sim_1v1_bbrv2", |b| {
+        b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 2.0, bbrdom_cca::CcaKind::BbrV2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

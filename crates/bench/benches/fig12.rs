@@ -1,0 +1,30 @@
+//! Bench for Fig. 12: ultra-deep buffers — the model solve out to
+//! 250 BDP and one deep-buffer simulation slice.
+
+use bbrdom_core::model::two_flow::TwoFlowModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn deep_sweep() -> f64 {
+    let mut acc = 0.0;
+    for b in [1.0, 5.0, 20.0, 60.0, 100.0, 150.0, 200.0, 250.0] {
+        acc += TwoFlowModel::from_paper_units(50.0, 40.0, b)
+            .solve()
+            .unwrap()
+            .bbr_mbps();
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.bench_function("model_ultra_deep_sweep", |b| b.iter(|| black_box(deep_sweep())));
+    g.sample_size(10);
+    g.bench_function("sim_deep_buffer_point", |b| {
+        b.iter(|| black_box(bbrdom_bench::tiny_sim(10.0, 30.0, bbrdom_cca::CcaKind::Bbr)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Simulator-core performance: event throughput of the dumbbell DES.
+//!
+//! Not a paper figure — this tracks the substrate's speed (events/sec),
+//! which bounds how fast the paper-scale sweeps (`repro --full`) run.
+
+use bbrdom_netsim::cc::FixedWindow;
+use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// One simulated second at 100 Mbps with 10 fixed-window flows
+/// ≈ 8.3k packets ≈ 33k events.
+fn run_slice() -> u64 {
+    let rate = Rate::from_mbps(100.0);
+    let rtt = SimDuration::from_millis(20);
+    let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, 2.0);
+    let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(1.0)));
+    let bdp = rate.bdp_bytes(rtt);
+    for _ in 0..10 {
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(bdp / 3)), rtt));
+    }
+    let report = sim.run();
+    report.flows.iter().map(|f| f.goodput_bytes).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.throughput(Throughput::Elements(33_000));
+    g.bench_function("dumbbell_1s_10flows_100mbps", |b| b.iter(|| black_box(run_slice())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

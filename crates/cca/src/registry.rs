@@ -1,0 +1,136 @@
+//! Name → algorithm factory, so experiment configs and the `repro` CLI
+//! can select algorithms by string.
+
+use crate::{Bbr, BbrV2, Copa, Cubic, NewReno, Vegas, Vivace};
+use bbrdom_netsim::cc::CongestionControl;
+use std::fmt;
+use std::str::FromStr;
+
+/// Every congestion-control algorithm in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcaKind {
+    Cubic,
+    NewReno,
+    Bbr,
+    BbrV2,
+    Copa,
+    Vivace,
+    Vegas,
+}
+
+impl CcaKind {
+    /// All algorithms, in a stable order.
+    pub const ALL: [CcaKind; 7] = [
+        CcaKind::Cubic,
+        CcaKind::NewReno,
+        CcaKind::Bbr,
+        CcaKind::BbrV2,
+        CcaKind::Copa,
+        CcaKind::Vivace,
+        CcaKind::Vegas,
+    ];
+
+    /// The non-CUBIC algorithms the paper evaluates in Fig. 7.
+    pub const CHALLENGERS: [CcaKind; 4] =
+        [CcaKind::Bbr, CcaKind::BbrV2, CcaKind::Copa, CcaKind::Vivace];
+
+    /// Canonical lower-case name (matches each implementation's
+    /// [`CongestionControl::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CcaKind::Cubic => "cubic",
+            CcaKind::NewReno => "newreno",
+            CcaKind::Bbr => "bbr",
+            CcaKind::BbrV2 => "bbrv2",
+            CcaKind::Copa => "copa",
+            CcaKind::Vivace => "vivace",
+            CcaKind::Vegas => "vegas",
+        }
+    }
+
+    /// Build a fresh instance. `seed` de-synchronizes per-flow phases
+    /// (BBR's ProbeBW start phase, BBRv2's probe spacing); pass the flow
+    /// index or a trial-derived value.
+    pub fn build(self, seed: u64) -> Box<dyn CongestionControl> {
+        match self {
+            CcaKind::Cubic => Box::new(Cubic::new()),
+            CcaKind::NewReno => Box::new(NewReno::new()),
+            CcaKind::Bbr => Box::new(Bbr::new(seed)),
+            CcaKind::BbrV2 => Box::new(BbrV2::new(seed)),
+            CcaKind::Copa => Box::new(Copa::new()),
+            CcaKind::Vivace => Box::new(Vivace::new(seed)),
+            CcaKind::Vegas => Box::new(Vegas::new()),
+        }
+    }
+
+    /// Whether the algorithm is loss-based (backs off on packet loss as
+    /// its primary control signal).
+    pub fn is_loss_based(self) -> bool {
+        matches!(self, CcaKind::Cubic | CcaKind::NewReno)
+    }
+}
+
+impl fmt::Display for CcaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CcaKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cubic" => Ok(CcaKind::Cubic),
+            "newreno" | "reno" => Ok(CcaKind::NewReno),
+            "bbr" | "bbrv1" | "bbr1" => Ok(CcaKind::Bbr),
+            "bbrv2" | "bbr2" => Ok(CcaKind::BbrV2),
+            "copa" => Ok(CcaKind::Copa),
+            "vivace" | "pcc" | "pcc-vivace" => Ok(CcaKind::Vivace),
+            "vegas" => Ok(CcaKind::Vegas),
+            other => Err(format!(
+                "unknown congestion control algorithm '{other}' \
+                 (expected one of: cubic, newreno, bbr, bbrv2, copa, vivace, vegas)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_fromstr() {
+        for kind in CcaKind::ALL {
+            let parsed: CcaKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("BBRv1".parse::<CcaKind>().unwrap(), CcaKind::Bbr);
+        assert_eq!("pcc-vivace".parse::<CcaKind>().unwrap(), CcaKind::Vivace);
+        assert_eq!("reno".parse::<CcaKind>().unwrap(), CcaKind::NewReno);
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!("quic-magic".parse::<CcaKind>().is_err());
+    }
+
+    #[test]
+    fn built_instance_reports_matching_name() {
+        for kind in CcaKind::ALL {
+            assert_eq!(kind.build(0).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn loss_based_classification() {
+        assert!(CcaKind::Cubic.is_loss_based());
+        assert!(!CcaKind::Bbr.is_loss_based());
+        assert!(!CcaKind::Copa.is_loss_based());
+    }
+}

@@ -1,0 +1,224 @@
+//! Small numeric utilities shared by the algorithms: windowed min/max
+//! filters (the BBR family's `BtlBw` and `RTprop` estimators) and a
+//! packet-timed round counter.
+//!
+//! The filters are exact sliding-window extrema over a monotone "tick"
+//! axis (round number for bandwidth, nanoseconds for RTT), implemented
+//! with the classic monotonic-deque algorithm — O(1) amortized per
+//! update, no approximation (unlike Linux's 3-sample minmax).
+
+use std::collections::VecDeque;
+
+/// Sliding-window maximum over a monotonically nondecreasing tick axis.
+#[derive(Debug, Clone)]
+pub struct WindowedMax {
+    window: u64,
+    /// (tick, value); values strictly decreasing front→back.
+    deque: VecDeque<(u64, f64)>,
+}
+
+impl WindowedMax {
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0);
+        WindowedMax {
+            window,
+            deque: VecDeque::new(),
+        }
+    }
+
+    /// Insert `value` observed at `tick` and expire samples older than the
+    /// window. Ticks must be nondecreasing.
+    pub fn update(&mut self, tick: u64, value: f64) {
+        while matches!(self.deque.back(), Some(&(_, v)) if v <= value) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((tick, value));
+        self.expire(tick);
+    }
+
+    /// Expire old samples without inserting (e.g. on a round boundary).
+    pub fn expire(&mut self, tick: u64) {
+        let cutoff = tick.saturating_sub(self.window);
+        while matches!(self.deque.front(), Some(&(t, _)) if t < cutoff) {
+            self.deque.pop_front();
+        }
+    }
+
+    /// Current windowed maximum, if any sample is in the window.
+    pub fn get(&self) -> Option<f64> {
+        self.deque.front().map(|&(_, v)| v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// Drop all samples (BBR does this when restarting from idle).
+    pub fn reset(&mut self) {
+        self.deque.clear();
+    }
+}
+
+/// Sliding-window minimum over a monotonically nondecreasing tick axis.
+#[derive(Debug, Clone)]
+pub struct WindowedMin {
+    window: u64,
+    /// (tick, value); values strictly increasing front→back.
+    deque: VecDeque<(u64, f64)>,
+}
+
+impl WindowedMin {
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0);
+        WindowedMin {
+            window,
+            deque: VecDeque::new(),
+        }
+    }
+
+    pub fn update(&mut self, tick: u64, value: f64) {
+        while matches!(self.deque.back(), Some(&(_, v)) if v >= value) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((tick, value));
+        self.expire(tick);
+    }
+
+    pub fn expire(&mut self, tick: u64) {
+        let cutoff = tick.saturating_sub(self.window);
+        while matches!(self.deque.front(), Some(&(t, _)) if t < cutoff) {
+            self.deque.pop_front();
+        }
+    }
+
+    pub fn get(&self) -> Option<f64> {
+        self.deque.front().map(|&(_, v)| v)
+    }
+
+    /// Tick at which the current minimum was recorded.
+    pub fn min_tick(&self) -> Option<u64> {
+        self.deque.front().map(|&(t, _)| t)
+    }
+
+    pub fn reset(&mut self) {
+        self.deque.clear();
+    }
+}
+
+/// Packet-timed round counting, as in Linux TCP: a round trip completes
+/// when a packet sent *after* the previous round's end is ACKed. Feed it
+/// `(packet_delivered_at_send, delivered_total)` from each ACK.
+#[derive(Debug, Clone, Default)]
+pub struct RoundCounter {
+    next_round_delivered: u64,
+    round_count: u64,
+    round_start: bool,
+}
+
+impl RoundCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Process one ACK; afterwards [`Self::round_start`] reports whether
+    /// this ACK began a new round.
+    pub fn on_ack(&mut self, packet_delivered_at_send: u64, delivered_total: u64) {
+        if packet_delivered_at_send >= self.next_round_delivered {
+            self.next_round_delivered = delivered_total;
+            self.round_count += 1;
+            self.round_start = true;
+        } else {
+            self.round_start = false;
+        }
+    }
+
+    /// True iff the most recent `on_ack` crossed a round boundary.
+    pub fn round_start(&self) -> bool {
+        self.round_start
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_max_tracks_sliding_maximum() {
+        let mut f = WindowedMax::new(3);
+        f.update(0, 5.0);
+        f.update(1, 3.0);
+        assert_eq!(f.get(), Some(5.0));
+        f.update(2, 4.0);
+        assert_eq!(f.get(), Some(5.0));
+        // tick 4: window is (1..=4], the 5.0 at tick 0 expires.
+        f.update(4, 1.0);
+        assert_eq!(f.get(), Some(4.0));
+        f.update(6, 0.5);
+        assert_eq!(f.get(), Some(1.0));
+    }
+
+    #[test]
+    fn windowed_max_new_max_replaces_all() {
+        let mut f = WindowedMax::new(10);
+        for i in 0..5 {
+            f.update(i, i as f64);
+        }
+        assert_eq!(f.get(), Some(4.0));
+        f.update(5, 100.0);
+        assert_eq!(f.get(), Some(100.0));
+    }
+
+    #[test]
+    fn windowed_min_tracks_sliding_minimum() {
+        let mut f = WindowedMin::new(5);
+        f.update(0, 10.0);
+        f.update(1, 12.0);
+        f.update(2, 8.0);
+        assert_eq!(f.get(), Some(8.0));
+        f.update(8, 20.0);
+        // min at tick 2 is now out of the (3..=8] window.
+        assert_eq!(f.get(), Some(20.0));
+    }
+
+    #[test]
+    fn windowed_min_records_tick_of_minimum() {
+        let mut f = WindowedMin::new(100);
+        f.update(10, 5.0);
+        f.update(20, 7.0);
+        assert_eq!(f.min_tick(), Some(10));
+        f.update(30, 2.0);
+        assert_eq!(f.min_tick(), Some(30));
+    }
+
+    #[test]
+    fn expire_without_update() {
+        let mut f = WindowedMax::new(2);
+        f.update(0, 9.0);
+        f.expire(5);
+        assert_eq!(f.get(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn round_counter_advances_once_per_window() {
+        let mut rc = RoundCounter::new();
+        // First ACK: packet sent when delivered=0, delivered_total=1500.
+        rc.on_ack(0, 1500);
+        assert!(rc.round_start());
+        assert_eq!(rc.rounds(), 1);
+        // Packets sent before delivered reached 1500 do not advance.
+        rc.on_ack(0, 3000);
+        assert!(!rc.round_start());
+        rc.on_ack(1400, 4500);
+        assert!(!rc.round_start());
+        // A packet sent after the round boundary does.
+        rc.on_ack(1500, 6000);
+        assert!(rc.round_start());
+        assert_eq!(rc.rounds(), 2);
+    }
+}

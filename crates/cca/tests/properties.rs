@@ -1,0 +1,165 @@
+//! Property-based tests for the CC algorithms' supporting structures and
+//! state machines.
+
+use bbrdom_cca::util::{RoundCounter, WindowedMax, WindowedMin};
+use bbrdom_cca::{CcaKind, Cubic};
+use bbrdom_netsim::cc::{AckSample, CongestionControl, FlowView};
+use bbrdom_netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn view() -> FlowView {
+    FlowView {
+        mss: 1500,
+        srtt: Some(SimDuration::from_millis(40)),
+        min_rtt: Some(SimDuration::from_millis(40)),
+        inflight_bytes: 0,
+        delivered_bytes: 0,
+        in_recovery: false,
+    }
+}
+
+fn ack(now_s: f64) -> AckSample {
+    AckSample {
+        now: SimTime::from_secs_f64(now_s),
+        acked_bytes: 1500,
+        rtt: Some(SimDuration::from_millis(40)),
+        delivery_rate: Some(1e6),
+        delivered_total: 0,
+        packet_delivered_at_send: 0,
+        inflight_bytes: 0,
+        newly_lost_bytes: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The windowed-max filter agrees with a brute-force reference.
+    #[test]
+    fn windowed_max_matches_reference(
+        window in 1u64..20,
+        samples in prop::collection::vec((0u64..5, 0.0f64..100.0), 1..100),
+    ) {
+        let mut filter = WindowedMax::new(window);
+        let mut tick = 0u64;
+        let mut history: Vec<(u64, f64)> = Vec::new();
+        for (dt, v) in samples {
+            tick += dt;
+            filter.update(tick, v);
+            history.push((tick, v));
+            let cutoff = tick.saturating_sub(window);
+            let expected = history
+                .iter()
+                .filter(|(t, _)| *t >= cutoff)
+                .map(|(_, v)| *v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((filter.get().unwrap() - expected).abs() < 1e-12);
+        }
+    }
+
+    /// The windowed-min filter agrees with a brute-force reference.
+    #[test]
+    fn windowed_min_matches_reference(
+        window in 1u64..20,
+        samples in prop::collection::vec((0u64..5, 0.0f64..100.0), 1..100),
+    ) {
+        let mut filter = WindowedMin::new(window);
+        let mut tick = 0u64;
+        let mut history: Vec<(u64, f64)> = Vec::new();
+        for (dt, v) in samples {
+            tick += dt;
+            filter.update(tick, v);
+            history.push((tick, v));
+            let cutoff = tick.saturating_sub(window);
+            let expected = history
+                .iter()
+                .filter(|(t, _)| *t >= cutoff)
+                .map(|(_, v)| *v)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((filter.get().unwrap() - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Round counting is monotone and never skips on replayed deliveries.
+    #[test]
+    fn round_counter_monotone(
+        deliveries in prop::collection::vec(1u64..3000, 1..200),
+    ) {
+        let mut rc = RoundCounter::new();
+        let mut delivered = 0u64;
+        let mut prev_rounds = 0;
+        for d in deliveries {
+            // A packet sent at some earlier delivered level.
+            let sent_level = delivered.saturating_sub(d / 2);
+            delivered += d;
+            rc.on_ack(sent_level, delivered);
+            prop_assert!(rc.rounds() >= prev_rounds);
+            prop_assert!(rc.rounds() <= prev_rounds + 1);
+            prev_rounds = rc.rounds();
+        }
+    }
+
+    /// CUBIC's window stays positive and finite under arbitrary
+    /// interleavings of ACKs and congestion events, and every back-off
+    /// outside slow start lands at exactly 0.7×.
+    #[test]
+    fn cubic_window_invariants(
+        events in prop::collection::vec(prop::bool::weighted(0.1), 10..300),
+    ) {
+        let mut c = Cubic::new();
+        let v = view();
+        let mut t = 0.0;
+        for is_loss in events {
+            t += 0.002;
+            if is_loss {
+                let before = c.cwnd_mss();
+                c.on_congestion_event(SimTime::from_secs_f64(t), &v);
+                let after = c.cwnd_mss();
+                prop_assert!(after <= before);
+                if before * 0.7 >= 2.0 {
+                    prop_assert!((after - before * 0.7).abs() < 1e-9,
+                        "backoff to {} from {}", after, before);
+                }
+            } else {
+                c.on_ack(&ack(t), &v);
+            }
+            prop_assert!(c.cwnd_mss().is_finite());
+            prop_assert!(c.cwnd_mss() >= 1.0);
+            prop_assert!(c.cwnd_bytes() < u64::MAX / 2);
+        }
+    }
+
+    /// Every registered algorithm survives an arbitrary event stream
+    /// without panicking, and always reports a sane window.
+    #[test]
+    fn all_ccas_survive_arbitrary_events(
+        kind_ix in 0usize..7,
+        events in prop::collection::vec(0u8..10, 10..200),
+    ) {
+        let kind = CcaKind::ALL[kind_ix];
+        let mut cc = kind.build(1);
+        let v = view();
+        let mut t = 0.0;
+        let mut delivered = 0u64;
+        for e in events {
+            t += 0.003;
+            match e {
+                0 => cc.on_congestion_event(SimTime::from_secs_f64(t), &v),
+                1 => cc.on_rto(SimTime::from_secs_f64(t), &v),
+                _ => {
+                    delivered += 1500;
+                    let mut a = ack(t);
+                    a.delivered_total = delivered;
+                    a.packet_delivered_at_send = delivered.saturating_sub(30_000);
+                    cc.on_ack(&a, &v);
+                }
+            }
+            let w = cc.cwnd_bytes();
+            prop_assert!(w >= 1500, "{} cwnd collapsed to {w}", kind.name());
+            prop_assert!(w < 1u64 << 40, "{} cwnd exploded to {w}", kind.name());
+            if let Some(r) = cc.pacing_rate() {
+                prop_assert!(r.is_finite() && r > 0.0);
+            }
+        }
+    }
+}

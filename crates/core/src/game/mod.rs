@@ -1,0 +1,31 @@
+//! Game-theoretic machinery for congestion-control adoption (§4).
+//!
+//! The paper models websites as players choosing a congestion-control
+//! algorithm (strategy) to maximize throughput (utility). Because all
+//! flows share one bottleneck and (in the core analysis) one RTT, the
+//! game is *symmetric*: payoffs depend only on how many players chose
+//! each strategy, not on who. That reduction is what makes 50-flow NE
+//! search exact and cheap — `n + 1` states instead of `2^n` profiles.
+//!
+//! * [`normal`] — small generic normal-form games (pure-strategy NE by
+//!   enumeration), used for exposition and cross-checking.
+//! * [`symmetric`] — the two-strategy symmetric game of §4.1 with payoff
+//!   curves indexed by the BBR count.
+//! * [`dynamics`] — best-response dynamics over the symmetric game
+//!   (how the Internet "moves along the AB line" in Fig. 6).
+//! * [`multigroup`] — symmetric-within-groups games for the multi-RTT
+//!   experiments of §4.5 (states `(k₁,…,k_g)`, one `k` per RTT group).
+//! * [`multistrategy`] — symmetric games over ≥3 strategies (the §4.2
+//!   future work: more than two CCAs at one bottleneck).
+
+pub mod dynamics;
+pub mod multigroup;
+pub mod multistrategy;
+pub mod normal;
+pub mod symmetric;
+
+pub use dynamics::{BestResponseOutcome, BestResponseTrace};
+pub use multigroup::{GroupState, MultiGroupGame};
+pub use multistrategy::{Composition, MultiStrategyGame};
+pub use normal::NormalFormGame;
+pub use symmetric::{SymmetricGame, SymmetricNe};

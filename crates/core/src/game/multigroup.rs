@@ -1,0 +1,191 @@
+//! Symmetric-within-groups games for the multi-RTT setting (§4.5).
+//!
+//! The paper's Fig. 10 experiment has 30 flows in three RTT groups
+//! (10 ms, 30 ms, 50 ms). Flows within a group are interchangeable, so a
+//! state is the vector `(k₁, …, k_g)` of per-group BBR counts —
+//! `∏(nᵢ + 1)` states (11³ = 1331) instead of `2³⁰` profiles.
+//!
+//! Payoffs come from a caller-supplied oracle (the analytical model or
+//! simulator measurements): for a state it returns, per group, the
+//! per-flow utility of a BBR flow and of a CUBIC flow in that group.
+
+/// Per-group BBR counts describing one state of the game.
+pub type GroupState = Vec<u32>;
+
+/// Per-group payoffs in one state: `bbr[g]` is the payoff of a BBR flow
+/// in group `g` (meaningful when the state has one), `cubic[g]` likewise.
+#[derive(Debug, Clone)]
+pub struct GroupPayoffs {
+    pub bbr: Vec<f64>,
+    pub cubic: Vec<f64>,
+}
+
+/// A game over RTT groups with a payoff oracle.
+pub struct MultiGroupGame<F>
+where
+    F: Fn(&[u32]) -> GroupPayoffs,
+{
+    group_sizes: Vec<u32>,
+    payoff: F,
+    epsilon: f64,
+}
+
+impl<F> MultiGroupGame<F>
+where
+    F: Fn(&[u32]) -> GroupPayoffs,
+{
+    pub fn new(group_sizes: Vec<u32>, payoff: F) -> Self {
+        assert!(!group_sizes.is_empty());
+        assert!(group_sizes.iter().all(|&s| s >= 1));
+        MultiGroupGame {
+            group_sizes,
+            payoff,
+            epsilon: 0.0,
+        }
+    }
+
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0);
+        self.epsilon = eps;
+        self
+    }
+
+    pub fn n_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    pub fn group_sizes(&self) -> &[u32] {
+        &self.group_sizes
+    }
+
+    /// Total number of states.
+    pub fn n_states(&self) -> usize {
+        self.group_sizes.iter().map(|&s| s as usize + 1).product()
+    }
+
+    /// Iterate every state `(k₁, …, k_g)`.
+    pub fn states(&self) -> impl Iterator<Item = GroupState> + '_ {
+        let sizes = self.group_sizes.clone();
+        let total = self.n_states();
+        (0..total).map(move |mut ix| {
+            let mut state = Vec::with_capacity(sizes.len());
+            for &s in &sizes {
+                let base = s as usize + 1;
+                state.push((ix % base) as u32);
+                ix /= base;
+            }
+            state
+        })
+    }
+
+    /// Is `state` a Nash equilibrium? Checks, for every group, whether a
+    /// CUBIC flow there would gain by switching to BBR (moving the state
+    /// up in that group) or a BBR flow by switching to CUBIC.
+    pub fn is_nash(&self, state: &[u32]) -> bool {
+        assert_eq!(state.len(), self.n_groups());
+        let here = (self.payoff)(state);
+        let mut trial = state.to_vec();
+        for g in 0..self.n_groups() {
+            // CUBIC → BBR in group g.
+            if state[g] < self.group_sizes[g] {
+                trial[g] = state[g] + 1;
+                let there = (self.payoff)(&trial);
+                if there.bbr[g] > here.cubic[g] + self.epsilon {
+                    return false;
+                }
+                trial[g] = state[g];
+            }
+            // BBR → CUBIC in group g.
+            if state[g] > 0 {
+                trial[g] = state[g] - 1;
+                let there = (self.payoff)(&trial);
+                if there.cubic[g] > here.bbr[g] + self.epsilon {
+                    return false;
+                }
+                trial[g] = state[g];
+            }
+        }
+        true
+    }
+
+    /// Enumerate all Nash equilibrium states.
+    pub fn nash_equilibria(&self) -> Vec<GroupState> {
+        self.states().filter(|s| self.is_nash(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stylized multi-RTT payoff: BBR's advantage grows with the
+    /// group's RTT (mirroring the paper's observation that long-RTT flows
+    /// benefit most from BBR), and decreases with the total BBR count.
+    fn rtt_game() -> MultiGroupGame<impl Fn(&[u32]) -> GroupPayoffs> {
+        let rtts = [10.0, 30.0, 50.0];
+        MultiGroupGame::new(vec![4, 4, 4], move |state: &[u32]| {
+            let total_bbr: u32 = state.iter().sum();
+            let bbr: Vec<f64> = rtts
+                .iter()
+                .map(|rtt| 10.0 + rtt / 10.0 - 1.5 * total_bbr as f64)
+                .collect();
+            let cubic: Vec<f64> = rtts
+                .iter()
+                .map(|rtt| 10.0 - rtt / 25.0 + 0.5 * total_bbr as f64)
+                .collect();
+            GroupPayoffs { bbr, cubic }
+        })
+    }
+
+    #[test]
+    fn state_enumeration_covers_product_space() {
+        let g = rtt_game();
+        assert_eq!(g.n_states(), 125);
+        assert_eq!(g.states().count(), 125);
+    }
+
+    #[test]
+    fn equilibria_exist_and_prefer_long_rtt_bbr() {
+        let g = rtt_game();
+        let ne = g.nash_equilibria();
+        assert!(!ne.is_empty(), "expected at least one NE");
+        // The paper's §4.5 ordering: in every NE, CUBIC concentrates in
+        // the short-RTT group — i.e. the BBR count is non-decreasing in
+        // group RTT.
+        for state in &ne {
+            assert!(
+                state[0] <= state[1] && state[1] <= state[2],
+                "NE {state:?} violates the RTT ordering"
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_reduces_to_symmetric_game() {
+        use crate::game::symmetric::SymmetricGame;
+        let n = 6u32;
+        let bbr: Vec<f64> = (0..=n).map(|k| 15.0 - 2.0 * k as f64).collect();
+        let cubic: Vec<f64> = (0..=n).map(|k| 3.0 + k as f64).collect();
+        let bbr2 = bbr.clone();
+        let cubic2 = cubic.clone();
+        let mg = MultiGroupGame::new(vec![n], move |state: &[u32]| GroupPayoffs {
+            bbr: vec![bbr2[state[0] as usize]],
+            cubic: vec![cubic2[state[0] as usize]],
+        });
+        let mg_ne: Vec<u32> = mg.nash_equilibria().iter().map(|s| s[0]).collect();
+        let sym = SymmetricGame::new(n, bbr, cubic);
+        let sym_ne: Vec<u32> = sym.nash_equilibria().iter().map(|e| e.n_bbr).collect();
+        assert_eq!(mg_ne, sym_ne);
+    }
+
+    #[test]
+    fn epsilon_tolerance_applies_per_deviation() {
+        let g = MultiGroupGame::new(vec![2], |state: &[u32]| GroupPayoffs {
+            bbr: vec![1.0 + 0.001 * state[0] as f64],
+            cubic: vec![1.0],
+        })
+        .with_epsilon(0.01);
+        // All states are ε-equilibria: gains are below tolerance.
+        assert_eq!(g.nash_equilibria().len(), 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! Symmetric games with **more than two** strategies — the paper's
+//! §4.2 future work ("scenarios where more than two CC algorithms
+//! compete at a common bottleneck remain future work").
+//!
+//! With `s` interchangeable strategies and `n` symmetric players, a
+//! state is a *composition* `(k₁, …, k_s)` with `Σkᵢ = n` — there are
+//! `C(n+s−1, s−1)` of them, e.g. 231 for 20 flows over 3 algorithms
+//! instead of `3²⁰` profiles. A state is a Nash equilibrium when no
+//! flow running strategy `i` would gain by unilaterally switching to
+//! strategy `j` (which moves the state one step in the composition
+//! lattice).
+//!
+//! Unlike the two-strategy case, pure equilibria are **not** guaranteed
+//! here, and best-response dynamics can cycle — both facts surface in
+//! the tests.
+
+/// A state: number of players on each strategy (sums to `n`).
+pub type Composition = Vec<u32>;
+
+/// A symmetric game over `s ≥ 2` strategies with a payoff oracle.
+///
+/// `payoff(state)[i]` is the per-flow payoff of strategy `i` in `state`
+/// (meaningful when `state[i] > 0`; oracles may return anything for
+/// unused strategies).
+pub struct MultiStrategyGame<F>
+where
+    F: Fn(&[u32]) -> Vec<f64>,
+{
+    n: u32,
+    s: usize,
+    payoff: F,
+    epsilon: f64,
+}
+
+impl<F> MultiStrategyGame<F>
+where
+    F: Fn(&[u32]) -> Vec<f64>,
+{
+    pub fn new(n: u32, s: usize, payoff: F) -> Self {
+        assert!(n >= 1, "need at least one player");
+        assert!(s >= 2, "need at least two strategies");
+        MultiStrategyGame {
+            n,
+            s,
+            payoff,
+            epsilon: 0.0,
+        }
+    }
+
+    /// Improvement tolerance (see the two-strategy game).
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0);
+        self.epsilon = eps;
+        self
+    }
+
+    pub fn n_players(&self) -> u32 {
+        self.n
+    }
+
+    pub fn n_strategies(&self) -> usize {
+        self.s
+    }
+
+    /// Number of states: `C(n+s−1, s−1)`.
+    pub fn n_states(&self) -> u64 {
+        let n = self.n as u64;
+        let s = self.s as u64;
+        // Compute the binomial iteratively (small arguments here).
+        let (mut num, mut den) = (1u64, 1u64);
+        for i in 0..(s - 1) {
+            num *= n + s - 1 - i;
+            den *= i + 1;
+        }
+        num / den
+    }
+
+    /// Iterate every composition of `n` into `s` parts.
+    pub fn states(&self) -> Vec<Composition> {
+        let mut out = Vec::new();
+        let mut current = vec![0u32; self.s];
+        Self::compositions(self.n, 0, &mut current, &mut out);
+        out
+    }
+
+    fn compositions(rest: u32, idx: usize, current: &mut Composition, out: &mut Vec<Composition>) {
+        let s = current.len();
+        if idx == s - 1 {
+            current[idx] = rest;
+            out.push(current.clone());
+            return;
+        }
+        for k in 0..=rest {
+            current[idx] = k;
+            Self::compositions(rest - k, idx + 1, current, out);
+        }
+    }
+
+    /// Is `state` a Nash equilibrium?
+    pub fn is_nash(&self, state: &[u32]) -> bool {
+        assert_eq!(state.len(), self.s);
+        debug_assert_eq!(state.iter().sum::<u32>(), self.n);
+        let here = (self.payoff)(state);
+        let mut trial = state.to_vec();
+        for i in 0..self.s {
+            if state[i] == 0 {
+                continue;
+            }
+            for j in 0..self.s {
+                if j == i {
+                    continue;
+                }
+                trial[i] -= 1;
+                trial[j] += 1;
+                let there = (self.payoff)(&trial);
+                let gain = there[j] - here[i];
+                trial[i] += 1;
+                trial[j] -= 1;
+                if gain > self.epsilon {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All pure Nash equilibria (may be empty for s ≥ 3).
+    pub fn nash_equilibria(&self) -> Vec<Composition> {
+        self.states()
+            .into_iter()
+            .filter(|st| self.is_nash(st))
+            .collect()
+    }
+
+    /// One step of best-response dynamics: the single switch with the
+    /// largest gain, or `None` at an equilibrium.
+    pub fn best_response_step(&self, state: &[u32]) -> Option<Composition> {
+        let here = (self.payoff)(state);
+        let mut best: Option<(f64, Composition)> = None;
+        let mut trial = state.to_vec();
+        for i in 0..self.s {
+            if state[i] == 0 {
+                continue;
+            }
+            for j in 0..self.s {
+                if j == i {
+                    continue;
+                }
+                trial[i] -= 1;
+                trial[j] += 1;
+                let there = (self.payoff)(&trial);
+                let gain = there[j] - here[i];
+                if gain > self.epsilon && best.as_ref().map_or(true, |(g, _)| gain > *g) {
+                    best = Some((gain, trial.clone()));
+                }
+                trial[i] += 1;
+                trial[j] -= 1;
+            }
+        }
+        best.map(|(_, st)| st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three CCAs with a congestion-externality payoff: each strategy's
+    /// payoff falls in its own count but algorithms differ in
+    /// aggressiveness — a stylized CUBIC/BBR/BBRv2 triangle.
+    fn triangle(n: u32) -> MultiStrategyGame<impl Fn(&[u32]) -> Vec<f64>> {
+        MultiStrategyGame::new(n, 3, move |st: &[u32]| {
+            let total: u32 = st.iter().sum();
+            let base = [8.0, 12.0, 10.0];
+            (0..3)
+                .map(|i| base[i] - 1.5 * st[i] as f64 - 0.2 * total as f64)
+                .collect()
+        })
+    }
+
+    #[test]
+    fn state_count_matches_binomial() {
+        let g = triangle(6);
+        assert_eq!(g.n_states(), 28); // C(8,2)
+        assert_eq!(g.states().len(), 28);
+        for st in g.states() {
+            assert_eq!(st.iter().sum::<u32>(), 6);
+        }
+    }
+
+    #[test]
+    fn equilibria_exist_for_congestion_payoffs() {
+        let g = triangle(6);
+        let ne = g.nash_equilibria();
+        assert!(!ne.is_empty());
+        // With strictly-own-count-decreasing payoffs the NE is unique-ish
+        // and mixed across all three strategies.
+        for st in &ne {
+            assert!(st.iter().all(|&k| k > 0), "NE {st:?} should be mixed");
+        }
+    }
+
+    #[test]
+    fn two_strategy_case_matches_symmetric_game() {
+        use crate::game::symmetric::SymmetricGame;
+        let n = 8u32;
+        let bbr: Vec<f64> = (0..=n).map(|k| 16.0 - 2.0 * k as f64).collect();
+        let cubic: Vec<f64> = (0..=n).map(|k| 4.0 + k as f64).collect();
+        let (b2, c2) = (bbr.clone(), cubic.clone());
+        // Strategy 0 = CUBIC, 1 = BBR; state[1] is the BBR count.
+        let ms = MultiStrategyGame::new(n, 2, move |st: &[u32]| {
+            vec![c2[st[1] as usize], b2[st[1] as usize]]
+        });
+        let ms_ne: Vec<u32> = ms.nash_equilibria().iter().map(|st| st[1]).collect();
+        let sym = SymmetricGame::new(n, bbr, cubic);
+        let sym_ne: Vec<u32> = sym.nash_equilibria().iter().map(|e| e.n_bbr).collect();
+        assert_eq!(ms_ne, sym_ne);
+    }
+
+    #[test]
+    fn rock_paper_scissors_has_no_pure_ne() {
+        // 3 players, 3 strategies, cyclic dominance: strategy i beats
+        // i−1. Payoff: +1 per player you beat, −1 per player beating you.
+        let g = MultiStrategyGame::new(3, 3, |st: &[u32]| {
+            (0..3)
+                .map(|i| {
+                    let beats = st[(i + 2) % 3] as f64;
+                    let beaten = st[(i + 1) % 3] as f64;
+                    beats - beaten
+                })
+                .collect()
+        });
+        assert!(
+            g.nash_equilibria().is_empty(),
+            "cyclic-dominance games have no pure NE"
+        );
+        // And best-response dynamics must keep moving forever.
+        let mut state = vec![3, 0, 0];
+        for _ in 0..10 {
+            state = g
+                .best_response_step(&state)
+                .expect("never settles");
+        }
+    }
+
+    #[test]
+    fn best_response_reaches_an_equilibrium_when_one_exists() {
+        let g = triangle(6);
+        let mut state = vec![6, 0, 0];
+        for _ in 0..100 {
+            match g.best_response_step(&state) {
+                Some(next) => state = next,
+                None => break,
+            }
+        }
+        assert!(g.is_nash(&state), "dynamics should settle at an NE, got {state:?}");
+    }
+
+    #[test]
+    fn epsilon_tolerance() {
+        let g = MultiStrategyGame::new(4, 3, |st: &[u32]| {
+            (0..3).map(|i| st[i] as f64 * 0.001).collect()
+        })
+        .with_epsilon(1.0);
+        // All gains below ε: everything is an equilibrium.
+        assert_eq!(g.nash_equilibria().len() as u64, g.n_states());
+    }
+}

@@ -1,0 +1,176 @@
+//! Generic finite normal-form games with pure-strategy NE enumeration.
+//!
+//! Small and exact: profiles are enumerated, so this is for games with a
+//! handful of players (it cross-checks the symmetric reduction in tests
+//! and supports exposition in the examples). The symmetric machinery in
+//! [`crate::game::symmetric`] is what scales to 50 flows.
+
+/// A finite normal-form game.
+///
+/// `payoff(profile, player)` returns the utility of `player` under the
+/// pure-strategy `profile` (`profile[i]` is player `i`'s strategy index).
+pub struct NormalFormGame<F>
+where
+    F: Fn(&[usize], usize) -> f64,
+{
+    /// Number of strategies available to each player.
+    strategy_counts: Vec<usize>,
+    payoff: F,
+    /// Tolerance for "strictly better" comparisons.
+    epsilon: f64,
+}
+
+impl<F> NormalFormGame<F>
+where
+    F: Fn(&[usize], usize) -> f64,
+{
+    pub fn new(strategy_counts: Vec<usize>, payoff: F) -> Self {
+        assert!(!strategy_counts.is_empty(), "need at least one player");
+        assert!(
+            strategy_counts.iter().all(|&c| c >= 1),
+            "every player needs a strategy"
+        );
+        NormalFormGame {
+            strategy_counts,
+            payoff,
+            epsilon: 1e-9,
+        }
+    }
+
+    /// Set the improvement tolerance: a deviation must improve the payoff
+    /// by more than `eps` to invalidate an equilibrium (the paper's
+    /// empirical NE search uses the same idea to absorb noise).
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = eps;
+        self
+    }
+
+    pub fn n_players(&self) -> usize {
+        self.strategy_counts.len()
+    }
+
+    /// Total number of pure profiles (∏ strategy counts).
+    pub fn n_profiles(&self) -> usize {
+        self.strategy_counts.iter().product()
+    }
+
+    fn profiles(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let counts = self.strategy_counts.clone();
+        let total: usize = counts.iter().product();
+        (0..total).map(move |mut ix| {
+            let mut profile = Vec::with_capacity(counts.len());
+            for &c in &counts {
+                profile.push(ix % c);
+                ix /= c;
+            }
+            profile
+        })
+    }
+
+    /// Is `profile` a pure-strategy Nash equilibrium?
+    pub fn is_nash(&self, profile: &[usize]) -> bool {
+        assert_eq!(profile.len(), self.n_players());
+        let mut trial = profile.to_vec();
+        for (i, &cur) in profile.iter().enumerate() {
+            let base = (self.payoff)(profile, i);
+            for alt in 0..self.strategy_counts[i] {
+                if alt == cur {
+                    continue;
+                }
+                trial[i] = alt;
+                if (self.payoff)(&trial, i) > base + self.epsilon {
+                    return false;
+                }
+            }
+            trial[i] = cur;
+        }
+        true
+    }
+
+    /// Enumerate all pure-strategy Nash equilibria.
+    pub fn pure_nash_equilibria(&self) -> Vec<Vec<usize>> {
+        self.profiles().filter(|p| self.is_nash(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Prisoner's dilemma: defect (1) dominates; unique NE (1, 1).
+    #[test]
+    fn prisoners_dilemma() {
+        let payoff = |profile: &[usize], player: usize| -> f64 {
+            let me = profile[player];
+            let other = profile[1 - player];
+            match (me, other) {
+                (0, 0) => 3.0, // both cooperate
+                (0, 1) => 0.0, // I cooperate, sucker's payoff
+                (1, 0) => 5.0, // I defect on a cooperator
+                (1, 1) => 1.0, // both defect
+                _ => unreachable!(),
+            }
+        };
+        let game = NormalFormGame::new(vec![2, 2], payoff);
+        let ne = game.pure_nash_equilibria();
+        assert_eq!(ne, vec![vec![1, 1]]);
+    }
+
+    /// Pure coordination: both (0,0) and (1,1) are NE.
+    #[test]
+    fn coordination_game_has_two_equilibria() {
+        let payoff = |profile: &[usize], _player: usize| -> f64 {
+            if profile[0] == profile[1] {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let game = NormalFormGame::new(vec![2, 2], payoff);
+        let ne = game.pure_nash_equilibria();
+        assert_eq!(ne.len(), 2);
+        assert!(ne.contains(&vec![0, 0]));
+        assert!(ne.contains(&vec![1, 1]));
+    }
+
+    /// Matching pennies has no pure NE.
+    #[test]
+    fn matching_pennies_has_no_pure_ne() {
+        let payoff = |profile: &[usize], player: usize| -> f64 {
+            let matched = profile[0] == profile[1];
+            match (player, matched) {
+                (0, true) => 1.0,
+                (0, false) => -1.0,
+                (1, true) => -1.0,
+                (1, false) => 1.0,
+                _ => unreachable!(),
+            }
+        };
+        let game = NormalFormGame::new(vec![2, 2], payoff);
+        assert!(game.pure_nash_equilibria().is_empty());
+    }
+
+    #[test]
+    fn epsilon_absorbs_marginal_deviations() {
+        // A tiny improvement below epsilon does not break the NE.
+        let payoff = |profile: &[usize], player: usize| -> f64 {
+            if profile[player] == 1 {
+                1.0 + 1e-6
+            } else {
+                1.0
+            }
+        };
+        let strict = NormalFormGame::new(vec![2], payoff);
+        assert!(!strict.is_nash(&[0]));
+        let tolerant = NormalFormGame::new(vec![2], payoff).with_epsilon(1e-3);
+        assert!(tolerant.is_nash(&[0]));
+    }
+
+    #[test]
+    fn three_player_profile_enumeration() {
+        let game = NormalFormGame::new(vec![2, 3, 2], |_, _| 0.0);
+        assert_eq!(game.n_profiles(), 12);
+        // Everything is an NE when payoffs are constant.
+        assert_eq!(game.pure_nash_equilibria().len(), 12);
+    }
+}

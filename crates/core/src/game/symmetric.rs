@@ -1,0 +1,265 @@
+//! The symmetric two-strategy game of §4.1.
+//!
+//! `n` identical flows each choose CUBIC or BBR. Since flows are
+//! symmetric, the state space is the BBR count `k ∈ {0, …, n}` and a
+//! state is described by two payoff curves:
+//!
+//! * `bbr_payoff[k]` — per-flow utility of a BBR flow when `k` flows run
+//!   BBR (defined for `k ≥ 1`),
+//! * `cubic_payoff[k]` — per-flow utility of a CUBIC flow in the same
+//!   state (defined for `k ≤ n − 1`).
+//!
+//! State `k` is a (pure, symmetric) Nash equilibrium iff
+//!
+//! * no CUBIC flow gains by switching: `cubic[k] ≥ bbr[k+1] − ε`
+//!   (a switcher lands in state `k+1` *as a BBR flow*), and
+//! * no BBR flow gains by switching: `bbr[k] ≥ cubic[k−1] − ε`.
+//!
+//! This is exactly the check the paper's §4.4 methodology performs on
+//! measured throughputs, so the same code consumes model predictions and
+//! simulator measurements.
+
+/// Payoff curves for the symmetric CUBIC-vs-BBR game.
+#[derive(Debug, Clone)]
+pub struct SymmetricGame {
+    n: u32,
+    /// `bbr[k]`: payoff of each BBR flow in state `k`; `bbr[0]` unused.
+    bbr: Vec<f64>,
+    /// `cubic[k]`: payoff of each CUBIC flow in state `k`; `cubic[n]` unused.
+    cubic: Vec<f64>,
+    /// Improvement tolerance ε.
+    epsilon: f64,
+}
+
+/// A Nash equilibrium state of the symmetric game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricNe {
+    /// Number of BBR flows at the equilibrium.
+    pub n_bbr: u32,
+    /// Number of CUBIC flows at the equilibrium.
+    pub n_cubic: u32,
+    /// BBR per-flow payoff at the equilibrium (`None` when `n_bbr = 0`).
+    pub bbr_payoff: Option<f64>,
+    /// CUBIC per-flow payoff at the equilibrium (`None` when `n_cubic = 0`).
+    pub cubic_payoff: Option<f64>,
+}
+
+impl SymmetricGame {
+    /// Build from payoff curves. Both vectors must have length `n + 1`;
+    /// `bbr[0]` and `cubic[n]` are ignored (no such flow exists).
+    pub fn new(n: u32, bbr: Vec<f64>, cubic: Vec<f64>) -> Self {
+        assert_eq!(bbr.len(), n as usize + 1, "bbr curve must have n+1 entries");
+        assert_eq!(
+            cubic.len(),
+            n as usize + 1,
+            "cubic curve must have n+1 entries"
+        );
+        SymmetricGame {
+            n,
+            bbr,
+            cubic,
+            epsilon: 0.0,
+        }
+    }
+
+    /// Set the improvement tolerance ε: a switch must improve by *more*
+    /// than ε to destabilize a state. The paper's empirical search uses
+    /// this to absorb measurement noise near the crossing.
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0);
+        self.epsilon = eps;
+        self
+    }
+
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// BBR per-flow payoff in state `k` (k ≥ 1).
+    pub fn bbr_payoff(&self, k: u32) -> Option<f64> {
+        if k >= 1 && k <= self.n {
+            Some(self.bbr[k as usize])
+        } else {
+            None
+        }
+    }
+
+    /// CUBIC per-flow payoff in state `k` (k ≤ n − 1).
+    pub fn cubic_payoff(&self, k: u32) -> Option<f64> {
+        if k < self.n {
+            Some(self.cubic[k as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Is state `k` (k BBR flows) a Nash equilibrium?
+    pub fn is_nash(&self, k: u32) -> bool {
+        assert!(k <= self.n);
+        // CUBIC → BBR deviation.
+        if k < self.n {
+            let stay = self.cubic[k as usize];
+            let switch = self.bbr[(k + 1) as usize];
+            if switch > stay + self.epsilon {
+                return false;
+            }
+        }
+        // BBR → CUBIC deviation.
+        if k > 0 {
+            let stay = self.bbr[k as usize];
+            let switch = self.cubic[(k - 1) as usize];
+            if switch > stay + self.epsilon {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All Nash equilibrium states.
+    pub fn nash_equilibria(&self) -> Vec<SymmetricNe> {
+        (0..=self.n)
+            .filter(|&k| self.is_nash(k))
+            .map(|k| SymmetricNe {
+                n_bbr: k,
+                n_cubic: self.n - k,
+                bbr_payoff: self.bbr_payoff(k),
+                cubic_payoff: if k < self.n {
+                    Some(self.cubic[k as usize])
+                } else {
+                    None
+                },
+            })
+            .collect()
+    }
+
+    /// The state a best-responding flow would move to from state `k`,
+    /// if any single flow has a profitable deviation.
+    pub fn best_response_step(&self, k: u32) -> Option<u32> {
+        let mut best: Option<(f64, u32)> = None;
+        if k < self.n {
+            let gain = self.bbr[(k + 1) as usize] - self.cubic[k as usize];
+            if gain > self.epsilon {
+                best = Some((gain, k + 1));
+            }
+        }
+        if k > 0 {
+            let gain = self.cubic[(k - 1) as usize] - self.bbr[k as usize];
+            if gain > self.epsilon && best.map_or(true, |(g, _)| gain > g) {
+                best = Some((gain, k - 1));
+            }
+        }
+        best.map(|(_, next)| next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A textbook crossing: BBR payoff falls with k, CUBIC payoff rises;
+    /// they cross between k=3 and k=4 for n=10.
+    fn crossing_game() -> SymmetricGame {
+        let n = 10u32;
+        let bbr: Vec<f64> = (0..=n).map(|k| 20.0 - 2.0 * k as f64).collect();
+        let cubic: Vec<f64> = (0..=n).map(|k| 5.0 + 1.0 * k as f64).collect();
+        SymmetricGame::new(n, bbr, cubic)
+    }
+
+    #[test]
+    fn crossing_yields_interior_ne() {
+        let g = crossing_game();
+        let ne = g.nash_equilibria();
+        assert!(!ne.is_empty());
+        for e in &ne {
+            assert!(e.n_bbr >= 1 && e.n_bbr <= 5, "unexpected NE at {}", e.n_bbr);
+        }
+    }
+
+    #[test]
+    fn ne_condition_matches_manual_check() {
+        let g = crossing_game();
+        // State 4: cubic[4]=9, bbr[5]=10 → a CUBIC flow WOULD switch
+        // (10 > 9), so 4 is not an NE.
+        assert!(!g.is_nash(4));
+        // State 5: cubic[5]=10, bbr[6]=8 → no CUBIC switch;
+        // bbr[5]=10, cubic[4]=9 → no BBR switch. NE.
+        assert!(g.is_nash(5));
+    }
+
+    #[test]
+    fn always_dominant_strategy_pushes_to_all_bbr() {
+        // BBR strictly better everywhere → unique NE at k = n (Case 1 in
+        // §4.1: the AB line stays above the fair-share line).
+        let n = 6u32;
+        let bbr = vec![10.0; n as usize + 1];
+        let cubic = vec![1.0; n as usize + 1];
+        let g = SymmetricGame::new(n, bbr, cubic);
+        let ne = g.nash_equilibria();
+        assert_eq!(ne.len(), 1);
+        assert_eq!(ne[0].n_bbr, n);
+    }
+
+    #[test]
+    fn epsilon_widens_the_equilibrium_set() {
+        let g = crossing_game();
+        let strict = g.nash_equilibria().len();
+        let loose = crossing_game().with_epsilon(3.0).nash_equilibria().len();
+        assert!(loose > strict, "strict={strict} loose={loose}");
+    }
+
+    #[test]
+    fn best_response_moves_toward_ne() {
+        let g = crossing_game();
+        // From state 0, a CUBIC flow switches (bbr[1]=18 > cubic[0]=5).
+        assert_eq!(g.best_response_step(0), Some(1));
+        // From all-BBR, a BBR flow leaves (cubic[9]=14 > bbr[10]=0).
+        assert_eq!(g.best_response_step(10), Some(9));
+        // At the NE, no move.
+        assert_eq!(g.best_response_step(5), None);
+    }
+
+    #[test]
+    fn curves_consumed_symmetrically() {
+        let g = crossing_game();
+        assert_eq!(g.bbr_payoff(0), None);
+        assert_eq!(g.cubic_payoff(10), None);
+        assert_eq!(g.bbr_payoff(1), Some(18.0));
+        assert_eq!(g.cubic_payoff(0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_curve_length_panics() {
+        SymmetricGame::new(5, vec![0.0; 5], vec![0.0; 6]);
+    }
+
+    /// Cross-check against the generic normal-form machinery for small n.
+    #[test]
+    fn matches_normal_form_enumeration() {
+        use crate::game::normal::NormalFormGame;
+        let n = 4u32;
+        let bbr: Vec<f64> = (0..=n).map(|k| 12.0 - 3.0 * k as f64).collect();
+        let cubic: Vec<f64> = (0..=n).map(|k| 2.0 + 1.5 * k as f64).collect();
+        let sym = SymmetricGame::new(n, bbr.clone(), cubic.clone());
+        let sym_ne: Vec<u32> = sym.nash_equilibria().iter().map(|e| e.n_bbr).collect();
+
+        // Full normal-form: strategy 1 = BBR.
+        let payoff = move |profile: &[usize], player: usize| -> f64 {
+            let k: usize = profile.iter().sum();
+            if profile[player] == 1 {
+                bbr[k]
+            } else {
+                cubic[k]
+            }
+        };
+        let game = NormalFormGame::new(vec![2; n as usize], payoff);
+        let mut normal_ne: Vec<u32> = game
+            .pure_nash_equilibria()
+            .iter()
+            .map(|p| p.iter().sum::<usize>() as u32)
+            .collect();
+        normal_ne.sort_unstable();
+        normal_ne.dedup();
+        assert_eq!(sym_ne, normal_ne);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bbrdom-core — the paper's contribution
+//!
+//! Analytical machinery from *"Are we heading towards a BBR-dominant
+//! Internet?"* (Mishra, Tiu & Leong, IMC '22):
+//!
+//! * [`model`] — throughput models for CUBIC/BBR competition:
+//!   * [`model::ware`] — the prior state of the art (Ware et al., IMC '19,
+//!     Eqs. (2)–(4) of the paper), reimplemented as the baseline;
+//!   * [`model::two_flow`] — the paper's 2-flow model (Eqs. (5)–(20));
+//!   * [`model::multi_flow`] — the multi-flow extension with the
+//!     CUBIC-synchronized / de-synchronized bounds (Eqs. (21)–(24));
+//!   * [`model::nash`] — the Nash-equilibrium prediction (Eq. (25)).
+//! * [`game`] — game-theoretic machinery: normal-form games, the
+//!   symmetric two-strategy reduction used in §4.1, best-response
+//!   dynamics, and the multi-group generalization used for the
+//!   multi-RTT experiments (§4.5).
+//!
+//! Everything here is pure, deterministic arithmetic — no simulation.
+//! The `bbrdom-experiments` crate compares these predictions against the
+//! packet-level simulator.
+
+pub mod game;
+pub mod model;
+
+pub use model::multi_flow::{MultiFlowModel, MultiFlowPrediction, SyncMode};
+pub use model::nash::{NashPrediction, NashRegion};
+pub use model::two_flow::{TwoFlowModel, TwoFlowPrediction};
+pub use model::ware::WareModel;
+pub use model::{LinkParams, ModelError};

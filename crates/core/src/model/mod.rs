@@ -1,0 +1,119 @@
+//! Throughput models for competing CUBIC and BBR flows.
+//!
+//! All models share [`LinkParams`]: bottleneck capacity `C` (bytes/s),
+//! base RTT (s), and buffer size `B` (bytes). The paper normalizes buffer
+//! sizes by the bandwidth-delay product (BDP = `C·RTT`); constructors
+//! accept BDP multiples directly.
+
+pub mod multi_flow;
+pub mod nash;
+pub mod two_flow;
+pub mod ware;
+
+pub use multi_flow::{MultiFlowModel, MultiFlowPrediction, SyncMode};
+pub use nash::{NashPredictor, NashPrediction, NashRegion};
+pub use two_flow::{TwoFlowModel, TwoFlowPrediction};
+pub use ware::{WareModel, WarePrediction};
+
+use std::fmt;
+
+/// Shared bottleneck parameters (Table 1 of the paper: `C`, `B`, `RTT`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Bottleneck capacity, bytes per second.
+    pub capacity: f64,
+    /// Base (propagation) RTT, seconds.
+    pub rtt: f64,
+    /// Bottleneck buffer size, bytes.
+    pub buffer: f64,
+}
+
+impl LinkParams {
+    /// Construct from the paper's units: Mbps, milliseconds, and buffer
+    /// in BDP multiples.
+    pub fn from_paper_units(mbps: f64, rtt_ms: f64, buffer_bdp: f64) -> Self {
+        let capacity = mbps * 1e6 / 8.0;
+        let rtt = rtt_ms / 1e3;
+        LinkParams {
+            capacity,
+            rtt,
+            buffer: capacity * rtt * buffer_bdp,
+        }
+    }
+
+    /// Bandwidth-delay product, bytes.
+    pub fn bdp(&self) -> f64 {
+        self.capacity * self.rtt
+    }
+
+    /// Buffer size normalized to BDP multiples.
+    pub fn buffer_bdp(&self) -> f64 {
+        self.buffer / self.bdp()
+    }
+
+    /// Validate the basic sanity constraints shared by all models.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !(self.capacity.is_finite() && self.capacity > 0.0) {
+            return Err(ModelError::InvalidParameter("capacity must be positive"));
+        }
+        if !(self.rtt.is_finite() && self.rtt > 0.0) {
+            return Err(ModelError::InvalidParameter("rtt must be positive"));
+        }
+        if !(self.buffer.is_finite() && self.buffer > 0.0) {
+            return Err(ModelError::InvalidParameter("buffer must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Why a model could not produce a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelError {
+    /// A parameter is non-positive or non-finite.
+    InvalidParameter(&'static str),
+    /// The model's validity domain requires `B ≥ 1 BDP` (assumptions 1–2
+    /// of §2.3: link always full and BBR cwnd-bound).
+    BufferTooShallow,
+    /// The solver found no root in `(0, B)` — outside the model's domain.
+    NoSolution,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ModelError::BufferTooShallow => {
+                write!(f, "model requires a buffer of at least 1 BDP")
+            }
+            ModelError::NoSolution => write!(f, "no physical solution in (0, B)"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_units_conversion() {
+        let p = LinkParams::from_paper_units(100.0, 40.0, 3.0);
+        assert!((p.capacity - 12.5e6).abs() < 1.0);
+        assert!((p.rtt - 0.04).abs() < 1e-12);
+        assert!((p.bdp() - 500_000.0).abs() < 1.0);
+        assert!((p.buffer - 1_500_000.0).abs() < 1.0);
+        assert!((p.buffer_bdp() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut p = LinkParams::from_paper_units(100.0, 40.0, 3.0);
+        assert!(p.validate().is_ok());
+        p.capacity = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = LinkParams::from_paper_units(100.0, 40.0, 3.0);
+        p.rtt = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The multi-flow model (§2.4, Eqs. (21)–(24)).
+//!
+//! `N_c` CUBIC flows and `N_b` BBR flows (same base RTT) are modelled as
+//! two aggregates. The 2-flow machinery applies unchanged except for the
+//! aggregate CUBIC minimum buffer occupancy, which depends on how
+//! synchronized the CUBIC back-offs are:
+//!
+//! * **Synchronized** (Eq. (21)): every CUBIC flow backs off together —
+//!   the aggregate behaves like one big CUBIC flow, back-off factor 0.7.
+//!   For the same observed post-back-off occupancy this implies a larger
+//!   aggregate `Ŵ_max`, i.e. a *stronger* CUBIC aggregate: this bound
+//!   gives BBR its **lower** throughput edge.
+//! * **De-synchronized** (Eq. (22)): only one of `N_c` flows backs off
+//!   at a time — aggregate back-off factor `(N_c − 0.3)/N_c` (→ 1 for
+//!   many flows). The buffer never drains far during BBR's ProbeRTT, so
+//!   BBR's min-RTT estimate stays inflated, its 2×BDP⁺ cap is larger,
+//!   and BBR gets its **upper** throughput edge.
+//!
+//! Together the two bounds delimit the paper's shaded "predicted region"
+//! (Figs. 4, 5, 9). Per-flow averages come from Eqs. (23)–(24).
+
+use super::two_flow::{solve_with_gamma, TwoFlowPrediction, CUBIC_BETA};
+use super::{LinkParams, ModelError};
+
+/// Which CUBIC synchronization regime to assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// All CUBIC flows back off together (Eq. (21)) — aggregate γ = 0.7.
+    Synchronized,
+    /// One CUBIC flow backs off at a time (Eq. (22)) —
+    /// aggregate γ = (N_c − 0.3)/N_c.
+    DeSynchronized,
+}
+
+impl SyncMode {
+    pub const BOTH: [SyncMode; 2] = [SyncMode::Synchronized, SyncMode::DeSynchronized];
+
+    /// The effective aggregate back-off factor γ for `n_cubic` flows.
+    pub fn gamma(self, n_cubic: u32) -> f64 {
+        match self {
+            SyncMode::Synchronized => CUBIC_BETA,
+            SyncMode::DeSynchronized => {
+                let nc = n_cubic as f64;
+                (nc - (1.0 - CUBIC_BETA)) / nc
+            }
+        }
+    }
+}
+
+/// The multi-flow CUBIC-vs-BBR model.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiFlowModel {
+    pub link: LinkParams,
+    pub n_cubic: u32,
+    pub n_bbr: u32,
+}
+
+/// Per-flow and aggregate predictions for one synchronization bound.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiFlowPrediction {
+    pub mode: SyncMode,
+    /// Aggregate BBR bandwidth `λ̂_b`, bytes/s.
+    pub bbr_aggregate: f64,
+    /// Aggregate CUBIC bandwidth `λ̂_c`, bytes/s.
+    pub cubic_aggregate: f64,
+    /// Per-flow averages (Eqs. (23)–(24)), bytes/s.
+    pub bbr_per_flow: f64,
+    pub cubic_per_flow: f64,
+    /// Aggregate BBR buffer occupancy, bytes.
+    pub bbr_buffer: f64,
+}
+
+impl MultiFlowPrediction {
+    pub fn bbr_per_flow_mbps(&self) -> f64 {
+        self.bbr_per_flow * 8.0 / 1e6
+    }
+
+    pub fn cubic_per_flow_mbps(&self) -> f64 {
+        self.cubic_per_flow * 8.0 / 1e6
+    }
+}
+
+impl MultiFlowModel {
+    pub fn new(link: LinkParams, n_cubic: u32, n_bbr: u32) -> Self {
+        MultiFlowModel {
+            link,
+            n_cubic,
+            n_bbr,
+        }
+    }
+
+    pub fn from_paper_units(
+        mbps: f64,
+        rtt_ms: f64,
+        buffer_bdp: f64,
+        n_cubic: u32,
+        n_bbr: u32,
+    ) -> Self {
+        MultiFlowModel::new(
+            LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp),
+            n_cubic,
+            n_bbr,
+        )
+    }
+
+    /// Total number of flows.
+    pub fn n_total(&self) -> u32 {
+        self.n_cubic + self.n_bbr
+    }
+
+    /// Solve for one synchronization bound.
+    pub fn solve(&self, mode: SyncMode) -> Result<MultiFlowPrediction, ModelError> {
+        if self.n_bbr == 0 {
+            return Err(ModelError::InvalidParameter("need at least one BBR flow"));
+        }
+        if self.n_cubic == 0 {
+            // All-BBR network: the aggregate takes the whole link
+            // (the paper's point B in Fig. 6).
+            self.link.validate()?;
+            return Ok(MultiFlowPrediction {
+                mode,
+                bbr_aggregate: self.link.capacity,
+                cubic_aggregate: 0.0,
+                bbr_per_flow: self.link.capacity / self.n_bbr as f64,
+                cubic_per_flow: 0.0,
+                bbr_buffer: self.link.buffer.min(self.link.bdp()),
+            });
+        }
+        let gamma = mode.gamma(self.n_cubic);
+        let two: TwoFlowPrediction = solve_with_gamma(&self.link, gamma)?;
+        Ok(MultiFlowPrediction {
+            mode,
+            bbr_aggregate: two.bbr_bandwidth,
+            cubic_aggregate: two.cubic_bandwidth,
+            bbr_per_flow: two.bbr_bandwidth / self.n_bbr as f64,
+            cubic_per_flow: two.cubic_bandwidth / self.n_cubic as f64,
+            bbr_buffer: two.bbr_buffer,
+        })
+    }
+
+    /// Solve both bounds, returning `(synchronized, de_synchronized)` —
+    /// the edges of the paper's predicted region.
+    pub fn predicted_region(
+        &self,
+    ) -> Result<(MultiFlowPrediction, MultiFlowPrediction), ModelError> {
+        Ok((
+            self.solve(SyncMode::Synchronized)?,
+            self.solve(SyncMode::DeSynchronized)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(buffer_bdp: f64, n_cubic: u32, n_bbr: u32) -> MultiFlowModel {
+        MultiFlowModel::from_paper_units(100.0, 40.0, buffer_bdp, n_cubic, n_bbr)
+    }
+
+    #[test]
+    fn gamma_values_match_paper() {
+        assert!((SyncMode::Synchronized.gamma(5) - 0.7).abs() < 1e-12);
+        assert!((SyncMode::DeSynchronized.gamma(5) - 4.7 / 5.0).abs() < 1e-12);
+        assert!((SyncMode::DeSynchronized.gamma(10) - 9.7 / 10.0).abs() < 1e-12);
+        // One CUBIC flow de-synchronized with itself = synchronized.
+        assert!((SyncMode::DeSynchronized.gamma(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn desync_bound_gives_bbr_more_than_sync() {
+        // De-synchronized CUBIC keeps the buffer from draining during
+        // BBR's ProbeRTT, inflating BBR's min-RTT estimate and hence its
+        // 2×BDP⁺ cap ⇒ the de-synch bound is BBR's upper edge (§3.2: the
+        // measured points sat near it in the 5v5/10v10 runs).
+        let m = model(10.0, 5, 5);
+        let (sync, desync) = m.predicted_region().unwrap();
+        assert!(
+            desync.bbr_per_flow > sync.bbr_per_flow,
+            "sync={} desync={}",
+            sync.bbr_per_flow_mbps(),
+            desync.bbr_per_flow_mbps()
+        );
+    }
+
+    #[test]
+    fn per_flow_bandwidth_is_aggregate_divided_by_count() {
+        let m = model(5.0, 5, 5);
+        let p = m.solve(SyncMode::Synchronized).unwrap();
+        assert!((p.bbr_per_flow * 5.0 - p.bbr_aggregate).abs() < 1e-6);
+        assert!((p.cubic_per_flow * 5.0 - p.cubic_aggregate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregates_sum_to_capacity() {
+        for (nc, nb) in [(1, 1), (5, 5), (10, 10), (45, 5), (3, 17)] {
+            let m = model(8.0, nc, nb);
+            for mode in SyncMode::BOTH {
+                let p = m.solve(mode).unwrap();
+                let c = m.link.capacity;
+                assert!((p.bbr_aggregate + p.cubic_aggregate - c).abs() < 1e-6 * c);
+            }
+        }
+    }
+
+    #[test]
+    fn bbr_per_flow_falls_as_bbr_count_rises() {
+        // The paper's diminishing-returns result (Fig. 5): with N fixed,
+        // increasing N_b lowers BBR's per-flow share.
+        let n = 10u32;
+        let mut prev = f64::INFINITY;
+        for nb in 1..n {
+            let m = model(3.0, n - nb, nb);
+            let p = m.solve(SyncMode::Synchronized).unwrap();
+            assert!(
+                p.bbr_per_flow < prev,
+                "per-flow BBR should fall with more BBR flows (nb={nb})"
+            );
+            prev = p.bbr_per_flow;
+        }
+    }
+
+    #[test]
+    fn all_bbr_network_gets_fair_share() {
+        let m = model(3.0, 0, 10);
+        let p = m.solve(SyncMode::Synchronized).unwrap();
+        assert!((p.bbr_aggregate - m.link.capacity).abs() < 1e-9);
+        assert!((p.bbr_per_flow - m.link.capacity / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bbr_flows_rejected() {
+        assert!(model(3.0, 10, 0).solve(SyncMode::Synchronized).is_err());
+    }
+
+    #[test]
+    fn region_is_nonempty_interval() {
+        for bdp in [2.0, 3.0, 10.0, 30.0] {
+            let m = model(bdp, 10, 10);
+            let (sync, desync) = m.predicted_region().unwrap();
+            assert!(desync.bbr_per_flow >= sync.bbr_per_flow - 1e-9);
+        }
+    }
+}

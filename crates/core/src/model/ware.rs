@@ -1,0 +1,161 @@
+//! The Ware et al. model (IMC '19) — the prior state of the art the paper
+//! compares against (its Eqs. (2)–(4)).
+//!
+//! The model predicts the *aggregate* BBR fraction of the bottleneck as
+//!
+//! ```text
+//! BBR_frac  = (1 − p) · (d − Probe_time)/d                    (Eq. 2)
+//! p         = 1/2 − 1/(2X) − 4N/q                             (Eq. 3)
+//! Probe_time = (q/c + 0.2 + l) · (d/10)                        (Eq. 4)
+//! ```
+//!
+//! where `p` is CUBIC's aggregate fraction, `X` the buffer in BDP, `N`
+//! the number of BBR flows, `q` the buffer size (packets in Eq. 3, bytes
+//! over `c` in Eq. 4), `l` the base RTT, and `d` the experiment duration.
+//!
+//! The paper (§2.2) identifies the assumptions that make this model
+//! inaccurate in shallow-to-moderate buffers — the buffer is assumed
+//! always full, and BBR's RTT inflation is driven by CUBIC's *average*
+//! (in effect, maximum) occupancy rather than its minimum. We reproduce
+//! the model faithfully, inaccuracies included, as the baseline curve in
+//! Figs. 1, 3 and 4.
+
+use super::{LinkParams, ModelError};
+
+/// Packet size used to express the buffer in packets for Eq. (3).
+const PACKET_BYTES: f64 = 1500.0;
+
+/// The Ware et al. baseline model.
+#[derive(Debug, Clone, Copy)]
+pub struct WareModel {
+    pub link: LinkParams,
+    /// Number of competing BBR flows (`N`).
+    pub n_bbr: u32,
+    /// Flow duration `d`, seconds (the paper's experiments use 120 s).
+    pub duration: f64,
+}
+
+/// Prediction from the Ware model.
+#[derive(Debug, Clone, Copy)]
+pub struct WarePrediction {
+    /// Aggregate BBR throughput, bytes/s.
+    pub bbr_aggregate: f64,
+    /// Aggregate CUBIC throughput, bytes/s.
+    pub cubic_aggregate: f64,
+    /// The raw `p` of Eq. (3) before clamping.
+    pub cubic_fraction_raw: f64,
+}
+
+impl WareModel {
+    pub fn new(link: LinkParams, n_bbr: u32, duration: f64) -> Self {
+        WareModel {
+            link,
+            n_bbr,
+            duration,
+        }
+    }
+
+    /// Evaluate Eqs. (2)–(4).
+    pub fn predict(&self) -> Result<WarePrediction, ModelError> {
+        self.link.validate()?;
+        if self.n_bbr == 0 {
+            return Err(ModelError::InvalidParameter("need at least one BBR flow"));
+        }
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(ModelError::InvalidParameter("duration must be positive"));
+        }
+        let x = self.link.buffer_bdp();
+        let q_packets = self.link.buffer / PACKET_BYTES;
+        // Eq. (3)
+        let p_raw = 0.5 - 1.0 / (2.0 * x) - 4.0 * self.n_bbr as f64 / q_packets;
+        let p = p_raw.clamp(0.0, 1.0);
+        // Eq. (4): q/c is the buffer drain time; 0.2 s is ProbeRTT;
+        // l is the base RTT; one ProbeRTT every 10 s.
+        let probe_time =
+            (self.link.buffer / self.link.capacity + 0.2 + self.link.rtt) * (self.duration / 10.0);
+        let active_fraction = ((self.duration - probe_time) / self.duration).clamp(0.0, 1.0);
+        // Eq. (2)
+        let bbr_frac = ((1.0 - p) * active_fraction).clamp(0.0, 1.0);
+        Ok(WarePrediction {
+            bbr_aggregate: bbr_frac * self.link.capacity,
+            cubic_aggregate: (1.0 - bbr_frac) * self.link.capacity,
+            cubic_fraction_raw: p_raw,
+        })
+    }
+}
+
+impl WarePrediction {
+    /// Aggregate BBR throughput in Mbps (the paper's plotting unit).
+    pub fn bbr_mbps(&self) -> f64 {
+        self.bbr_aggregate * 8.0 / 1e6
+    }
+
+    pub fn cubic_mbps(&self) -> f64 {
+        self.cubic_aggregate * 8.0 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(buffer_bdp: f64) -> WareModel {
+        WareModel::new(
+            LinkParams::from_paper_units(50.0, 40.0, buffer_bdp),
+            1,
+            120.0,
+        )
+    }
+
+    #[test]
+    fn predicts_roughly_half_link_in_moderate_buffers() {
+        // Ware's signature result: BBR pins ~(1-p) ≈ half the link,
+        // regardless of the competition, less ProbeRTT time.
+        let pred = model(10.0).predict().unwrap();
+        let mbps = pred.bbr_mbps();
+        assert!((20.0..35.0).contains(&mbps), "mbps={mbps}");
+    }
+
+    #[test]
+    fn prediction_declines_with_deeper_buffers() {
+        // Deeper buffer ⇒ longer ProbeRTT drain ⇒ smaller active fraction.
+        let shallow = model(5.0).predict().unwrap().bbr_mbps();
+        let deep = model(50.0).predict().unwrap().bbr_mbps();
+        assert!(deep < shallow, "shallow={shallow} deep={deep}");
+    }
+
+    #[test]
+    fn fractions_always_physical() {
+        for bdp in [1.0, 2.0, 5.0, 10.0, 30.0, 100.0, 250.0] {
+            let pred = model(bdp).predict().unwrap();
+            assert!(pred.bbr_aggregate >= 0.0);
+            assert!(pred.bbr_aggregate <= model(bdp).link.capacity * 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_hand_computation_at_10_bdp() {
+        // 50 Mbps, 40 ms: BDP = 250 kB; B = 2.5 MB = 1666.7 pkts.
+        // p = 0.5 − 0.05 − 4/1666.67 = 0.4476
+        // Probe_time = (0.4 + 0.2 + 0.04)·12 = 7.68 s
+        // frac = 0.5524 · (112.32/120) = 0.51705 → 25.85 Mbps
+        let pred = model(10.0).predict().unwrap();
+        assert!((pred.bbr_mbps() - 25.85).abs() < 0.1, "got {}", pred.bbr_mbps());
+    }
+
+    #[test]
+    fn rejects_zero_bbr_flows() {
+        let m = WareModel::new(LinkParams::from_paper_units(50.0, 40.0, 5.0), 0, 120.0);
+        assert!(m.predict().is_err());
+    }
+
+    #[test]
+    fn insensitive_to_number_of_cubic_flows_by_construction() {
+        // The model has no N_cubic input at all — the paper's point (§2.2):
+        // it predicts a fixed BBR share regardless of CUBIC competition.
+        let a = model(10.0).predict().unwrap().bbr_mbps();
+        // (same network, conceptually different #CUBIC) — identical result.
+        let b = model(10.0).predict().unwrap().bbr_mbps();
+        assert_eq!(a, b);
+    }
+}

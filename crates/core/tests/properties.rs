@@ -1,0 +1,144 @@
+//! Property-based tests for the analytical model and game theory.
+
+use bbrdom_core::game::dynamics::{best_response_dynamics, BestResponseOutcome};
+use bbrdom_core::game::symmetric::SymmetricGame;
+use bbrdom_core::model::multi_flow::{MultiFlowModel, SyncMode};
+use bbrdom_core::model::nash::NashPredictor;
+use bbrdom_core::model::two_flow::solve_with_gamma;
+use bbrdom_core::model::LinkParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The 2-flow solution is always physical and consistent: bandwidths
+    /// non-negative and summing to capacity, buffer share within the
+    /// buffer, and the Eq. (18) residual ≈ 0.
+    #[test]
+    fn two_flow_solution_is_physical(
+        mbps in 1.0f64..2000.0,
+        rtt_ms in 1.0f64..500.0,
+        buffer_bdp in 1.0f64..300.0,
+        gamma in 0.5f64..0.99,
+    ) {
+        let link = LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp);
+        let pred = solve_with_gamma(&link, gamma).unwrap();
+        prop_assert!(pred.bbr_bandwidth >= -1e-6);
+        prop_assert!(pred.cubic_bandwidth >= -1e-6);
+        prop_assert!((pred.bbr_bandwidth + pred.cubic_bandwidth - link.capacity).abs()
+            < 1e-6 * link.capacity);
+        prop_assert!(pred.bbr_buffer >= 0.0 && pred.bbr_buffer <= link.buffer * (1.0 + 1e-9));
+        // Residual of Eq. (18).
+        let d = link.bdp();
+        let s = (link.buffer - d) / 2.0;
+        if s > 1.0 {
+            let lhs = s + s / (s + pred.bbr_buffer) * d;
+            let rhs = gamma * (link.buffer - pred.bbr_buffer
+                + (link.buffer - pred.bbr_buffer) / link.buffer * d);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * link.buffer,
+                "residual {}", lhs - rhs);
+        }
+    }
+
+    /// BDP scale invariance: the BBR *fraction* depends only on the
+    /// buffer-to-BDP ratio and γ, not on capacity or RTT individually.
+    #[test]
+    fn two_flow_scale_invariance(
+        mbps in 1.0f64..500.0,
+        rtt_ms in 1.0f64..200.0,
+        buffer_bdp in 1.0f64..100.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let a = solve_with_gamma(&LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp), 0.7).unwrap();
+        let b = solve_with_gamma(
+            &LinkParams::from_paper_units(mbps * scale, rtt_ms, buffer_bdp), 0.7).unwrap();
+        let fa = a.bbr_bandwidth / LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp).capacity;
+        let fb = b.bbr_bandwidth
+            / LinkParams::from_paper_units(mbps * scale, rtt_ms, buffer_bdp).capacity;
+        prop_assert!((fa - fb).abs() < 1e-9, "fraction {fa} vs {fb}");
+    }
+
+    /// BBR's model share decreases (weakly) with buffer depth.
+    #[test]
+    fn bbr_share_monotone_in_buffer(
+        mbps in 5.0f64..200.0,
+        rtt_ms in 5.0f64..100.0,
+        b1 in 1.0f64..100.0,
+        delta in 0.1f64..50.0,
+    ) {
+        let shallow = solve_with_gamma(
+            &LinkParams::from_paper_units(mbps, rtt_ms, b1), 0.7).unwrap();
+        let deep = solve_with_gamma(
+            &LinkParams::from_paper_units(mbps, rtt_ms, b1 + delta), 0.7).unwrap();
+        prop_assert!(deep.bbr_bandwidth <= shallow.bbr_bandwidth + 1e-6);
+    }
+
+    /// The multi-flow predicted region is a valid interval: the de-sync
+    /// bound gives BBR at least as much as the sync bound.
+    #[test]
+    fn region_ordering(
+        buffer_bdp in 1.0f64..60.0,
+        n_cubic in 1u32..30,
+        n_bbr in 1u32..30,
+    ) {
+        let m = MultiFlowModel::from_paper_units(100.0, 40.0, buffer_bdp, n_cubic, n_bbr);
+        let (sync, desync) = m.predicted_region().unwrap();
+        prop_assert!(desync.bbr_per_flow >= sync.bbr_per_flow - 1e-9);
+        prop_assert!(sync.bbr_per_flow >= 0.0);
+    }
+
+    /// The Nash predictor always returns a distribution inside [0, N],
+    /// with the sync bound retaining at least as many CUBIC flows.
+    #[test]
+    fn nash_prediction_in_range(
+        buffer_bdp in 1.0f64..80.0,
+        n in 2u32..100,
+    ) {
+        let p = NashPredictor::from_paper_units(100.0, 40.0, buffer_bdp, n);
+        let (sync, desync) = p.predict_region().unwrap();
+        for ne in [&sync, &desync] {
+            prop_assert!(ne.n_cubic >= -1e-9 && ne.n_cubic <= n as f64 + 1e-9);
+            prop_assert!((ne.n_cubic + ne.n_bbr - n as f64).abs() < 1e-6);
+        }
+        prop_assert!(sync.n_cubic >= desync.n_cubic - 1e-6);
+    }
+
+    /// Every finite symmetric two-strategy game has a pure NE (the
+    /// single-crossing walk argument), and best-response dynamics always
+    /// converge to one — never cycle.
+    #[test]
+    fn symmetric_game_always_has_pure_ne(
+        n in 2u32..30,
+        seed_curve in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 31),
+    ) {
+        let bbr: Vec<f64> = (0..=n as usize).map(|k| seed_curve[k].0).collect();
+        let cubic: Vec<f64> = (0..=n as usize).map(|k| seed_curve[k].1).collect();
+        let game = SymmetricGame::new(n, bbr, cubic);
+        let ne = game.nash_equilibria();
+        prop_assert!(!ne.is_empty(), "finite symmetric game must have a pure NE");
+        // Dynamics: from every start, convergence (no cycles possible —
+        // an up-move at k and a later down-move from k+1 would need
+        // f(k+1) > ε and f(k+1) < −ε simultaneously).
+        for start in [0, n / 2, n] {
+            let trace = best_response_dynamics(&game, start, (n as usize + 1) * (n as usize + 1));
+            prop_assert_eq!(trace.outcome, BestResponseOutcome::Converged);
+            prop_assert!(game.is_nash(trace.final_state()));
+        }
+    }
+
+    /// Nash region is (weakly) monotone: deeper buffers keep at least as
+    /// many CUBIC flows at the sync-bound equilibrium.
+    #[test]
+    fn nash_region_monotone_in_buffer(
+        b1 in 1.0f64..40.0,
+        delta in 0.5f64..40.0,
+        n in 5u32..60,
+    ) {
+        let shallow = NashPredictor::from_paper_units(50.0, 40.0, b1, n)
+            .predict(SyncMode::Synchronized).unwrap();
+        let deep = NashPredictor::from_paper_units(50.0, 40.0, b1 + delta, n)
+            .predict(SyncMode::Synchronized).unwrap();
+        prop_assert!(deep.n_cubic >= shallow.n_cubic - 1e-6,
+            "shallow {} deep {}", shallow.n_cubic, deep.n_cubic);
+    }
+}

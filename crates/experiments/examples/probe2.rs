@@ -1,0 +1,16 @@
+use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator};
+fn main() {
+    for (mbps, bdp) in [(30.0, 2.0), (30.0, 3.0), (50.0, 2.0), (50.0, 5.0)] {
+        let rate = Rate::from_mbps(mbps);
+        let rtt = SimDuration::from_millis(40);
+        let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, bdp);
+        let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(40.0)));
+        sim.add_flow(FlowConfig::new(Box::new(bbrdom_cca::Cubic::new()), rtt));
+        sim.add_flow(FlowConfig::new(Box::new(bbrdom_cca::Bbr::new(0)), rtt));
+        let r = sim.run();
+        let c = &r.flows[0]; let b = &r.flows[1];
+        println!("{mbps}Mbps {bdp}BDP: cubic={:.1} (ce={} rtos={} lost={} avg_cwnd={:.0}pkt maxcwnd={:.0} meanrtt={:.0}ms) bbr={:.1} (lost={} avgcwnd={:.0}pkt)",
+          c.throughput_mbps(), c.congestion_events, c.rtos, c.lost_packets, c.avg_cwnd_bytes/1500.0, c.max_cwnd_bytes as f64/1500.0, c.mean_rtt_secs.unwrap_or(0.0)*1e3,
+          b.throughput_mbps(), b.lost_packets, b.avg_cwnd_bytes/1500.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro all                 # every figure, quick profile
+//! repro fig03 --full        # one figure at paper scale
+//! repro 9 --out results/    # figure 9, CSVs into results/
+//! repro list                # what's available
+//! ```
+
+use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
+use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
+use bbrdom_experiments::Profile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    targets: Vec<String>,
+    profile: Profile,
+    out_dir: PathBuf,
+}
+
+/// Optional per-knob overrides applied on top of the chosen profile.
+#[derive(Default)]
+struct Overrides {
+    ne_flows: Option<u32>,
+    duration: Option<f64>,
+    trials: Option<u32>,
+    buffer_points: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = Vec::new();
+    let mut profile = Profile::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut overrides = Overrides::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => profile = Profile::full(),
+            "--quick" => profile = Profile::quick(),
+            "--smoke" => profile = Profile::smoke(),
+            "--out" => {
+                out_dir = PathBuf::from(
+                    args.next().ok_or_else(|| "--out needs a directory".to_string())?,
+                );
+            }
+            "--ne-flows" => {
+                overrides.ne_flows = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--ne-flows needs a number".to_string())?,
+                );
+            }
+            "--duration" => {
+                overrides.duration = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--duration needs seconds".to_string())?,
+                );
+            }
+            "--trials" => {
+                overrides.trials = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--trials needs a number".to_string())?,
+                );
+            }
+            "--buffer-points" => {
+                overrides.buffer_points = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--buffer-points needs a number".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'\n{}", usage()));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return Err(usage());
+    }
+    if let Some(n) = overrides.ne_flows {
+        profile.ne_flows = n;
+    }
+    if let Some(d) = overrides.duration {
+        profile.duration_secs = d;
+    }
+    if let Some(t) = overrides.trials {
+        profile.trials = t;
+        profile.ne_trials = t;
+    }
+    if let Some(b) = overrides.buffer_points {
+        profile.buffer_points = b;
+    }
+    Ok(Args {
+        targets,
+        profile,
+        out_dir,
+    })
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro <figure>... [--full|--quick|--smoke] [--out DIR]\n\
+         \n\
+         figures: {}  (or 'all', or bare numbers like '3')\n\
+         extensions: {}  (or 'ext' for all of them)\n\
+         profiles: --quick (default, minutes), --full (paper scale), --smoke (seconds)\n\
+         overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n",
+        ALL_FIGURES.join(" "),
+        ALL_EXTENSIONS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.targets.iter().any(|t| t == "list") {
+        println!("{}", ALL_FIGURES.join("\n"));
+        return ExitCode::SUCCESS;
+    }
+    let mut targets: Vec<String> = Vec::new();
+    for t in &args.targets {
+        match t.as_str() {
+            "all" => {
+                targets.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+            }
+            "ext" => {
+                targets.extend(ALL_EXTENSIONS.iter().map(|s| s.to_string()));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    for target in &targets {
+        eprintln!("== running {target} ==");
+        let started = std::time::Instant::now();
+        match run_figure(target, &args.profile)
+            .or_else(|| run_extension(target, &args.profile))
+        {
+            Some(result) => {
+                print!("{}", result.render());
+                match result.write_csvs(&args.out_dir) {
+                    Ok(paths) => {
+                        for p in paths {
+                            eprintln!("wrote {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error writing CSVs for {target}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                eprintln!(
+                    "== {target} done in {:.1}s ==",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("unknown figure '{target}'\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

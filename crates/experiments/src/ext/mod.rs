@@ -1,0 +1,44 @@
+//! Extension experiments beyond the paper's figures — each one explores
+//! a question the paper raises but leaves open:
+//!
+//! | Module | Paper hook | Question |
+//! |---|---|---|
+//! | [`aqm`] | §1/§5 (AQMs, buffer sizing) | Does the CUBIC/BBR split — and the Nash mix — survive RED and CoDel bottlenecks? |
+//! | [`ternary`] | §4.2 (future work: >2 CCAs) | Where does a three-strategy CUBIC/BBR/BBRv2 game settle? |
+//! | [`shortflows`] | §5 (future work: diverse workloads) | How do short-flow completion times change as the long-flow mix shifts from CUBIC to BBR? |
+//! | [`utility`] | §4.3 (complex utility functions) | Do Nash equilibria persist under `u = throughput − w·delay`? |
+//!
+//! All are runnable through the `repro` binary: `repro ext-aqm`,
+//! `repro ext-ternary`, `repro ext-shortflows`, `repro ext-utility`.
+
+pub mod aqm;
+pub mod shortflows;
+pub mod ternary;
+pub mod utility;
+
+use crate::figs::FigResult;
+use crate::profile::Profile;
+
+/// All extension experiment ids.
+pub const ALL_EXTENSIONS: [&str; 4] = ["ext-aqm", "ext-ternary", "ext-shortflows", "ext-utility"];
+
+/// Run an extension experiment by id.
+pub fn run_extension(id: &str, profile: &Profile) -> Option<FigResult> {
+    match id {
+        "ext-aqm" => Some(aqm::run(profile)),
+        "ext-ternary" => Some(ternary::run(profile)),
+        "ext-shortflows" => Some(shortflows::run(profile)),
+        "ext-utility" => Some(utility::run(profile)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_extension_is_none() {
+        assert!(run_extension("ext-nope", &Profile::smoke()).is_none());
+    }
+}

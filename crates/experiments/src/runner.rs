@@ -1,0 +1,104 @@
+//! Parallel scenario execution.
+//!
+//! Simulations are CPU-bound and independent, so we fan out over OS
+//! threads with crossbeam's scoped threads (per the networking guides:
+//! an async runtime buys nothing for compute-bound work). Results come
+//! back in input order regardless of completion order.
+
+use crate::scenario::{Scenario, TrialResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Run all scenarios, in parallel, returning results in input order.
+pub fn run_all(scenarios: &[Scenario]) -> Vec<TrialResult> {
+    run_all_with_workers(scenarios, default_workers())
+}
+
+/// Run with an explicit worker count (tests use 2 for determinism of
+/// resource use; results are order-stable regardless).
+pub fn run_all_with_workers(scenarios: &[Scenario], workers: usize) -> Vec<TrialResult> {
+    let workers = workers.max(1).min(scenarios.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<TrialResult>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let result = scenarios[i].run();
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scenario not executed")
+        })
+        .collect()
+}
+
+/// Convenience: run `trials` seeds of a scenario template and return the
+/// per-seed results. `make` receives the seed.
+pub fn run_trials<F>(trials: u32, make: F) -> Vec<TrialResult>
+where
+    F: Fn(u64) -> Scenario,
+{
+    let scenarios: Vec<Scenario> = (0..trials as u64).map(make).collect();
+    run_all(&scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbrdom_cca::CcaKind;
+
+    fn tiny(seed: u64) -> Scenario {
+        Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 3.0, seed)
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let scenarios: Vec<Scenario> = (0..6).map(tiny).collect();
+        let parallel = run_all_with_workers(&scenarios, 4);
+        let serial: Vec<_> = scenarios.iter().map(|s| s.run()).collect();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.throughput_mbps, s.throughput_mbps);
+        }
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        let results = run_all_with_workers(&scenarios, 1);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn run_trials_uses_distinct_seeds() {
+        let results = run_trials(3, tiny);
+        assert_eq!(results.len(), 3);
+        assert_ne!(results[0].throughput_mbps, results[1].throughput_mbps);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let results = run_all(&[]);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] captures everything one simulator run needs — link,
+//! buffer, flow list, duration, and a seed — and produces a
+//! [`TrialResult`] with the measurements the figures consume. Seeds make
+//! trials reproducible: the same scenario + seed is bit-identical.
+
+use bbrdom_cca::CcaKind;
+use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, SimTime, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One flow in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Which congestion-control algorithm the flow runs.
+    pub cca: CcaKindSpec,
+    /// Base RTT in milliseconds.
+    pub rtt_ms: f64,
+    /// Application start time, seconds (on top of the seed jitter).
+    #[serde(default)]
+    pub start_s: f64,
+    /// Finite transfer size in bytes (`None` = backlogged long flow).
+    #[serde(default)]
+    pub byte_limit: Option<u64>,
+}
+
+impl FlowSpec {
+    /// A backlogged long flow starting at t≈0.
+    pub fn long(cca: CcaKind, rtt_ms: f64) -> Self {
+        FlowSpec {
+            cca: cca.into(),
+            rtt_ms,
+            start_s: 0.0,
+            byte_limit: None,
+        }
+    }
+
+    /// A finite transfer of `bytes`, starting at `start_s`.
+    pub fn short(cca: CcaKind, rtt_ms: f64, start_s: f64, bytes: u64) -> Self {
+        FlowSpec {
+            cca: cca.into(),
+            rtt_ms,
+            start_s,
+            byte_limit: Some(bytes),
+        }
+    }
+}
+
+/// Serializable bottleneck queue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum DisciplineSpec {
+    #[default]
+    DropTail,
+    /// RED with the classic parameterization for the buffer capacity.
+    Red,
+    /// CoDel with RFC 8289 defaults (5 ms / 100 ms).
+    Codel,
+}
+
+impl DisciplineSpec {
+    pub fn name(self) -> &'static str {
+        match self {
+            DisciplineSpec::DropTail => "droptail",
+            DisciplineSpec::Red => "red",
+            DisciplineSpec::Codel => "codel",
+        }
+    }
+
+    fn to_discipline(self, buffer_bytes: u64) -> bbrdom_netsim::QueueDiscipline {
+        use bbrdom_netsim::{CodelConfig, QueueDiscipline, RedConfig};
+        match self {
+            DisciplineSpec::DropTail => QueueDiscipline::DropTail,
+            DisciplineSpec::Red => QueueDiscipline::Red(RedConfig::for_capacity(buffer_bytes)),
+            DisciplineSpec::Codel => QueueDiscipline::Codel(CodelConfig::default()),
+        }
+    }
+}
+
+/// Serializable mirror of [`CcaKind`] (keeps serde out of the cca crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum CcaKindSpec {
+    Cubic,
+    NewReno,
+    Bbr,
+    BbrV2,
+    Copa,
+    Vivace,
+    Vegas,
+}
+
+impl From<CcaKind> for CcaKindSpec {
+    fn from(k: CcaKind) -> Self {
+        match k {
+            CcaKind::Cubic => CcaKindSpec::Cubic,
+            CcaKind::NewReno => CcaKindSpec::NewReno,
+            CcaKind::Bbr => CcaKindSpec::Bbr,
+            CcaKind::BbrV2 => CcaKindSpec::BbrV2,
+            CcaKind::Copa => CcaKindSpec::Copa,
+            CcaKind::Vivace => CcaKindSpec::Vivace,
+            CcaKind::Vegas => CcaKindSpec::Vegas,
+        }
+    }
+}
+
+impl From<CcaKindSpec> for CcaKind {
+    fn from(k: CcaKindSpec) -> Self {
+        match k {
+            CcaKindSpec::Cubic => CcaKind::Cubic,
+            CcaKindSpec::NewReno => CcaKind::NewReno,
+            CcaKindSpec::Bbr => CcaKind::Bbr,
+            CcaKindSpec::BbrV2 => CcaKind::BbrV2,
+            CcaKindSpec::Copa => CcaKind::Copa,
+            CcaKindSpec::Vivace => CcaKind::Vivace,
+            CcaKindSpec::Vegas => CcaKind::Vegas,
+        }
+    }
+}
+
+/// A complete, runnable experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Bottleneck rate, Mbps.
+    pub mbps: f64,
+    /// Buffer size in BDP multiples of the *reference RTT*.
+    pub buffer_bdp: f64,
+    /// Reference RTT (ms) used for the BDP normalization. For same-RTT
+    /// scenarios this equals every flow's RTT; for multi-RTT scenarios
+    /// the paper normalizes by the shortest RTT.
+    pub reference_rtt_ms: f64,
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// Simulated seconds.
+    pub duration_secs: f64,
+    /// Trial seed: start-time jitter and per-flow CCA phase seeds.
+    pub seed: u64,
+    /// Bottleneck queue discipline (default drop-tail, as in the paper).
+    #[serde(default)]
+    pub discipline: DisciplineSpec,
+}
+
+/// Measurements from one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Per-flow throughput, Mbps (same order as `Scenario::flows`).
+    pub throughput_mbps: Vec<f64>,
+    /// Per-flow CC names.
+    pub cc_names: Vec<String>,
+    /// Per-flow average bottleneck-buffer occupancy, bytes.
+    pub avg_queue_occupancy_bytes: Vec<f64>,
+    /// Per-flow congestion-event (back-off) timestamps, seconds.
+    pub backoff_times_secs: Vec<Vec<f64>>,
+    /// Average queuing delay, milliseconds.
+    pub avg_queuing_delay_ms: f64,
+    /// Link utilization over the measurement window.
+    pub utilization: f64,
+    /// Total drops at the bottleneck.
+    pub dropped_packets: u64,
+    /// Drops made by the AQM (RED/CoDel), if any.
+    pub aqm_drops: u64,
+    /// Per-flow completion time, seconds from flow start (finite flows
+    /// that completed only).
+    pub completion_times_secs: Vec<Option<f64>>,
+}
+
+impl Scenario {
+    /// A same-RTT scenario with `n_cubic` CUBIC flows and `n_x` flows of
+    /// algorithm `x` — the shape of most of the paper's experiments.
+    pub fn versus(
+        mbps: f64,
+        rtt_ms: f64,
+        buffer_bdp: f64,
+        n_cubic: u32,
+        x: CcaKind,
+        n_x: u32,
+        duration_secs: f64,
+        seed: u64,
+    ) -> Self {
+        let mut flows = Vec::with_capacity((n_cubic + n_x) as usize);
+        for _ in 0..n_cubic {
+            flows.push(FlowSpec::long(CcaKind::Cubic, rtt_ms));
+        }
+        for _ in 0..n_x {
+            flows.push(FlowSpec::long(x, rtt_ms));
+        }
+        Scenario {
+            mbps,
+            buffer_bdp,
+            reference_rtt_ms: rtt_ms,
+            flows,
+            duration_secs,
+            seed,
+            discipline: DisciplineSpec::DropTail,
+        }
+    }
+
+    /// Replace the bottleneck discipline.
+    pub fn with_discipline(mut self, d: DisciplineSpec) -> Self {
+        self.discipline = d;
+        self
+    }
+
+    /// Number of flows running `cca`.
+    pub fn count_of(&self, cca: CcaKind) -> usize {
+        let spec: CcaKindSpec = cca.into();
+        self.flows.iter().filter(|f| f.cca == spec).count()
+    }
+
+    /// Run the scenario through the simulator.
+    pub fn run(&self) -> TrialResult {
+        assert!(!self.flows.is_empty(), "scenario needs flows");
+        let rate = Rate::from_mbps(self.mbps);
+        let ref_rtt = SimDuration::from_secs_f64(self.reference_rtt_ms / 1e3);
+        let buffer = bbrdom_netsim::units::buffer_bytes(rate, ref_rtt, self.buffer_bdp);
+        let cfg = SimConfig::new(
+            rate,
+            buffer,
+            SimDuration::from_secs_f64(self.duration_secs),
+        )
+        .with_discipline(self.discipline.to_discipline(buffer))
+        // 100 µs of ACK-path timing noise: real hosts are never
+        // phase-locked; without this a deterministic simulator drops only
+        // the growing flow's marginal packets and inverts TCP's RTT bias
+        // (see `SimConfig::ack_jitter`).
+        .with_ack_jitter(SimDuration::from_micros(100), self.seed);
+        let mut sim = Simulator::new(cfg);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for (i, f) in self.flows.iter().enumerate() {
+            let kind: CcaKind = f.cca.into();
+            // Per-flow phase seed: decorrelates BBR gain-cycle phases and
+            // BBRv2 probe spacing across flows and across trials.
+            let cca_seed = self.seed.wrapping_mul(1000).wrapping_add(i as u64);
+            let cc = kind.build(cca_seed);
+            let rtt = SimDuration::from_secs_f64(f.rtt_ms / 1e3);
+            // The paper starts all flows simultaneously; we jitter within
+            // one reference RTT so "simultaneous" trials still differ by
+            // seed (the testbed's natural noise).
+            let jitter = rng.gen_range(0.0..ref_rtt.as_secs_f64().max(1e-6));
+            let mut fc = FlowConfig::new(cc, rtt)
+                .starting_at(SimTime::from_secs_f64(f.start_s + jitter));
+            if let Some(limit) = f.byte_limit {
+                fc = fc.with_byte_limit(limit);
+            }
+            sim.add_flow(fc);
+        }
+        let report = sim.run();
+        TrialResult {
+            throughput_mbps: report.flows.iter().map(|f| f.throughput_mbps()).collect(),
+            cc_names: report.flows.iter().map(|f| f.cc_name.clone()).collect(),
+            avg_queue_occupancy_bytes: report
+                .flows
+                .iter()
+                .map(|f| f.avg_queue_occupancy_bytes)
+                .collect(),
+            backoff_times_secs: report
+                .flows
+                .iter()
+                .map(|f| f.backoff_times_secs.clone())
+                .collect(),
+            avg_queuing_delay_ms: report.queue.avg_queuing_delay_secs * 1e3,
+            utilization: report.queue.utilization,
+            dropped_packets: report.queue.dropped_packets,
+            aqm_drops: report.queue.aqm_drops,
+            completion_times_secs: report
+                .flows
+                .iter()
+                .map(|f| f.completion_time_secs)
+                .collect(),
+        }
+    }
+}
+
+impl TrialResult {
+    /// Mean throughput (Mbps) over flows whose CC name matches.
+    pub fn mean_throughput_of(&self, cc_name: &str) -> Option<f64> {
+        let v: Vec<f64> = self
+            .cc_names
+            .iter()
+            .zip(&self.throughput_mbps)
+            .filter(|(n, _)| n.as_str() == cc_name)
+            .map(|(_, t)| *t)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// Aggregate throughput (Mbps) over flows whose CC name matches.
+    pub fn total_throughput_of(&self, cc_name: &str) -> f64 {
+        self.cc_names
+            .iter()
+            .zip(&self.throughput_mbps)
+            .filter(|(n, _)| n.as_str() == cc_name)
+            .map(|(_, t)| *t)
+            .sum()
+    }
+
+    /// Total throughput of all flows, Mbps.
+    pub fn total_throughput(&self) -> f64 {
+        self.throughput_mbps.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versus_builds_expected_flow_list() {
+        let s = Scenario::versus(100.0, 40.0, 3.0, 5, CcaKind::Bbr, 5, 10.0, 1);
+        assert_eq!(s.flows.len(), 10);
+        assert_eq!(s.count_of(CcaKind::Cubic), 5);
+        assert_eq!(s.count_of(CcaKind::Bbr), 5);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 42);
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a.throughput_mbps, b.throughput_mbps);
+        assert_eq!(a.dropped_packets, b.dropped_packets);
+    }
+
+    #[test]
+    fn different_seed_different_result() {
+        let a = Scenario::versus(10.0, 20.0, 1.0, 1, CcaKind::Bbr, 1, 5.0, 1).run();
+        let b = Scenario::versus(10.0, 20.0, 1.0, 1, CcaKind::Bbr, 1, 5.0, 2).run();
+        // Throughputs are extremely unlikely to match bit-for-bit.
+        assert_ne!(a.throughput_mbps, b.throughput_mbps);
+    }
+
+    #[test]
+    fn result_accessors_aggregate_by_cc() {
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 7);
+        let r = s.run();
+        let cubic = r.mean_throughput_of("cubic").unwrap();
+        let bbr = r.mean_throughput_of("bbr").unwrap();
+        assert!(cubic > 0.0 && bbr > 0.0);
+        assert!(r.mean_throughput_of("copa").is_none());
+        assert!((r.total_throughput() - cubic - bbr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_serde() {
+        let s = Scenario::versus(100.0, 40.0, 3.0, 2, CcaKind::Vivace, 3, 10.0, 5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.flows.len(), 5);
+        assert_eq!(back.count_of(CcaKind::Vivace), 3);
+    }
+}

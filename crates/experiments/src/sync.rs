@@ -1,0 +1,116 @@
+//! CUBIC loss-synchronization measurement.
+//!
+//! The multi-flow model brackets reality between a *synchronized* and a
+//! *de-synchronized* CUBIC bound (§2.4); the paper verifies from traces
+//! which regime each experiment was in (§3.2, §3.3) and conjectures that
+//! BBR's coordinated ProbeRTT exits force CUBIC synchronization (§5).
+//!
+//! We quantify synchronization directly from back-off timestamps: two
+//! back-offs are *coincident* if they fall within one RTT of each other.
+//! The synchronization index of a trial is the mean, over back-off
+//! events, of the fraction of CUBIC flows that backed off coincidentally
+//! — 1.0 when all flows always back off together, → 1/N_c when they
+//! never do.
+
+/// Synchronization index over per-flow back-off time series.
+///
+/// `backoffs[i]` is flow `i`'s back-off timestamps (seconds, sorted or
+/// not); `window_secs` is the coincidence window (use the base RTT).
+/// Returns `None` if no flow ever backed off.
+pub fn synchronization_index(backoffs: &[Vec<f64>], window_secs: f64) -> Option<f64> {
+    let n = backoffs.len();
+    if n == 0 {
+        return None;
+    }
+    let mut sorted: Vec<Vec<f64>> = backoffs.to_vec();
+    for s in &mut sorted {
+        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN backoff time"));
+    }
+    let mut total_events = 0usize;
+    let mut coincident_fraction_sum = 0.0;
+    for (i, times) in sorted.iter().enumerate() {
+        for &t in times {
+            let mut coincident = 0usize;
+            for (j, other) in sorted.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                // Binary search for any event within the window.
+                let lo = other.partition_point(|&x| x < t - window_secs);
+                if lo < other.len() && other[lo] <= t + window_secs {
+                    coincident += 1;
+                }
+            }
+            total_events += 1;
+            coincident_fraction_sum += (coincident + 1) as f64 / n as f64;
+        }
+    }
+    if total_events == 0 {
+        None
+    } else {
+        Some(coincident_fraction_sum / total_events as f64)
+    }
+}
+
+/// Classify a trial against the model's two bounds: `true` means the
+/// measured index is nearer full synchronization than de-synchronization.
+pub fn looks_synchronized(index: f64, n_cubic: usize) -> bool {
+    if n_cubic <= 1 {
+        return true;
+    }
+    let desync_level = 1.0 / n_cubic as f64;
+    let midpoint = 0.5 * (1.0 + desync_level);
+    index >= midpoint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_synchronized_flows_score_one() {
+        let backoffs = vec![
+            vec![1.0, 5.0, 9.0],
+            vec![1.01, 5.01, 9.01],
+            vec![0.99, 4.99, 8.99],
+        ];
+        let idx = synchronization_index(&backoffs, 0.05).unwrap();
+        assert!((idx - 1.0).abs() < 1e-9, "idx={idx}");
+    }
+
+    #[test]
+    fn fully_desynchronized_flows_score_one_over_n() {
+        let backoffs = vec![vec![1.0, 10.0], vec![4.0, 13.0], vec![7.0, 16.0]];
+        let idx = synchronization_index(&backoffs, 0.05).unwrap();
+        assert!((idx - 1.0 / 3.0).abs() < 1e-9, "idx={idx}");
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(synchronization_index(&[], 0.05).is_none());
+        assert!(synchronization_index(&[vec![], vec![]], 0.05).is_none());
+    }
+
+    #[test]
+    fn partial_synchronization_in_between() {
+        // Flows 0 and 1 synchronized; flow 2 off on its own.
+        let backoffs = vec![vec![1.0, 5.0], vec![1.0, 5.0], vec![3.0, 7.0]];
+        let idx = synchronization_index(&backoffs, 0.05).unwrap();
+        assert!(idx > 1.0 / 3.0 && idx < 1.0, "idx={idx}");
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert!(looks_synchronized(0.95, 5));
+        assert!(!looks_synchronized(0.3, 5));
+        // Single CUBIC flow is trivially "synchronized with itself".
+        assert!(looks_synchronized(0.0, 1));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let backoffs = vec![vec![9.0, 1.0, 5.0], vec![5.01, 0.99, 9.01]];
+        let idx = synchronization_index(&backoffs, 0.05).unwrap();
+        assert!((idx - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Active queue management disciplines for the bottleneck.
+//!
+//! The paper's introduction and §5 argue that a mixed CUBIC/BBR Internet
+//! forces a rethink of in-network machinery — buffer sizing rules and
+//! AQMs were derived for loss-based flows. This module supplies the two
+//! canonical AQMs so the repository can *test* that claim (see the
+//! `ext-aqm` experiment): how the CUBIC/BBR split and the Nash mix move
+//! when the drop-tail FIFO is replaced by RED or CoDel.
+//!
+//! * **RED** (Floyd & Jacobson '93): probabilistic early drop on an
+//!   EWMA of the queue length. We use the *deterministic* count-based
+//!   variant (drop every ⌈1/p_b⌉-th eligible packet), keeping the
+//!   simulator bit-reproducible without an RNG in the data path; this
+//!   is the same inter-drop spacing RED's `count` mechanism targets in
+//!   expectation.
+//! * **CoDel** (RFC 8289): sojourn-time-based head drop with the
+//!   square-root control law.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Queue discipline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueDiscipline {
+    /// Plain drop-tail FIFO (the paper's setting).
+    DropTail,
+    /// Random Early Detection with byte-based EWMA thresholds.
+    Red(RedConfig),
+    /// CoDel head-drop AQM.
+    Codel(CodelConfig),
+}
+
+impl QueueDiscipline {
+    /// The discipline's short name (for tables/CSV).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueDiscipline::DropTail => "droptail",
+            QueueDiscipline::Red(_) => "red",
+            QueueDiscipline::Codel(_) => "codel",
+        }
+    }
+}
+
+/// RED parameters (byte units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// EWMA low threshold: below this, never drop.
+    pub min_thresh_bytes: f64,
+    /// EWMA high threshold: above this, always drop.
+    pub max_thresh_bytes: f64,
+    /// Drop probability at the high threshold.
+    pub max_p: f64,
+    /// EWMA weight per arrival.
+    pub weight: f64,
+}
+
+impl RedConfig {
+    /// The classic parameterization for a buffer of `capacity` bytes:
+    /// thresholds at 25% / 75%, `max_p` = 0.1, weight 0.002.
+    pub fn for_capacity(capacity_bytes: u64) -> Self {
+        RedConfig {
+            min_thresh_bytes: capacity_bytes as f64 * 0.25,
+            max_thresh_bytes: capacity_bytes as f64 * 0.75,
+            max_p: 0.1,
+            weight: 0.002,
+        }
+    }
+}
+
+/// CoDel parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodelConfig {
+    /// Target sojourn time (RFC 8289 default: 5 ms).
+    pub target: SimDuration,
+    /// Sliding window over which the target must be exceeded
+    /// (RFC 8289 default: 100 ms).
+    pub interval: SimDuration,
+}
+
+impl Default for CodelConfig {
+    fn default() -> Self {
+        CodelConfig {
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// RED runtime state (deterministic count-based variant).
+#[derive(Debug, Clone, Default)]
+pub struct RedState {
+    avg: f64,
+    /// Packets since the last early drop.
+    count_since_drop: u64,
+}
+
+impl RedState {
+    /// Update the EWMA with the instantaneous queue length and decide
+    /// whether this arriving packet should be early-dropped.
+    pub fn on_arrival(&mut self, cfg: &RedConfig, queue_bytes: u64) -> bool {
+        self.avg = (1.0 - cfg.weight) * self.avg + cfg.weight * queue_bytes as f64;
+        if self.avg < cfg.min_thresh_bytes {
+            self.count_since_drop = 0;
+            return false;
+        }
+        if self.avg >= cfg.max_thresh_bytes {
+            self.count_since_drop = 0;
+            return true;
+        }
+        let p = cfg.max_p * (self.avg - cfg.min_thresh_bytes)
+            / (cfg.max_thresh_bytes - cfg.min_thresh_bytes);
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.count_since_drop += 1;
+        if p > 0.0 && self.count_since_drop as f64 >= 1.0 / p {
+            self.count_since_drop = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Current EWMA of the queue length, bytes.
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+}
+
+/// CoDel runtime state (RFC 8289 control law).
+#[derive(Debug, Clone, Default)]
+pub struct CodelState {
+    /// When the sojourn time first went above target, if it is above.
+    first_above: Option<SimTime>,
+    /// Next scheduled drop while in the dropping state.
+    drop_next: SimTime,
+    /// Drops in the current dropping episode.
+    count: u32,
+    dropping: bool,
+}
+
+impl CodelState {
+    /// Decide whether the head packet (with the given sojourn time)
+    /// should be dropped at dequeue time `now`.
+    pub fn on_dequeue(&mut self, cfg: &CodelConfig, now: SimTime, sojourn: SimDuration) -> bool {
+        let ok_to_drop = if sojourn < cfg.target {
+            self.first_above = None;
+            false
+        } else {
+            match self.first_above {
+                None => {
+                    self.first_above = Some(now + cfg.interval);
+                    false
+                }
+                Some(t) => now >= t,
+            }
+        };
+
+        if self.dropping {
+            if sojourn < cfg.target {
+                self.dropping = false;
+                false
+            } else if now >= self.drop_next {
+                self.count += 1;
+                self.drop_next = self.drop_next + Self::backoff(cfg.interval, self.count);
+                true
+            } else {
+                false
+            }
+        } else if ok_to_drop {
+            self.dropping = true;
+            // RFC 8289: resume from a recent episode's count to converge
+            // faster; we restart at the prior count minus 2 if recent.
+            self.count = if self.count > 2 && now.saturating_since(self.drop_next)
+                < SimDuration(cfg.interval.0 * 16)
+            {
+                self.count - 2
+            } else {
+                1
+            };
+            self.drop_next = now + Self::backoff(cfg.interval, self.count);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `interval / sqrt(count)`.
+    fn backoff(interval: SimDuration, count: u32) -> SimDuration {
+        SimDuration((interval.0 as f64 / (count.max(1) as f64).sqrt()) as u64)
+    }
+
+    pub fn is_dropping(&self) -> bool {
+        self.dropping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_never_drops_below_min_threshold() {
+        let cfg = RedConfig::for_capacity(100_000);
+        let mut red = RedState::default();
+        for _ in 0..1000 {
+            assert!(!red.on_arrival(&cfg, 10_000)); // 10% << 25% min
+        }
+    }
+
+    #[test]
+    fn red_always_drops_when_ewma_above_max() {
+        let cfg = RedConfig {
+            min_thresh_bytes: 1000.0,
+            max_thresh_bytes: 2000.0,
+            max_p: 0.1,
+            weight: 1.0, // instant EWMA for the test
+        };
+        let mut red = RedState::default();
+        assert!(red.on_arrival(&cfg, 5000));
+    }
+
+    #[test]
+    fn red_drop_spacing_matches_probability() {
+        // With the EWMA pinned midway, p = max_p/2 = 0.05 → one drop
+        // every 20 packets.
+        let cfg = RedConfig {
+            min_thresh_bytes: 0.0,
+            max_thresh_bytes: 2000.0,
+            max_p: 0.1,
+            weight: 0.0, // frozen EWMA
+        };
+        let mut red = RedState { avg: 1000.0, count_since_drop: 0 };
+        let drops: usize = (0..200).filter(|_| red.on_arrival(&cfg, 1000)).count();
+        assert_eq!(drops, 10, "expected 1-in-20 drop spacing");
+    }
+
+    #[test]
+    fn codel_stays_quiet_below_target() {
+        let cfg = CodelConfig::default();
+        let mut codel = CodelState::default();
+        for i in 0..100 {
+            let now = SimTime::from_secs_f64(i as f64 * 0.01);
+            assert!(!codel.on_dequeue(&cfg, now, SimDuration::from_millis(2)));
+        }
+        assert!(!codel.is_dropping());
+    }
+
+    #[test]
+    fn codel_enters_dropping_after_sustained_excess() {
+        let cfg = CodelConfig::default();
+        let mut codel = CodelState::default();
+        let mut dropped = 0;
+        // 300 ms of 20 ms sojourn at 1 ms spacing.
+        for i in 0..300 {
+            let now = SimTime::from_secs_f64(i as f64 * 0.001);
+            if codel.on_dequeue(&cfg, now, SimDuration::from_millis(20)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 2, "expected several CoDel drops, got {dropped}");
+        assert!(codel.is_dropping());
+    }
+
+    #[test]
+    fn codel_exits_dropping_when_queue_drains() {
+        let cfg = CodelConfig::default();
+        let mut codel = CodelState::default();
+        for i in 0..300 {
+            let now = SimTime::from_secs_f64(i as f64 * 0.001);
+            codel.on_dequeue(&cfg, now, SimDuration::from_millis(20));
+        }
+        assert!(codel.is_dropping());
+        assert!(!codel.on_dequeue(
+            &cfg,
+            SimTime::from_secs_f64(1.0),
+            SimDuration::from_millis(1)
+        ));
+        assert!(!codel.is_dropping());
+    }
+
+    #[test]
+    fn discipline_names() {
+        assert_eq!(QueueDiscipline::DropTail.name(), "droptail");
+        assert_eq!(
+            QueueDiscipline::Red(RedConfig::for_capacity(1000)).name(),
+            "red"
+        );
+        assert_eq!(
+            QueueDiscipline::Codel(CodelConfig::default()).name(),
+            "codel"
+        );
+    }
+}

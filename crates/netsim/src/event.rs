@@ -1,0 +1,141 @@
+//! The discrete-event engine: a time-ordered queue of simulation events.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous
+//! events fire in insertion order and every run is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+
+/// Everything that can happen in the simulator.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A flow's application starts sending.
+    FlowStart(FlowId),
+    /// A paced flow may release its next packet.
+    Pacing(FlowId),
+    /// The bottleneck link finished serializing the packet in service.
+    LinkDequeue,
+    /// An ACK for `packet` reaches its sender (receiver behaviour — ACK per
+    /// packet, immediate — is folded into scheduling this event).
+    AckArrive(Packet),
+    /// A flow's retransmission timer may have expired (lazy-cancelled:
+    /// the flow re-checks its actual deadline).
+    RtoCheck(FlowId),
+    /// Periodic statistics sample (queue time series).
+    StatsSample,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic min-heap of [`Event`]s keyed by time.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue);
+        q.schedule(SimTime::from_secs_f64(1.0), Event::FlowStart(FlowId(0)));
+        q.schedule(SimTime::from_secs_f64(3.0), Event::StatsSample);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_secs_f64(1.0));
+        assert!(matches!(e1, Event::FlowStart(FlowId(0))));
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs_f64(2.0));
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, SimTime::from_secs_f64(3.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..10 {
+            q.schedule(t, Event::FlowStart(FlowId(i)));
+        }
+        for i in 0..10 {
+            let (_, e) = q.pop().unwrap();
+            match e {
+                Event::FlowStart(f) => assert_eq!(f, FlowId(i)),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::ZERO + SimDuration::from_millis(5), Event::StatsSample);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(0.005)));
+    }
+}

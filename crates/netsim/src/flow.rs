@@ -1,0 +1,550 @@
+//! Flow endpoints: a backlogged sender with SACK-style loss detection,
+//! fast retransmit, RTO fallback, optional pacing — plus the (trivial)
+//! receiver, folded into the same struct.
+//!
+//! The transport is deliberately a *minimal faithful* TCP data path:
+//!
+//! * per-packet ACKs (equivalent to SACK with no ACK compression),
+//! * dup-threshold (3) loss marking — exact in this topology because the
+//!   bottleneck is FIFO, so per-flow delivery is in order and a gap in the
+//!   ACK stream can only mean a drop,
+//! * at most one congestion event per round trip (fast-recovery
+//!   semantics: losses of packets sent before the last back-off do not
+//!   back off again),
+//! * RTO (`srtt + 4·rttvar`, floored) as the deadlock-free fallback when
+//!   an entire window is lost.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cc::{AckSample, CongestionControl, FlowView};
+use crate::event::{Event, EventQueue};
+use crate::packet::{FlowId, Packet};
+use crate::queue::{DropTailQueue, Offer};
+use crate::stats::FlowStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Minimum retransmission timeout. Linux uses 200 ms; we keep that floor.
+const MIN_RTO: SimDuration = SimDuration(200_000_000);
+/// Maximum retransmission timeout.
+const MAX_RTO: SimDuration = SimDuration(60_000_000_000);
+/// Dup-ACK threshold for loss marking.
+const DUP_THRESH: u8 = 3;
+
+/// Scoreboard entry for one outstanding sequence number.
+#[derive(Debug, Clone, Copy)]
+struct SentPacket {
+    size: u64,
+    sent_time: SimTime,
+    /// Monotonic per-flow transmission counter. Dup-ACK loss marking is
+    /// RACK-like: an ACK only bumps the dup counter of packets that were
+    /// transmitted *before* the ACKed packet, so a retransmission is never
+    /// spuriously re-marked by ACKs of data sent before it.
+    txid: u64,
+    is_retransmit: bool,
+    delivered_at_send: u64,
+    delivered_time_at_send: SimTime,
+    /// Number of later-sequence packets ACKed since this was sent.
+    dup_count: u8,
+    /// Declared lost, awaiting (or undergoing) retransmission.
+    marked_lost: bool,
+}
+
+/// One flow: sender state machine plus receiver bookkeeping.
+pub struct Flow {
+    pub id: FlowId,
+    mss: u64,
+    cc: Box<dyn CongestionControl>,
+    /// One-way propagation delay, bottleneck → receiver.
+    pub prop_fwd: SimDuration,
+    /// One-way propagation delay, receiver → sender (ACK path).
+    pub prop_rev: SimDuration,
+    pub start_time: SimTime,
+    started: bool,
+    /// Stop after this many payload bytes (None = backlogged forever).
+    byte_limit: Option<u64>,
+    /// When the last payload byte was delivered (finite flows only).
+    completion_time: Option<SimTime>,
+
+    // --- sender scoreboard ---
+    next_seq: u64,
+    next_txid: u64,
+    unacked: BTreeMap<u64, SentPacket>,
+    rtx_queue: BTreeSet<u64>,
+    inflight_bytes: u64,
+    delivered_bytes: u64,
+    delivered_time: SimTime,
+    /// Sequence number that must be exceeded by a loss to start a new
+    /// congestion event (the `next_seq` at the previous event).
+    recovery_end: u64,
+    in_recovery: bool,
+
+    // --- RTT estimation ---
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rtt: Option<SimDuration>,
+
+    // --- timers ---
+    rto_deadline: SimTime,
+    rto_backoff: u32,
+    next_rto_check: SimTime,
+    pacing_release: SimTime,
+    pacing_event_pending: bool,
+
+    // --- receiver ---
+    rcv_next: u64,
+    rcv_ooo: BTreeSet<u64>,
+
+    pub stats: FlowStats,
+}
+
+impl Flow {
+    pub fn new(
+        id: FlowId,
+        cc: Box<dyn CongestionControl>,
+        mss: u64,
+        prop_fwd: SimDuration,
+        prop_rev: SimDuration,
+        start_time: SimTime,
+    ) -> Self {
+        Flow {
+            id,
+            mss,
+            cc,
+            prop_fwd,
+            prop_rev,
+            start_time,
+            started: false,
+            byte_limit: None,
+            completion_time: None,
+            next_seq: 0,
+            next_txid: 0,
+            unacked: BTreeMap::new(),
+            rtx_queue: BTreeSet::new(),
+            inflight_bytes: 0,
+            delivered_bytes: 0,
+            delivered_time: SimTime::ZERO,
+            recovery_end: 0,
+            in_recovery: false,
+            srtt: None,
+            rttvar: 0.0,
+            min_rtt: None,
+            rto_deadline: SimTime::FAR_FUTURE,
+            rto_backoff: 0,
+            next_rto_check: SimTime::FAR_FUTURE,
+            pacing_release: SimTime::ZERO,
+            pacing_event_pending: false,
+            rcv_next: 0,
+            rcv_ooo: BTreeSet::new(),
+            stats: FlowStats::default(),
+        }
+    }
+
+    /// The flow's base RTT (propagation only).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.prop_fwd + self.prop_rev
+    }
+
+    /// Limit the flow to `bytes` of payload (a finite transfer). The
+    /// limit is rounded up to whole segments.
+    pub fn set_byte_limit(&mut self, bytes: u64) {
+        self.byte_limit = Some(bytes);
+    }
+
+    /// When the flow finished delivering its byte limit, if it has.
+    pub fn completion_time(&self) -> Option<SimTime> {
+        self.completion_time
+    }
+
+    /// True when a finite flow has delivered everything.
+    pub fn is_complete(&self) -> bool {
+        self.completion_time.is_some()
+    }
+
+    /// Whether new (never-sent) data remains.
+    fn has_new_data(&self) -> bool {
+        match self.byte_limit {
+            None => true,
+            Some(limit) => self.next_seq * self.mss < limit,
+        }
+    }
+
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    pub fn cc(&self) -> &dyn CongestionControl {
+        &*self.cc
+    }
+
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight_bytes
+    }
+
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    pub fn srtt_secs(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    fn view(&self) -> FlowView {
+        FlowView {
+            mss: self.mss,
+            srtt: self.srtt.map(SimDuration::from_secs_f64),
+            min_rtt: self.min_rtt,
+            inflight_bytes: self.inflight_bytes,
+            delivered_bytes: self.delivered_bytes,
+            in_recovery: self.in_recovery,
+        }
+    }
+
+    fn integrate_cwnd(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.stats.last_cwnd_update).as_secs_f64();
+        if dt > 0.0 {
+            let cwnd = self.cc.cwnd_bytes();
+            self.stats.cwnd_time_integral += cwnd as f64 * dt;
+            self.stats.max_cwnd_bytes = self.stats.max_cwnd_bytes.max(cwnd);
+            self.stats.last_cwnd_update = now;
+        }
+    }
+
+    /// Handle the flow-start event.
+    pub fn on_start(&mut self, now: SimTime, queue: &mut DropTailQueue, events: &mut EventQueue) {
+        self.started = true;
+        self.stats.last_cwnd_update = now;
+        self.try_send(now, queue, events);
+    }
+
+    /// Handle the pacing-timer event.
+    pub fn on_pacing(&mut self, now: SimTime, queue: &mut DropTailQueue, events: &mut EventQueue) {
+        self.pacing_event_pending = false;
+        self.try_send(now, queue, events);
+    }
+
+    /// Receiver-side bookkeeping for a delivered packet. Returns the number
+    /// of *new* (non-duplicate) payload bytes, for goodput accounting.
+    pub fn receiver_on_data(&mut self, seq: u64, size: u64) -> u64 {
+        if seq < self.rcv_next || self.rcv_ooo.contains(&seq) {
+            return 0; // duplicate
+        }
+        if seq == self.rcv_next {
+            self.rcv_next += 1;
+            while self.rcv_ooo.remove(&self.rcv_next) {
+                self.rcv_next += 1;
+            }
+        } else {
+            self.rcv_ooo.insert(seq);
+        }
+        size
+    }
+
+    fn rto_interval(&self) -> SimDuration {
+        let base = match self.srtt {
+            Some(srtt) => SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar),
+            None => SimDuration::from_secs_f64(1.0),
+        };
+        let scaled = SimDuration(
+            base.0
+                .max(MIN_RTO.0)
+                .saturating_mul(1u64 << self.rto_backoff.min(6)),
+        );
+        scaled.min(MAX_RTO)
+    }
+
+    fn arm_rto(&mut self, now: SimTime, events: &mut EventQueue) {
+        if self.unacked.is_empty() {
+            self.rto_deadline = SimTime::FAR_FUTURE;
+            return;
+        }
+        self.rto_deadline = now + self.rto_interval();
+        if self.rto_deadline < self.next_rto_check {
+            self.next_rto_check = self.rto_deadline;
+            events.schedule(self.rto_deadline, Event::RtoCheck(self.id));
+        }
+    }
+
+    /// Handle the (lazy-cancelled) RTO check event.
+    pub fn on_rto_check(
+        &mut self,
+        now: SimTime,
+        queue: &mut DropTailQueue,
+        events: &mut EventQueue,
+    ) {
+        if now >= self.next_rto_check {
+            self.next_rto_check = SimTime::FAR_FUTURE;
+        }
+        if self.unacked.is_empty() {
+            return;
+        }
+        if now < self.rto_deadline {
+            // Deadline moved later since this check was scheduled.
+            if self.rto_deadline < self.next_rto_check {
+                self.next_rto_check = self.rto_deadline;
+                events.schedule(self.rto_deadline, Event::RtoCheck(self.id));
+            }
+            return;
+        }
+        // Genuine timeout: every outstanding packet is presumed lost.
+        self.stats.rtos += 1;
+        self.rto_backoff += 1;
+        let seqs: Vec<u64> = self
+            .unacked
+            .iter()
+            .filter(|(_, p)| !p.marked_lost)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in seqs {
+            let p = self.unacked.get_mut(&s).unwrap();
+            p.marked_lost = true;
+            self.inflight_bytes = self.inflight_bytes.saturating_sub(p.size);
+            self.rtx_queue.insert(s);
+            self.stats.lost_packets += 1;
+        }
+        self.in_recovery = true;
+        self.recovery_end = self.next_seq;
+        self.integrate_cwnd(now);
+        let view = self.view();
+        self.cc.on_rto(now, &view);
+        self.arm_rto(now, events);
+        self.try_send(now, queue, events);
+    }
+
+    /// Handle an arriving ACK for `pkt`.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        queue: &mut DropTailQueue,
+        events: &mut EventQueue,
+    ) {
+        let entry = match self.unacked.remove(&pkt.seq) {
+            Some(e) => e,
+            None => {
+                // ACK for a sequence we no longer track (e.g. both the
+                // original and a spurious retransmission were delivered).
+                self.stats.spurious_acks += 1;
+                return;
+            }
+        };
+        if entry.marked_lost {
+            // Presumed lost but actually delivered (spurious RTO): it was
+            // already removed from flight; cancel the pending retransmit.
+            self.rtx_queue.remove(&pkt.seq);
+        } else {
+            self.inflight_bytes = self.inflight_bytes.saturating_sub(entry.size);
+        }
+        self.rto_backoff = 0;
+
+        // RTT sample (Karn's rule: skip retransmitted packets).
+        let mut rtt_sample = None;
+        if !entry.is_retransmit {
+            let rtt = now - entry.sent_time;
+            rtt_sample = Some(rtt);
+            let r = rtt.as_secs_f64();
+            match self.srtt {
+                None => {
+                    self.srtt = Some(r);
+                    self.rttvar = r / 2.0;
+                }
+                Some(srtt) => {
+                    self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                    self.srtt = Some(0.875 * srtt + 0.125 * r);
+                }
+            }
+            self.min_rtt = Some(match self.min_rtt {
+                None => rtt,
+                Some(m) => m.min(rtt),
+            });
+            self.stats.rtt_sum += r;
+            self.stats.rtt_samples += 1;
+        }
+
+        // Delivery-rate sample (skip retransmits).
+        let mut delivery_rate = None;
+        if !entry.is_retransmit {
+            let delta = self.delivered_bytes + entry.size - entry.delivered_at_send;
+            let interval = now.saturating_since(entry.delivered_time_at_send).as_secs_f64();
+            if interval > 0.0 {
+                delivery_rate = Some(delta as f64 / interval);
+            }
+        }
+        self.delivered_bytes += entry.size;
+        self.delivered_time = now;
+
+        // Dup-threshold loss marking: every still-outstanding packet below
+        // this sequence that was sent earlier has now been "passed" by one
+        // more ACK. (The range below an arriving ACK contains only loss
+        // holes, so this loop is short.)
+        let acked_txid = entry.txid;
+        let mut newly_lost = 0u64;
+        let mut max_lost_seq = None;
+        let mut to_mark: Vec<u64> = Vec::new();
+        for (&s, p) in self.unacked.range_mut(..pkt.seq) {
+            if p.marked_lost || p.txid >= acked_txid {
+                continue;
+            }
+            p.dup_count = p.dup_count.saturating_add(1);
+            if p.dup_count >= DUP_THRESH {
+                to_mark.push(s);
+            }
+        }
+        for s in to_mark {
+            let p = self.unacked.get_mut(&s).unwrap();
+            p.marked_lost = true;
+            self.inflight_bytes = self.inflight_bytes.saturating_sub(p.size);
+            self.rtx_queue.insert(s);
+            self.stats.lost_packets += 1;
+            newly_lost += p.size;
+            max_lost_seq = Some(max_lost_seq.map_or(s, |m: u64| m.max(s)));
+        }
+
+        // Congestion event: first loss beyond the previous recovery point.
+        if let Some(lost) = max_lost_seq {
+            if lost >= self.recovery_end {
+                self.in_recovery = true;
+                self.recovery_end = self.next_seq;
+                self.stats.congestion_events += 1;
+                self.stats.backoff_times.push(now);
+                self.integrate_cwnd(now);
+                let view = self.view();
+                self.cc.on_congestion_event(now, &view);
+            }
+        }
+
+        // Exit recovery once nothing below the recovery point is
+        // outstanding.
+        if self.in_recovery && self.unacked.range(..self.recovery_end).next().is_none() {
+            self.in_recovery = false;
+        }
+
+        self.integrate_cwnd(now);
+        let view = self.view();
+        let sample = AckSample {
+            now,
+            acked_bytes: entry.size,
+            rtt: rtt_sample,
+            delivery_rate,
+            delivered_total: self.delivered_bytes,
+            packet_delivered_at_send: entry.delivered_at_send,
+            inflight_bytes: self.inflight_bytes,
+            newly_lost_bytes: newly_lost,
+        };
+        self.cc.on_ack(&sample, &view);
+
+        if let Some(limit) = self.byte_limit {
+            if self.completion_time.is_none() && self.delivered_bytes >= limit {
+                self.completion_time = Some(now);
+            }
+        }
+        self.arm_rto(now, events);
+        self.try_send(now, queue, events);
+    }
+
+    /// Send as much as window and pacing allow.
+    pub fn try_send(&mut self, now: SimTime, queue: &mut DropTailQueue, events: &mut EventQueue) {
+        if !self.started || now < self.start_time {
+            return;
+        }
+        loop {
+            if self.inflight_bytes + self.mss > self.cc.cwnd_bytes() {
+                break;
+            }
+            if let Some(rate) = self.cc.pacing_rate() {
+                debug_assert!(rate > 0.0);
+                if now < self.pacing_release {
+                    if !self.pacing_event_pending {
+                        self.pacing_event_pending = true;
+                        events.schedule(self.pacing_release, Event::Pacing(self.id));
+                    }
+                    break;
+                }
+                // Space the *next* packet.
+                let gap = SimDuration::from_secs_f64(self.mss as f64 / rate);
+                let base = if self.pacing_release > now {
+                    self.pacing_release
+                } else {
+                    now
+                };
+                self.pacing_release = base + gap;
+            }
+
+            // Retransmissions take priority over new data.
+            let (seq, is_retransmit) = match self.rtx_queue.pop_first() {
+                Some(s) => (s, true),
+                None => {
+                    if !self.has_new_data() {
+                        break; // finite flow: everything has been sent
+                    }
+                    let s = self.next_seq;
+                    self.next_seq += 1;
+                    (s, false)
+                }
+            };
+            let pkt = Packet {
+                flow: self.id,
+                seq,
+                size: self.mss,
+                sent_time: now,
+                is_retransmit,
+                delivered_at_send: self.delivered_bytes,
+                delivered_time_at_send: if self.delivered_time == SimTime::ZERO {
+                    now
+                } else {
+                    self.delivered_time
+                },
+            };
+            let txid = self.next_txid;
+            self.next_txid += 1;
+            let entry = SentPacket {
+                size: self.mss,
+                sent_time: now,
+                txid,
+                is_retransmit,
+                delivered_at_send: self.delivered_bytes,
+                delivered_time_at_send: pkt.delivered_time_at_send,
+                dup_count: 0,
+                marked_lost: false,
+            };
+            let was_empty = self.unacked.is_empty();
+            self.unacked.insert(seq, entry);
+            self.inflight_bytes += self.mss;
+            self.stats.sent_bytes += self.mss;
+            if is_retransmit {
+                self.stats.retransmits += 1;
+            }
+            self.integrate_cwnd(now);
+            let view = self.view();
+            self.cc.on_packet_sent(now, self.mss, &view);
+
+            let size = pkt.size;
+            match queue.offer(now, pkt) {
+                Offer::StartService => {
+                    let done = now + queue.rate().serialization_time(size);
+                    events.schedule(done, Event::LinkDequeue);
+                }
+                Offer::Queued => {}
+                Offer::Dropped => {
+                    // Tail drop: discovered later via dup-ACKs or RTO.
+                }
+            }
+            if was_empty {
+                self.arm_rto(now, events);
+            }
+        }
+    }
+
+    /// Mean of all RTT samples, in seconds.
+    pub fn mean_rtt_secs(&self) -> Option<f64> {
+        if self.stats.rtt_samples == 0 {
+            None
+        } else {
+            Some(self.stats.rtt_sum / self.stats.rtt_samples as f64)
+        }
+    }
+
+    /// Final cwnd-integral update at simulation end.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.integrate_cwnd(now);
+    }
+}

@@ -1,0 +1,44 @@
+//! Packet and flow identity types.
+
+/// Identifies a flow within one simulation. Indexes into the simulator's
+/// flow table; stable for the lifetime of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data packet in flight. Sequence numbers count packets (not bytes);
+/// each packet carries `size` payload bytes (normally one MSS).
+///
+/// The fields `delivered_at_send` / `delivered_time_at_send` snapshot the
+/// sender's delivery counter when the packet was (re)transmitted; they feed
+/// BBR-style delivery-rate samples on the returning ACK, mirroring Linux's
+/// `tcp_rate.c` mechanism in simplified form.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    pub flow: FlowId,
+    pub seq: u64,
+    pub size: u64,
+    /// When this copy of the packet left the sender.
+    pub sent_time: crate::time::SimTime,
+    /// True if this is a retransmission (excluded from RTT/rate samples).
+    pub is_retransmit: bool,
+    /// Sender's delivered-bytes counter at (re)transmit time.
+    pub delivered_at_send: u64,
+    /// Sender's delivered-time at (re)transmit time.
+    pub delivered_time_at_send: crate::time::SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_index() {
+        assert_eq!(FlowId(7).index(), 7);
+    }
+}

@@ -1,0 +1,371 @@
+//! The bottleneck: a byte-capacity drop-tail FIFO queue feeding a
+//! fixed-rate link.
+//!
+//! Besides forwarding packets, the queue keeps the measurements the
+//! paper's model is validated against: time-weighted average occupancy
+//! (total and per flow — the model's `b_b` and `b_c`), drop counts, and a
+//! log of drop timestamps used to detect CUBIC loss synchronization.
+
+use crate::aqm::{CodelState, QueueDiscipline, RedState};
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use crate::units::Rate;
+use std::collections::VecDeque;
+
+/// A recorded tail-drop event.
+#[derive(Debug, Clone, Copy)]
+pub struct DropRecord {
+    pub time: SimTime,
+    pub flow: FlowId,
+}
+
+/// Drop-tail FIFO with byte-granularity capacity accounting.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    /// Link rate draining this queue.
+    rate: Rate,
+    /// Maximum queued bytes (excludes the packet in service on the link).
+    capacity_bytes: u64,
+    queue: VecDeque<Packet>,
+    /// Enqueue timestamps, parallel to `queue` (for AQM sojourn times).
+    enqueue_times: VecDeque<SimTime>,
+    queued_bytes: u64,
+    /// Per-flow queued bytes (indexed by `FlowId`).
+    per_flow_bytes: Vec<u64>,
+    /// The packet currently being serialized on the link, if any.
+    in_service: Option<Packet>,
+    /// Queue discipline and AQM state.
+    discipline: QueueDiscipline,
+    red: RedState,
+    codel: CodelState,
+    /// Drops made by the AQM (subset of `dropped_packets`).
+    aqm_drops: u64,
+
+    // --- statistics ---
+    last_change: SimTime,
+    /// ∫ queue_bytes dt (total), for time-weighted average occupancy.
+    byte_time_integral: f64,
+    /// ∫ queue_bytes dt per flow.
+    per_flow_integral: Vec<f64>,
+    /// Peak queued bytes observed.
+    peak_bytes: u64,
+    drops: Vec<DropRecord>,
+    enqueued_packets: u64,
+    dropped_packets: u64,
+}
+
+impl DropTailQueue {
+    pub fn new(rate: Rate, capacity_bytes: u64, n_flows: usize) -> Self {
+        Self::with_discipline(rate, capacity_bytes, n_flows, QueueDiscipline::DropTail)
+    }
+
+    pub fn with_discipline(
+        rate: Rate,
+        capacity_bytes: u64,
+        n_flows: usize,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        DropTailQueue {
+            rate,
+            capacity_bytes,
+            discipline,
+            red: RedState::default(),
+            codel: CodelState::default(),
+            aqm_drops: 0,
+            queue: VecDeque::new(),
+            enqueue_times: VecDeque::new(),
+            queued_bytes: 0,
+            per_flow_bytes: vec![0; n_flows],
+            in_service: None,
+            last_change: SimTime::ZERO,
+            byte_time_integral: 0.0,
+            per_flow_integral: vec![0.0; n_flows],
+            peak_bytes: 0,
+            drops: Vec::new(),
+            enqueued_packets: 0,
+            dropped_packets: 0,
+        }
+    }
+
+    /// Link rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently queued (not counting the packet in service).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Bytes currently queued belonging to `flow`.
+    pub fn queued_bytes_of(&self, flow: FlowId) -> u64 {
+        self.per_flow_bytes[flow.index()]
+    }
+
+    /// Whether the link is serializing a packet right now.
+    pub fn link_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    fn advance_integrals(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_secs_f64();
+        if dt > 0.0 {
+            self.byte_time_integral += self.queued_bytes as f64 * dt;
+            for (i, b) in self.per_flow_bytes.iter().enumerate() {
+                self.per_flow_integral[i] += *b as f64 * dt;
+            }
+            self.last_change = now;
+        }
+    }
+
+    /// Offer a packet to the bottleneck at time `now`.
+    ///
+    /// Returns [`Offer::StartService`] if the link was idle — the packet
+    /// goes straight into service and the caller must schedule a
+    /// `LinkDequeue` event one serialization time later. Otherwise the
+    /// packet is queued, or dropped if the queue is full.
+    pub fn offer(&mut self, now: SimTime, pkt: Packet) -> Offer {
+        self.advance_integrals(now);
+        if self.in_service.is_none() {
+            self.in_service = Some(pkt);
+            return Offer::StartService;
+        }
+        // RED: early-drop decision on arrival, before tail-drop.
+        if let QueueDiscipline::Red(cfg) = self.discipline {
+            if self.red.on_arrival(&cfg, self.queued_bytes) {
+                self.dropped_packets += 1;
+                self.aqm_drops += 1;
+                self.drops.push(DropRecord {
+                    time: now,
+                    flow: pkt.flow,
+                });
+                return Offer::Dropped;
+            }
+        }
+        if self.queued_bytes + pkt.size <= self.capacity_bytes {
+            self.queued_bytes += pkt.size;
+            self.per_flow_bytes[pkt.flow.index()] += pkt.size;
+            self.peak_bytes = self.peak_bytes.max(self.queued_bytes);
+            self.enqueued_packets += 1;
+            self.queue.push_back(pkt);
+            self.enqueue_times.push_back(now);
+            Offer::Queued
+        } else {
+            self.dropped_packets += 1;
+            self.drops.push(DropRecord {
+                time: now,
+                flow: pkt.flow,
+            });
+            Offer::Dropped
+        }
+    }
+
+    /// The link finished serializing the packet in service.
+    ///
+    /// Returns the finished packet plus the size of the next packet now
+    /// entering service (`None` if the link goes idle) so the caller can
+    /// schedule the next `LinkDequeue`.
+    pub fn service_complete(&mut self, now: SimTime) -> (Packet, Option<u64>) {
+        let finished = self
+            .in_service
+            .take()
+            .expect("service_complete on an idle link");
+        self.advance_integrals(now);
+        loop {
+            match self.queue.pop_front() {
+                Some(pkt) => {
+                    let enqueued_at = self
+                        .enqueue_times
+                        .pop_front()
+                        .expect("enqueue_times in sync with queue");
+                    self.queued_bytes -= pkt.size;
+                    self.per_flow_bytes[pkt.flow.index()] -= pkt.size;
+                    // CoDel: head-drop decision at dequeue time.
+                    if let QueueDiscipline::Codel(cfg) = self.discipline {
+                        let sojourn = now.saturating_since(enqueued_at);
+                        if self.codel.on_dequeue(&cfg, now, sojourn) {
+                            self.dropped_packets += 1;
+                            self.aqm_drops += 1;
+                            self.drops.push(DropRecord {
+                                time: now,
+                                flow: pkt.flow,
+                            });
+                            continue;
+                        }
+                    }
+                    let size = pkt.size;
+                    self.in_service = Some(pkt);
+                    return (finished, Some(size));
+                }
+                None => return (finished, None),
+            }
+        }
+    }
+
+    /// Drops made by the AQM (RED early drops + CoDel head drops),
+    /// excluded from which are plain tail drops.
+    pub fn aqm_drops(&self) -> u64 {
+        self.aqm_drops
+    }
+
+    /// The configured discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Finalize integrals at simulation end.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.advance_integrals(now);
+    }
+
+    /// Time-weighted average queue occupancy in bytes over `[0, now]`
+    /// (caller provides the elapsed time used for normalization).
+    pub fn avg_occupancy_bytes(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.byte_time_integral / elapsed_secs
+    }
+
+    /// Time-weighted average occupancy of one flow, in bytes.
+    pub fn avg_occupancy_bytes_of(&self, flow: FlowId, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.per_flow_integral[flow.index()] / elapsed_secs
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    pub fn enqueued_packets(&self) -> u64 {
+        self.enqueued_packets
+    }
+}
+
+/// Result of offering a packet to the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Link was idle; packet went straight into service.
+    StartService,
+    /// Packet joined the queue.
+    Queued,
+    /// Queue full; packet dropped.
+    Dropped,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::units::MSS;
+
+    fn pkt(flow: u32, seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            seq,
+            size: MSS,
+            sent_time: SimTime::ZERO,
+            is_retransmit: false,
+            delivered_at_send: 0,
+            delivered_time_at_send: SimTime::ZERO,
+        }
+    }
+
+    fn queue(capacity_pkts: u64) -> DropTailQueue {
+        DropTailQueue::new(Rate::from_mbps(12.0), capacity_pkts * MSS, 2)
+    }
+
+    #[test]
+    fn idle_link_starts_service_immediately() {
+        let mut q = queue(2);
+        assert_eq!(q.offer(SimTime::ZERO, pkt(0, 0)), Offer::StartService);
+        assert_eq!(q.queued_bytes(), 0);
+        assert!(q.link_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut q = queue(2);
+        let t = SimTime::ZERO;
+        assert_eq!(q.offer(t, pkt(0, 0)), Offer::StartService);
+        assert_eq!(q.offer(t, pkt(0, 1)), Offer::Queued);
+        assert_eq!(q.offer(t, pkt(1, 2)), Offer::Queued);
+        // Queue now holds 2 packets = capacity; next must drop.
+        assert_eq!(q.offer(t, pkt(1, 3)), Offer::Dropped);
+        assert_eq!(q.dropped_packets(), 1);
+        assert_eq!(q.drops()[0].flow, FlowId(1));
+        assert_eq!(q.queued_bytes(), 2 * MSS);
+        assert_eq!(q.queued_bytes_of(FlowId(0)), MSS);
+        assert_eq!(q.queued_bytes_of(FlowId(1)), MSS);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = queue(10);
+        let t = SimTime::ZERO;
+        assert_eq!(q.offer(t, pkt(0, 0)), Offer::StartService);
+        for s in 1..5 {
+            assert_eq!(q.offer(t, pkt(0, s)), Offer::Queued);
+        }
+        for s in 0..4 {
+            let (finished, next) = q.service_complete(t);
+            assert_eq!(finished.seq, s);
+            assert_eq!(next, Some(MSS));
+        }
+        let (finished, next) = q.service_complete(t);
+        assert_eq!(finished.seq, 4);
+        assert_eq!(next, None);
+        assert!(!q.link_busy());
+    }
+
+    #[test]
+    fn occupancy_integral_is_time_weighted() {
+        let mut q = queue(10);
+        let t0 = SimTime::ZERO;
+        assert_eq!(q.offer(t0, pkt(0, 0)), Offer::StartService);
+        assert_eq!(q.offer(t0, pkt(0, 1)), Offer::Queued);
+        // One MSS queued for 1 second.
+        let t1 = t0 + SimDuration::from_secs_f64(1.0);
+        q.finalize(t1);
+        let avg = q.avg_occupancy_bytes(1.0);
+        assert!((avg - MSS as f64).abs() < 1e-6, "avg={avg}");
+        let avg0 = q.avg_occupancy_bytes_of(FlowId(0), 1.0);
+        assert!((avg0 - MSS as f64).abs() < 1e-6);
+        let avg1 = q.avg_occupancy_bytes_of(FlowId(1), 1.0);
+        assert!(avg1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut q = queue(5);
+        let t = SimTime::ZERO;
+        assert_eq!(q.offer(t, pkt(0, 0)), Offer::StartService);
+        for s in 1..=5 {
+            assert_eq!(q.offer(t, pkt(0, s)), Offer::Queued);
+        }
+        assert_eq!(q.peak_bytes(), 5 * MSS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn service_complete_on_idle_link_panics() {
+        let mut q = queue(1);
+        let _ = q.service_complete(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,522 @@
+//! The dumbbell simulator: configuration, event loop, and reporting.
+//!
+//! A [`Simulator`] wires N flows (each with its own congestion-control
+//! algorithm and base RTT) through one drop-tail bottleneck, runs the
+//! event loop until the configured duration, and returns a [`SimReport`]
+//! with per-flow throughput and queue measurements — the raw material for
+//! every figure in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use bbrdom_netsim::{FlowConfig, SimConfig, Simulator, Rate, SimDuration};
+//! use bbrdom_netsim::cc::FixedWindow;
+//!
+//! let rate = Rate::from_mbps(10.0);
+//! let rtt = SimDuration::from_millis(40);
+//! let cfg = SimConfig::new(rate, rate.bdp_bytes(rtt), SimDuration::from_secs_f64(5.0));
+//! let mut sim = Simulator::new(cfg);
+//! // A fixed 2*BDP window saturates the link.
+//! sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * rate.bdp_bytes(rtt))), rtt));
+//! let report = sim.run();
+//! assert!(report.queue.utilization > 0.9);
+//! ```
+
+use crate::aqm::QueueDiscipline;
+use crate::cc::CongestionControl;
+use crate::event::{Event, EventQueue};
+use crate::flow::Flow;
+use crate::packet::FlowId;
+use crate::queue::DropTailQueue;
+use crate::stats::{FlowReport, QueueReport};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Sample, Trace};
+use crate::units::{Rate, MSS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bottleneck and run-length configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Bottleneck link capacity.
+    pub rate: Rate,
+    /// Bottleneck buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Throughput is averaged over `[measure_start, duration]`. The paper
+    /// measures from flow start; keep `ZERO` to match.
+    pub measure_start: SimTime,
+    /// Maximum segment size.
+    pub mss: u64,
+    /// If set, record a [`Trace`] sample every interval.
+    pub sample_interval: Option<SimDuration>,
+    /// Bottleneck queue discipline (default: drop-tail, as in the paper).
+    pub discipline: QueueDiscipline,
+    /// Uniform random extra delay on the ACK path, `[0, ack_jitter)`.
+    ///
+    /// Real hosts and routers have µs-scale timing noise; a perfectly
+    /// deterministic simulator phase-locks the ACK clocks so the only
+    /// packet ever dropped at a full queue is the *growing* flow's own
+    /// marginal packet — which systematically punishes short-RTT flows
+    /// (they grow more often per second) and inverts TCP's real RTT
+    /// bias. A small jitter dithers the phases so drops land across
+    /// bursts, as in real networks. Zero disables it.
+    pub ack_jitter: SimDuration,
+    /// Seed for the jitter RNG (simulations stay reproducible).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    pub fn new(rate: Rate, buffer_bytes: u64, duration: SimDuration) -> Self {
+        SimConfig {
+            rate,
+            buffer_bytes,
+            duration,
+            measure_start: SimTime::ZERO,
+            mss: MSS,
+            sample_interval: None,
+            discipline: QueueDiscipline::DropTail,
+            ack_jitter: SimDuration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Set a measurement warm-up: throughput ignores `[0, start)`.
+    pub fn with_measure_start(mut self, start: SimTime) -> Self {
+        self.measure_start = start;
+        self
+    }
+
+    /// Enable time-series tracing at the given sample interval.
+    pub fn with_trace(mut self, interval: SimDuration) -> Self {
+        assert!(interval > SimDuration::ZERO);
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Replace the drop-tail FIFO with an AQM (RED or CoDel).
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Enable ACK-path timing jitter (see [`SimConfig::ack_jitter`]).
+    pub fn with_ack_jitter(mut self, jitter: SimDuration, seed: u64) -> Self {
+        self.ack_jitter = jitter;
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-flow configuration.
+pub struct FlowConfig {
+    /// The congestion-control algorithm instance for this flow.
+    pub cc: Box<dyn CongestionControl>,
+    /// Base (propagation) RTT of the flow's path.
+    pub base_rtt: SimDuration,
+    /// When the application starts sending.
+    pub start_time: SimTime,
+    /// Payload size for a finite transfer (None = backlogged).
+    pub byte_limit: Option<u64>,
+}
+
+impl FlowConfig {
+    pub fn new(cc: Box<dyn CongestionControl>, base_rtt: SimDuration) -> Self {
+        FlowConfig {
+            cc,
+            base_rtt,
+            start_time: SimTime::ZERO,
+            byte_limit: None,
+        }
+    }
+
+    pub fn starting_at(mut self, t: SimTime) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Make this a finite transfer of `bytes` payload bytes (e.g. a
+    /// short web/ad flow). Its completion time is reported as the FCT.
+    pub fn with_byte_limit(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0);
+        self.byte_limit = Some(bytes);
+        self
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub flows: Vec<FlowReport>,
+    pub queue: QueueReport,
+    /// Simulated duration in seconds.
+    pub duration_secs: f64,
+    /// Time-series trace (empty unless `SimConfig::with_trace` was set).
+    pub trace: Trace,
+}
+
+impl SimReport {
+    /// Sum of per-flow throughputs (bytes/sec).
+    pub fn total_throughput_bytes_per_sec(&self) -> f64 {
+        self.flows.iter().map(|f| f.throughput_bytes_per_sec).sum()
+    }
+
+    /// Mean per-flow throughput (Mbps) over flows whose CC name matches.
+    pub fn mean_throughput_mbps_of(&self, cc_name: &str) -> Option<f64> {
+        let v: Vec<f64> = self
+            .flows
+            .iter()
+            .filter(|f| f.cc_name == cc_name)
+            .map(|f| f.throughput_mbps())
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+}
+
+/// The discrete-event dumbbell simulator.
+pub struct Simulator {
+    config: SimConfig,
+    flows: Vec<Flow>,
+    events: EventQueue,
+    queue: Option<DropTailQueue>,
+}
+
+impl Simulator {
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.buffer_bytes > 0, "buffer must be positive");
+        assert!(config.duration > SimDuration::ZERO, "duration must be positive");
+        Simulator {
+            config,
+            flows: Vec::new(),
+            events: EventQueue::new(),
+            queue: None,
+        }
+    }
+
+    /// Add a flow; returns its id. Must be called before [`Self::run`].
+    pub fn add_flow(&mut self, fc: FlowConfig) -> FlowId {
+        assert!(self.queue.is_none(), "cannot add flows after run()");
+        let id = FlowId(self.flows.len() as u32);
+        // Split the base RTT between the forward (data) and reverse (ACK)
+        // paths; the split is arbitrary as long as the sum is the base RTT.
+        let half = SimDuration(fc.base_rtt.0 / 2);
+        let other_half = SimDuration(fc.base_rtt.0 - half.0);
+        let mut flow = Flow::new(
+            id,
+            fc.cc,
+            self.config.mss,
+            half,
+            other_half,
+            fc.start_time,
+        );
+        if let Some(limit) = fc.byte_limit {
+            flow.set_byte_limit(limit);
+        }
+        self.flows.push(flow);
+        id
+    }
+
+    /// Number of flows added so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Run the simulation to completion and produce the report.
+    pub fn run(&mut self) -> SimReport {
+        assert!(!self.flows.is_empty(), "no flows configured");
+        let mut queue = DropTailQueue::with_discipline(
+            self.config.rate,
+            self.config.buffer_bytes,
+            self.flows.len(),
+            self.config.discipline,
+        );
+        let end = SimTime::ZERO + self.config.duration;
+        let mut trace = Trace::default();
+        let mut jitter_rng = StdRng::seed_from_u64(self.config.seed);
+        let jitter_ns = self.config.ack_jitter.as_nanos();
+
+        for f in &self.flows {
+            self.events.schedule(f.start_time, Event::FlowStart(f.id));
+        }
+        if let Some(interval) = self.config.sample_interval {
+            self.events
+                .schedule(SimTime::ZERO + interval, Event::StatsSample);
+        }
+
+        while let Some((now, event)) = self.events.pop() {
+            if now > end {
+                break;
+            }
+            match event {
+                Event::FlowStart(id) => {
+                    self.flows[id.index()].on_start(now, &mut queue, &mut self.events);
+                }
+                Event::Pacing(id) => {
+                    self.flows[id.index()].on_pacing(now, &mut queue, &mut self.events);
+                }
+                Event::LinkDequeue => {
+                    let (finished, next_size) = queue.service_complete(now);
+                    if let Some(size) = next_size {
+                        let done = now + self.config.rate.serialization_time(size);
+                        self.events.schedule(done, Event::LinkDequeue);
+                    }
+                    let flow = &mut self.flows[finished.flow.index()];
+                    let delivery_time = now + flow.prop_fwd;
+                    // Receiver bookkeeping happens at delivery time.
+                    let new_bytes = flow.receiver_on_data(finished.seq, finished.size);
+                    flow.stats.goodput_bytes_total += new_bytes;
+                    if delivery_time >= self.config.measure_start && delivery_time <= end {
+                        flow.stats.goodput_bytes += new_bytes;
+                    }
+                    let mut ack_time = delivery_time + flow.prop_rev;
+                    if jitter_ns > 0 {
+                        ack_time = ack_time
+                            + crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
+                    }
+                    self.events.schedule(ack_time, Event::AckArrive(finished));
+                }
+                Event::AckArrive(pkt) => {
+                    self.flows[pkt.flow.index()].on_ack(now, &pkt, &mut queue, &mut self.events);
+                }
+                Event::RtoCheck(id) => {
+                    self.flows[id.index()].on_rto_check(now, &mut queue, &mut self.events);
+                }
+                Event::StatsSample => {
+                    trace.samples.push(Sample {
+                        time: now,
+                        queue_bytes: queue.queued_bytes(),
+                        cwnd_bytes: self.flows.iter().map(|f| f.cc().cwnd_bytes()).collect(),
+                        inflight_bytes: self.flows.iter().map(|f| f.inflight_bytes()).collect(),
+                        delivered_bytes: self
+                            .flows
+                            .iter()
+                            .map(|f| f.stats.goodput_bytes_total)
+                            .collect(),
+                    });
+                    if let Some(interval) = self.config.sample_interval {
+                        let next = now + interval;
+                        if next <= end {
+                            self.events.schedule(next, Event::StatsSample);
+                        }
+                    }
+                }
+            }
+        }
+
+        queue.finalize(end);
+        for f in &mut self.flows {
+            f.finalize(end);
+        }
+
+        let measure_secs = (end - self.config.measure_start).as_secs_f64();
+        let elapsed_secs = end.as_secs_f64();
+        let flow_reports: Vec<FlowReport> = self
+            .flows
+            .iter()
+            .map(|f| FlowReport {
+                flow: f.id,
+                cc_name: f.cc_name().to_string(),
+                throughput_bytes_per_sec: if measure_secs > 0.0 {
+                    f.stats.goodput_bytes as f64 / measure_secs
+                } else {
+                    0.0
+                },
+                goodput_bytes: f.stats.goodput_bytes,
+                sent_bytes: f.stats.sent_bytes,
+                retransmits: f.stats.retransmits,
+                lost_packets: f.stats.lost_packets,
+                congestion_events: f.stats.congestion_events,
+                rtos: f.stats.rtos,
+                avg_queue_occupancy_bytes: queue.avg_occupancy_bytes_of(f.id, elapsed_secs),
+                min_rtt_secs: f.min_rtt().map(|d| d.as_secs_f64()),
+                mean_rtt_secs: f.mean_rtt_secs(),
+                avg_cwnd_bytes: if elapsed_secs > 0.0 {
+                    f.stats.cwnd_time_integral / elapsed_secs
+                } else {
+                    0.0
+                },
+                max_cwnd_bytes: f.stats.max_cwnd_bytes,
+                completion_time_secs: f
+                    .completion_time()
+                    .map(|t| t.as_secs_f64() - f.start_time.as_secs_f64()),
+                backoff_times_secs: f
+                    .stats
+                    .backoff_times
+                    .iter()
+                    .map(|t| t.as_secs_f64())
+                    .collect(),
+            })
+            .collect();
+
+        let total_goodput: u64 = flow_reports.iter().map(|f| f.goodput_bytes).sum();
+        let capacity_bytes_in_window = self.config.rate.bytes_per_sec() * measure_secs;
+        let avg_occ = queue.avg_occupancy_bytes(elapsed_secs);
+        let queue_report = QueueReport {
+            avg_occupancy_bytes: avg_occ,
+            avg_queuing_delay_secs: avg_occ / self.config.rate.bytes_per_sec(),
+            peak_occupancy_bytes: queue.peak_bytes(),
+            capacity_bytes: queue.capacity_bytes(),
+            dropped_packets: queue.dropped_packets(),
+            aqm_drops: queue.aqm_drops(),
+            enqueued_packets: queue.enqueued_packets(),
+            utilization: if capacity_bytes_in_window > 0.0 {
+                total_goodput as f64 / capacity_bytes_in_window
+            } else {
+                0.0
+            },
+            drops: queue
+                .drops()
+                .iter()
+                .map(|d| (d.time.as_secs_f64(), d.flow))
+                .collect(),
+        };
+        self.queue = Some(queue);
+
+        SimReport {
+            flows: flow_reports,
+            queue: queue_report,
+            duration_secs: self.config.duration.as_secs_f64(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedWindow;
+
+    fn base_config(mbps: f64, rtt_ms: u64, buffer_bdp: f64, secs: f64) -> (SimConfig, SimDuration) {
+        let rate = Rate::from_mbps(mbps);
+        let rtt = SimDuration::from_millis(rtt_ms);
+        let buf = crate::units::buffer_bytes(rate, rtt, buffer_bdp);
+        (
+            SimConfig::new(rate, buf, SimDuration::from_secs_f64(secs)),
+            rtt,
+        )
+    }
+
+    #[test]
+    fn single_fixed_window_flow_saturates_link() {
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.run();
+        // 2*BDP window into a 2*BDP buffer: no loss, full utilization.
+        assert_eq!(report.queue.dropped_packets, 0);
+        assert!(
+            report.queue.utilization > 0.95,
+            "utilization={}",
+            report.queue.utilization
+        );
+        let tp = report.flows[0].throughput_mbps();
+        assert!((tp - 10.0).abs() < 0.5, "throughput={tp}");
+    }
+
+    #[test]
+    fn undersized_window_is_rtt_limited() {
+        // cwnd = BDP/2 → throughput ≈ rate/2 and empty queue.
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(bdp / 2)), rtt));
+        let report = sim.run();
+        let tp = report.flows[0].throughput_mbps();
+        assert!((tp - 5.0).abs() < 0.5, "throughput={tp}");
+        assert!(report.queue.avg_occupancy_bytes < 2.0 * MSS as f64);
+    }
+
+    #[test]
+    fn two_equal_fixed_flows_share_evenly() {
+        let (cfg, rtt) = base_config(10.0, 40, 4.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.run();
+        let t0 = report.flows[0].throughput_mbps();
+        let t1 = report.flows[1].throughput_mbps();
+        assert!((t0 - t1).abs() < 1.0, "t0={t0} t1={t1}");
+        assert!((t0 + t1 - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn oversized_windows_cause_loss_and_recovery_keeps_link_full() {
+        // Two flows with windows larger than buffer+BDP: drops must occur,
+        // retransmissions must recover them, link stays fully utilized.
+        let (cfg, rtt) = base_config(10.0, 40, 1.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+        let report = sim.run();
+        assert!(report.queue.dropped_packets > 0);
+        let total: f64 = report.flows.iter().map(|f| f.throughput_mbps()).sum();
+        assert!(total > 9.0, "total={total}");
+        // Retransmissions happened and goodput only counts unique bytes.
+        assert!(report.flows.iter().any(|f| f.retransmits > 0));
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        // goodput + still-queued + in-flight + drops accounts for all sends.
+        let (cfg, rtt) = base_config(20.0, 20, 1.0, 5.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(4 * bdp)), rtt));
+        let report = sim.run();
+        let f = &report.flows[0];
+        let sent_pkts = f.sent_bytes / MSS;
+        let delivered_pkts = f.goodput_bytes / MSS;
+        let dropped = report.queue.dropped_packets;
+        // delivered (unique) + dropped <= sent; duplicates possible.
+        assert!(delivered_pkts + dropped <= sent_pkts);
+        // Nothing is silently created.
+        assert!(delivered_pkts > 0);
+    }
+
+    #[test]
+    fn staggered_start_flow_gets_share() {
+        let (cfg, rtt) = base_config(10.0, 40, 4.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        sim.add_flow(
+            FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt)
+                .starting_at(SimTime::from_secs_f64(5.0)),
+        );
+        let report = sim.run();
+        assert!(report.flows[1].throughput_mbps() > 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn run_without_flows_panics() {
+        let (cfg, _) = base_config(10.0, 40, 2.0, 1.0);
+        Simulator::new(cfg).run();
+    }
+
+    #[test]
+    fn determinism_same_config_same_result() {
+        let run_once = || {
+            let (cfg, rtt) = base_config(10.0, 40, 1.0, 10.0);
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let mut sim = Simulator::new(cfg);
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            let r = sim.run();
+            (
+                r.flows[0].goodput_bytes,
+                r.flows[1].goodput_bytes,
+                r.queue.dropped_packets,
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

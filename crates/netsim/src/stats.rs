@@ -1,0 +1,129 @@
+//! Per-flow and per-queue measurement reports.
+//!
+//! These are the quantities the paper plots: per-flow average throughput
+//! (goodput), queuing delay, per-flow buffer occupancy (`b_b`, `b_c` in the
+//! model), loss/back-off timing (for CUBIC synchronization analysis), and
+//! link utilization.
+
+use crate::packet::FlowId;
+use crate::time::SimTime;
+
+/// Mutable per-flow counters, accumulated while the simulation runs.
+#[derive(Debug, Default, Clone)]
+pub struct FlowStats {
+    /// Unique payload bytes accepted by the receiver inside the
+    /// measurement window.
+    pub goodput_bytes: u64,
+    /// All payload bytes accepted (including before the window).
+    pub goodput_bytes_total: u64,
+    /// Bytes handed to the bottleneck (including retransmissions).
+    pub sent_bytes: u64,
+    /// Packets retransmitted.
+    pub retransmits: u64,
+    /// Packets declared lost (dup-threshold or RTO).
+    pub lost_packets: u64,
+    /// Congestion events (≤ one per loss round).
+    pub congestion_events: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+    /// ACKs for sequence numbers with no outstanding scoreboard entry
+    /// (spurious-RTO duplicates).
+    pub spurious_acks: u64,
+    /// Times of congestion events (CUBIC back-offs) — used by experiment
+    /// code to measure cross-flow loss synchronization.
+    pub backoff_times: Vec<SimTime>,
+    /// Largest congestion window reported by the CC algorithm.
+    pub max_cwnd_bytes: u64,
+    /// ∫ cwnd dt, for average-cwnd reporting.
+    pub cwnd_time_integral: f64,
+    /// Time of the last cwnd integral update.
+    pub last_cwnd_update: SimTime,
+    /// Sum and count of RTT samples (for mean RTT).
+    pub rtt_sum: f64,
+    pub rtt_samples: u64,
+}
+
+/// Immutable per-flow results returned by [`crate::sim::Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    pub flow: FlowId,
+    pub cc_name: String,
+    /// Average goodput over the measurement window, bytes/sec.
+    pub throughput_bytes_per_sec: f64,
+    pub goodput_bytes: u64,
+    pub sent_bytes: u64,
+    pub retransmits: u64,
+    pub lost_packets: u64,
+    pub congestion_events: u64,
+    pub rtos: u64,
+    /// Time-weighted average of this flow's bottleneck-buffer occupancy,
+    /// bytes (the model's `b_c` / `b_b`).
+    pub avg_queue_occupancy_bytes: f64,
+    /// Minimum RTT observed by the sender (s).
+    pub min_rtt_secs: Option<f64>,
+    /// Mean of all RTT samples (s).
+    pub mean_rtt_secs: Option<f64>,
+    /// Time-weighted average congestion window (bytes).
+    pub avg_cwnd_bytes: f64,
+    pub max_cwnd_bytes: u64,
+    /// For finite transfers: flow completion time (seconds from the
+    /// flow's start). `None` for backlogged flows or incomplete ones.
+    pub completion_time_secs: Option<f64>,
+    /// Congestion-event (back-off) timestamps, seconds.
+    pub backoff_times_secs: Vec<f64>,
+}
+
+impl FlowReport {
+    /// Throughput in the paper's unit (Mbps).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bytes_per_sec * 8.0 / 1e6
+    }
+}
+
+/// Bottleneck-queue results.
+#[derive(Debug, Clone)]
+pub struct QueueReport {
+    /// Time-weighted average occupancy (bytes).
+    pub avg_occupancy_bytes: f64,
+    /// Average queuing delay (s) = average occupancy / link rate.
+    pub avg_queuing_delay_secs: f64,
+    pub peak_occupancy_bytes: u64,
+    pub capacity_bytes: u64,
+    pub dropped_packets: u64,
+    /// Drops made by the AQM (RED early / CoDel head drops); the rest of
+    /// `dropped_packets` are plain tail drops.
+    pub aqm_drops: u64,
+    pub enqueued_packets: u64,
+    /// Fraction of link capacity carried as goodput by all flows.
+    pub utilization: f64,
+    /// (time s, flow) for every tail drop.
+    pub drops: Vec<(f64, FlowId)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_mbps_conversion() {
+        let r = FlowReport {
+            flow: FlowId(0),
+            cc_name: "test".into(),
+            throughput_bytes_per_sec: 1_250_000.0, // 10 Mbps
+            goodput_bytes: 0,
+            sent_bytes: 0,
+            retransmits: 0,
+            lost_packets: 0,
+            congestion_events: 0,
+            rtos: 0,
+            avg_queue_occupancy_bytes: 0.0,
+            min_rtt_secs: None,
+            mean_rtt_secs: None,
+            avg_cwnd_bytes: 0.0,
+            max_cwnd_bytes: 0,
+            completion_time_secs: None,
+            backoff_times_secs: vec![],
+        };
+        assert!((r.throughput_mbps() - 10.0).abs() < 1e-9);
+    }
+}

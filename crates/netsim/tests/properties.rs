@@ -1,0 +1,121 @@
+//! Property-based tests for the simulator substrate: conservation laws
+//! and determinism must hold for *every* configuration, not just the
+//! hand-picked ones in the unit tests.
+
+use bbrdom_netsim::cc::FixedWindow;
+use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, SimReport, Simulator, MSS};
+use proptest::prelude::*;
+
+fn run_sim(
+    mbps: f64,
+    rtt_ms: u64,
+    buffer_bdp: f64,
+    windows_bdp: Vec<f64>,
+    secs: f64,
+) -> SimReport {
+    let rate = Rate::from_mbps(mbps);
+    let rtt = SimDuration::from_millis(rtt_ms);
+    let buffer = bbrdom_netsim::units::buffer_bytes(rate, rtt, buffer_bdp);
+    let mut sim = Simulator::new(SimConfig::new(rate, buffer, SimDuration::from_secs_f64(secs)));
+    let bdp = rate.bdp_bytes(rtt).max(MSS);
+    for w in windows_bdp {
+        let cwnd = ((bdp as f64 * w) as u64).max(2 * MSS);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(cwnd)), rtt));
+    }
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No bytes are created: unique delivered bytes never exceed sent
+    /// bytes, per flow.
+    #[test]
+    fn conservation_of_bytes(
+        mbps in 5.0f64..60.0,
+        rtt_ms in 10u64..80,
+        buffer_bdp in 0.25f64..8.0,
+        windows in prop::collection::vec(0.3f64..4.0, 1..5),
+    ) {
+        let report = run_sim(mbps, rtt_ms, buffer_bdp, windows, 5.0);
+        for f in &report.flows {
+            prop_assert!(f.goodput_bytes <= f.sent_bytes,
+                "flow {:?}: delivered {} > sent {}", f.flow, f.goodput_bytes, f.sent_bytes);
+        }
+    }
+
+    /// The link never carries more than its capacity.
+    #[test]
+    fn utilization_bounded_by_one(
+        mbps in 5.0f64..60.0,
+        rtt_ms in 10u64..80,
+        buffer_bdp in 0.25f64..8.0,
+        windows in prop::collection::vec(0.3f64..4.0, 1..5),
+    ) {
+        let report = run_sim(mbps, rtt_ms, buffer_bdp, windows, 5.0);
+        prop_assert!(report.queue.utilization <= 1.0 + 1e-6,
+            "utilization {}", report.queue.utilization);
+        let total: f64 = report.flows.iter().map(|f| f.throughput_bytes_per_sec).sum();
+        prop_assert!(total <= mbps * 1e6 / 8.0 * 1.000001);
+    }
+
+    /// The queue respects its configured capacity.
+    #[test]
+    fn queue_never_exceeds_capacity(
+        mbps in 5.0f64..60.0,
+        rtt_ms in 10u64..80,
+        buffer_bdp in 0.25f64..8.0,
+        windows in prop::collection::vec(0.5f64..6.0, 1..5),
+    ) {
+        let report = run_sim(mbps, rtt_ms, buffer_bdp, windows, 5.0);
+        prop_assert!(report.queue.peak_occupancy_bytes <= report.queue.capacity_bytes,
+            "peak {} > capacity {}", report.queue.peak_occupancy_bytes, report.queue.capacity_bytes);
+        prop_assert!(report.queue.avg_occupancy_bytes <= report.queue.capacity_bytes as f64 + 1e-6);
+    }
+
+    /// A window larger than BDP+buffer must cause drops; at most one
+    /// window's worth can be in flight or queued.
+    #[test]
+    fn overload_causes_drops(
+        mbps in 10.0f64..40.0,
+        rtt_ms in 20u64..60,
+    ) {
+        let report = run_sim(mbps, rtt_ms, 1.0, vec![4.0], 10.0);
+        prop_assert!(report.queue.dropped_packets > 0);
+        // And the flow must recover enough to keep the link mostly busy.
+        prop_assert!(report.queue.utilization > 0.7,
+            "utilization {}", report.queue.utilization);
+    }
+
+    /// Same configuration → bit-identical results.
+    #[test]
+    fn determinism(
+        mbps in 5.0f64..40.0,
+        rtt_ms in 10u64..60,
+        buffer_bdp in 0.5f64..4.0,
+        windows in prop::collection::vec(0.5f64..3.0, 1..4),
+    ) {
+        let a = run_sim(mbps, rtt_ms, buffer_bdp, windows.clone(), 3.0);
+        let b = run_sim(mbps, rtt_ms, buffer_bdp, windows, 3.0);
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            prop_assert_eq!(fa.goodput_bytes, fb.goodput_bytes);
+            prop_assert_eq!(fa.sent_bytes, fb.sent_bytes);
+        }
+        prop_assert_eq!(a.queue.dropped_packets, b.queue.dropped_packets);
+    }
+
+    /// RTT-limited flows: a half-BDP window yields about half the link,
+    /// and the sender never observes an RTT below the configured base.
+    #[test]
+    fn min_rtt_never_below_base(
+        mbps in 5.0f64..40.0,
+        rtt_ms in 10u64..80,
+    ) {
+        let report = run_sim(mbps, rtt_ms, 2.0, vec![0.5], 5.0);
+        let base = rtt_ms as f64 / 1e3;
+        if let Some(min_rtt) = report.flows[0].min_rtt_secs {
+            prop_assert!(min_rtt >= base - 1e-9,
+                "min_rtt {} below base {}", min_rtt, base);
+        }
+    }
+}

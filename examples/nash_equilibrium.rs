@@ -1,0 +1,65 @@
+//! Predict the Nash-equilibrium CUBIC/BBR mix across buffer sizes — the
+//! paper's headline analysis — and show the best-response path the
+//! Internet would take toward it.
+//!
+//! ```text
+//! cargo run --release --example nash_equilibrium
+//! ```
+
+use bbrdom::game::dynamics::best_response_dynamics;
+use bbrdom::game::symmetric::SymmetricGame;
+use bbrdom::model::multi_flow::SyncMode;
+use bbrdom::model::nash::NashPredictor;
+
+fn main() {
+    let (mbps, rtt_ms, n) = (100.0, 40.0, 50u32);
+    println!("Nash equilibria for {n} same-RTT flows at {mbps} Mbps / {rtt_ms} ms\n");
+    println!("{:>10}  {:>18}  {:>18}", "buffer", "#CUBIC at NE", "(range over CUBIC");
+    println!("{:>10}  {:>18}  {:>18}", "(BDP)", "sync … desync", "synchronization)");
+
+    for bdp in [1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 50.0] {
+        let p = NashPredictor::from_paper_units(mbps, rtt_ms, bdp, n);
+        let (sync, desync) = p.predict_region().expect("valid configuration");
+        println!(
+            "{bdp:>10.1}  {:>8.1} … {:<8.1}",
+            sync.n_cubic, desync.n_cubic
+        );
+    }
+
+    // Walk the best-response dynamics at one setting, using the model's
+    // per-distribution payoff curves as the game.
+    let bdp = 8.0;
+    let p = NashPredictor::from_paper_units(mbps, rtt_ms, bdp, n);
+    let fair = p.fair_share();
+    let mut bbr_curve = vec![0.0];
+    let mut cubic_curve = Vec::with_capacity(n as usize + 1);
+    for k in 0..=n {
+        if k > 0 {
+            bbr_curve.push(p.bbr_per_flow(k as f64, SyncMode::Synchronized).unwrap());
+        }
+        if k < n {
+            // CUBIC per-flow at state k: (C − λ̂_b)/N_c.
+            let bbr_total = if k == 0 {
+                0.0
+            } else {
+                p.bbr_per_flow(k as f64, SyncMode::Synchronized).unwrap() * k as f64
+            };
+            cubic_curve.push((mbps * 1e6 / 8.0 - bbr_total) / (n - k) as f64);
+        } else {
+            cubic_curve.push(0.0);
+        }
+    }
+    let game = SymmetricGame::new(n, bbr_curve, cubic_curve).with_epsilon(0.001 * fair);
+    let trace = best_response_dynamics(&game, 0, 200);
+    println!(
+        "\nBest-response path at {bdp} BDP, starting from an all-CUBIC Internet:\n  {:?}\n  outcome: {:?} at {} BBR / {} CUBIC flows",
+        trace.states,
+        trace.outcome,
+        trace.final_state(),
+        n - trace.final_state()
+    );
+    println!(
+        "\nThe equilibrium is mixed: BBR adoption stalls once its per-flow\n\
+         advantage is competed away — the paper's core prediction."
+    );
+}

@@ -1,0 +1,38 @@
+//! Quickstart: predict a CUBIC-vs-BBR split with the model, then check
+//! it against the packet-level simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bbrdom::cca::CcaKind;
+use bbrdom::experiments::Scenario;
+use bbrdom::model::TwoFlowModel;
+
+fn main() {
+    // A 50 Mbps bottleneck, 40 ms base RTT, 8×BDP drop-tail buffer —
+    // the kind of path the paper's Fig. 3 sweeps.
+    let (mbps, rtt_ms, buffer_bdp) = (50.0, 40.0, 8.0);
+
+    // 1. Ask the model (Eqs. (18)–(20) of the paper).
+    let model = TwoFlowModel::from_paper_units(mbps, rtt_ms, buffer_bdp);
+    let pred = model.solve().expect("valid configuration");
+    println!("model: BBR {:.1} Mbps / CUBIC {:.1} Mbps", pred.bbr_mbps(), pred.cubic_mbps());
+
+    // 2. Run the real thing: one CUBIC and one BBR flow through the
+    //    discrete-event simulator for 60 simulated seconds.
+    let scenario = Scenario::versus(mbps, rtt_ms, buffer_bdp, 1, CcaKind::Bbr, 1, 60.0, 42);
+    let result = scenario.run();
+    let bbr = result.mean_throughput_of("bbr").unwrap();
+    let cubic = result.mean_throughput_of("cubic").unwrap();
+    println!("sim:   BBR {bbr:.1} Mbps / CUBIC {cubic:.1} Mbps");
+    println!(
+        "       queuing delay {:.1} ms, utilization {:.0}%, {} drops",
+        result.avg_queuing_delay_ms,
+        result.utilization * 100.0,
+        result.dropped_packets
+    );
+
+    let err = (pred.bbr_mbps() - bbr).abs() / bbr.max(1e-9);
+    println!("model vs sim error: {:.1}%", err * 100.0);
+}

@@ -1,0 +1,48 @@
+//! Mixed workloads: short transfers riding over a long-flow Internet
+//! whose congestion-control mix is shifting from CUBIC to BBR.
+//!
+//! The paper's Nash analysis scores long flows by throughput; this
+//! example asks what the bystanders experience — ad-sized and page-sized
+//! transfers — as the long-flow population adopts BBR (§5's "more
+//! diverse workloads" future work, built on the `ext-shortflows`
+//! machinery).
+//!
+//! ```text
+//! cargo run --release --example workload_mix
+//! ```
+
+use bbrdom::experiments::ext::shortflows;
+
+fn main() {
+    let n_long = 6u32;
+    println!(
+        "{} long flows at 50 Mbps / 8 BDP; 8 short CUBIC transfers ride along\n",
+        n_long
+    );
+    println!(
+        "{:>10}  {:>14}  {:>14}",
+        "#BBR long", "30 kB FCT (ms)", "300 kB FCT (ms)"
+    );
+    for n_bbr in 0..=n_long {
+        let mut fcts = Vec::new();
+        for &size in &shortflows::SHORT_SIZES {
+            let s = shortflows::scenario(n_long, n_bbr, size, 30.0, 0xE0 + n_bbr as u64);
+            let r = s.run();
+            fcts.push(shortflows::mean_fct(&r).map(|f| f * 1e3));
+        }
+        println!(
+            "{n_bbr:>10}  {:>14}  {:>14}",
+            fcts[0]
+                .map(|f| format!("{f:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            fcts[1]
+                .map(|f| format!("{f:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\nShort-flow latency tracks the standing queue the long flows maintain:\n\
+         the congestion-control market's equilibrium is an externality for\n\
+         everyone else's page loads."
+    );
+}

@@ -1,0 +1,33 @@
+//! # bbrdom — *Are we heading towards a BBR-dominant Internet?* (IMC '22), in Rust
+//!
+//! This crate is the umbrella facade over the workspace that reproduces
+//! Mishra, Tiu & Leong's IMC 2022 paper. It re-exports the four member
+//! crates so downstream users (and this repository's `examples/` and
+//! `tests/`) can write `use bbrdom::...` for everything:
+//!
+//! * [`model`] / [`game`] — the paper's contribution: the CUBIC-vs-BBR
+//!   throughput model (2-flow and multi-flow, Eqs. 5–24), the Ware et al.
+//!   baseline (Eqs. 2–4), Nash-equilibrium prediction (Eq. 25), and the
+//!   normal-form game machinery.
+//! * [`netsim`] — the packet-level discrete-event dumbbell simulator that
+//!   stands in for the paper's Linux testbed.
+//! * [`cca`] — from-scratch congestion-control algorithms: CUBIC, NewReno,
+//!   BBRv1, BBRv2, Copa, PCC Vivace.
+//! * [`experiments`] — scenario harness that regenerates every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bbrdom::model::TwoFlowModel;
+//!
+//! // Predict BBR's share of a 50 Mbps, 40 ms bottleneck with an 8-BDP buffer.
+//! let model = TwoFlowModel::from_paper_units(50.0, 40.0, 8.0);
+//! let pred = model.solve().expect("valid configuration");
+//! assert!(pred.bbr_mbps() > 0.0 && pred.bbr_mbps() < 50.0);
+//! ```
+
+pub use bbrdom_cca as cca;
+pub use bbrdom_core::game;
+pub use bbrdom_core::model;
+pub use bbrdom_experiments as experiments;
+pub use bbrdom_netsim as netsim;

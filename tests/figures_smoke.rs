@@ -1,0 +1,90 @@
+//! Every figure module runs end-to-end at smoke scale and produces
+//! non-empty, well-formed output — the cheapest full-pipeline guarantee
+//! that `repro all` cannot bit-rot.
+//!
+//! These are real simulations (seconds each); heavier figures are marked
+//! `#[ignore]` for the default test run and exercised by `repro`/benches.
+
+use bbrdom::experiments::figs::{run_figure, ALL_FIGURES};
+use bbrdom::experiments::Profile;
+
+fn smoke() -> Profile {
+    Profile::smoke()
+}
+
+fn check(id: &str) {
+    let result = run_figure(id, &smoke()).unwrap_or_else(|| panic!("unknown figure {id}"));
+    assert_eq!(result.id, id);
+    assert!(!result.tables.is_empty(), "{id}: no tables");
+    for t in &result.tables {
+        assert!(!t.rows.is_empty(), "{id}: empty table '{}'", t.title);
+        assert!(!t.columns.is_empty());
+        // Render paths must not panic and must contain the title.
+        assert!(t.render().contains('#'));
+        assert!(t.to_csv().contains(','));
+    }
+}
+
+#[test]
+fn fig01_smoke() {
+    check("fig01");
+}
+
+#[test]
+fn fig03_smoke() {
+    check("fig03");
+}
+
+#[test]
+fn fig04_smoke() {
+    check("fig04");
+}
+
+#[test]
+fn fig05_smoke() {
+    check("fig05");
+}
+
+#[test]
+fn fig06_smoke() {
+    check("fig06");
+}
+
+#[test]
+fn fig07_smoke() {
+    check("fig07");
+}
+
+#[test]
+fn fig08_smoke() {
+    check("fig08");
+}
+
+#[test]
+#[ignore = "heavier: 6 panels × (n+1) splits; covered by repro/benches"]
+fn fig09_smoke() {
+    check("fig09");
+}
+
+#[test]
+#[ignore = "heavier: (g+1)^3 states; covered by repro and tests/multi_rtt.rs"]
+fn fig10_smoke() {
+    check("fig10");
+}
+
+#[test]
+#[ignore = "heavier: 6 panels × (n+1) splits with BBRv2; covered by repro"]
+fn fig11_smoke() {
+    check("fig11");
+}
+
+#[test]
+fn fig12_smoke() {
+    check("fig12");
+}
+
+#[test]
+fn unknown_figure_rejected() {
+    assert!(run_figure("fig02", &smoke()).is_none());
+    assert_eq!(ALL_FIGURES.len(), 11);
+}

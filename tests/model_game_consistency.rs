@@ -1,0 +1,75 @@
+//! Consistency between the analytical model and the game machinery:
+//! feeding the model's own payoff curves into the empirical-NE machinery
+//! must find equilibria at the model's predicted crossing (pure math —
+//! no simulation — so it runs everywhere instantly).
+
+use bbrdom::game::symmetric::SymmetricGame;
+use bbrdom::model::multi_flow::SyncMode;
+use bbrdom::model::nash::NashPredictor;
+
+/// Build the symmetric game whose payoffs are the model's predictions.
+fn model_game(mbps: f64, rtt_ms: f64, buffer_bdp: f64, n: u32, mode: SyncMode) -> SymmetricGame {
+    let p = NashPredictor::from_paper_units(mbps, rtt_ms, buffer_bdp, n);
+    let c = mbps * 1e6 / 8.0;
+    let mut bbr = vec![0.0];
+    let mut cubic = Vec::with_capacity(n as usize + 1);
+    for k in 0..=n {
+        if k > 0 {
+            bbr.push(p.bbr_per_flow(k as f64, mode).unwrap());
+        }
+        if k < n {
+            let bbr_total = if k == 0 {
+                0.0
+            } else {
+                p.bbr_per_flow(k as f64, mode).unwrap() * k as f64
+            };
+            cubic.push((c - bbr_total) / (n - k) as f64);
+        } else {
+            cubic.push(0.0);
+        }
+    }
+    SymmetricGame::new(n, bbr, cubic).with_epsilon(1e-4 * c)
+}
+
+#[test]
+fn game_on_model_payoffs_finds_the_model_crossing() {
+    for buffer_bdp in [2.0, 5.0, 10.0, 25.0] {
+        let n = 20u32;
+        let p = NashPredictor::from_paper_units(100.0, 40.0, buffer_bdp, n);
+        let predicted = p.predict(SyncMode::Synchronized).unwrap();
+        let game = model_game(100.0, 40.0, buffer_bdp, n, SyncMode::Synchronized);
+        let nes = game.nash_equilibria();
+        assert!(!nes.is_empty(), "model-payoff game must have an NE");
+        // At least one game NE within one flow of the continuous crossing.
+        let ok = nes
+            .iter()
+            .any(|e| (e.n_bbr as f64 - predicted.n_bbr).abs() <= 1.0 + 1e-9);
+        assert!(
+            ok,
+            "at {buffer_bdp} BDP: game NEs {:?} vs model crossing {:.2}",
+            nes.iter().map(|e| e.n_bbr).collect::<Vec<_>>(),
+            predicted.n_bbr
+        );
+    }
+}
+
+#[test]
+fn best_response_on_model_payoffs_converges_to_the_crossing() {
+    use bbrdom::game::dynamics::{best_response_dynamics, BestResponseOutcome};
+    let n = 30u32;
+    let game = model_game(50.0, 20.0, 6.0, n, SyncMode::Synchronized);
+    for start in [0, n] {
+        let trace = best_response_dynamics(&game, start, 1000);
+        assert_eq!(trace.outcome, BestResponseOutcome::Converged);
+        assert!(game.is_nash(trace.final_state()));
+    }
+}
+
+#[test]
+fn desync_mode_moves_the_crossing_toward_more_bbr() {
+    let n = 20u32;
+    let p = NashPredictor::from_paper_units(100.0, 40.0, 8.0, n);
+    let sync = p.predict(SyncMode::Synchronized).unwrap();
+    let desync = p.predict(SyncMode::DeSynchronized).unwrap();
+    assert!(desync.n_bbr >= sync.n_bbr - 1e-9);
+}
