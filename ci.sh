@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 tests, and a perf smoke run.
+#
+# Usage: ./ci.sh          # full gate (fmt, clippy, tests, perf smoke)
+#        SKIP_PERF=1 ./ci.sh   # skip the perf smoke (e.g. on loaded CI boxes)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 tests (workspace, release)"
+cargo test --release --workspace
+
+if [[ "${SKIP_PERF:-0}" != "1" ]]; then
+    # Perf smoke: a short netsim_perf run (few samples) to catch gross
+    # regressions and keep BENCH_netsim.json generation exercised. Not a
+    # pass/fail throughput gate — wall-clock thresholds don't travel
+    # across machines; compare BENCH_netsim.json runs by hand instead.
+    echo "==> perf smoke (netsim_perf, BENCH_SAMPLES=5)"
+    BENCH_SAMPLES=5 cargo bench -p bbrdom-bench --bench netsim_perf
+fi
+
+echo "==> CI OK"

@@ -35,7 +35,9 @@ fn gain_sweep() -> f64 {
     for bdp in [2.0, 5.0, 10.0, 20.0, 50.0] {
         let l = LinkParams::from_paper_units(50.0, 40.0, bdp);
         for gain in [1.2, 1.4, 1.6, 1.8, 2.0] {
-            acc += solve_with_gamma_and_gain(&l, 0.7, gain).unwrap().bbr_bandwidth;
+            acc += solve_with_gamma_and_gain(&l, 0.7, gain)
+                .unwrap()
+                .bbr_bandwidth;
         }
     }
     acc
@@ -62,7 +64,9 @@ fn bisect(l: &LinkParams, gamma: f64) -> f64 {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
-    g.bench_function("model_gain_sweep_25pts", |b| b.iter(|| black_box(gain_sweep())));
+    g.bench_function("model_gain_sweep_25pts", |b| {
+        b.iter(|| black_box(gain_sweep()))
+    });
     let l = LinkParams::from_paper_units(50.0, 40.0, 10.0);
     g.bench_function("eq18_closed_form", |b| {
         b.iter(|| black_box(solve_with_gamma(&l, 0.7).unwrap().bbr_buffer))

@@ -21,7 +21,9 @@ fn model_sweep() -> f64 {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig03");
-    g.bench_function("two_flow_model_4panels", |b| b.iter(|| black_box(model_sweep())));
+    g.bench_function("two_flow_model_4panels", |b| {
+        b.iter(|| black_box(model_sweep()))
+    });
     g.sample_size(10);
     g.bench_function("sim_validation_point", |b| {
         b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 5.0, bbrdom_cca::CcaKind::Bbr)))

@@ -18,7 +18,9 @@ fn region_sweep(n_cubic: u32, n_bbr: u32) -> f64 {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig04");
     g.bench_function("region_5v5", |b| b.iter(|| black_box(region_sweep(5, 5))));
-    g.bench_function("region_10v10", |b| b.iter(|| black_box(region_sweep(10, 10))));
+    g.bench_function("region_10v10", |b| {
+        b.iter(|| black_box(region_sweep(10, 10)))
+    });
     g.finish();
 }
 

@@ -19,7 +19,9 @@ fn curves() -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("fig05/model_bounds_4panels", |b| b.iter(|| black_box(curves())));
+    c.bench_function("fig05/model_bounds_4panels", |b| {
+        b.iter(|| black_box(curves()))
+    });
 }
 
 criterion_group!(benches, bench);

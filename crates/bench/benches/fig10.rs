@@ -11,8 +11,14 @@ fn enumerate(n: u32) -> usize {
     let game = MultiGroupGame::new(vec![n; 3], move |state: &[u32]| {
         let total: u32 = state.iter().sum();
         GroupPayoffs {
-            bbr: rtts.iter().map(|r| 10.0 + r / 10.0 - 1.2 * total as f64).collect(),
-            cubic: rtts.iter().map(|r| 10.0 - r / 25.0 + 0.4 * total as f64).collect(),
+            bbr: rtts
+                .iter()
+                .map(|r| 10.0 + r / 10.0 - 1.2 * total as f64)
+                .collect(),
+            cubic: rtts
+                .iter()
+                .map(|r| 10.0 - r / 25.0 + 0.4 * total as f64)
+                .collect(),
         }
     });
     game.nash_equilibria().len()
@@ -20,7 +26,9 @@ fn enumerate(n: u32) -> usize {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
-    g.bench_function("ne_enumeration_11x11x11", |b| b.iter(|| black_box(enumerate(10))));
+    g.bench_function("ne_enumeration_11x11x11", |b| {
+        b.iter(|| black_box(enumerate(10)))
+    });
     g.finish();
 }
 

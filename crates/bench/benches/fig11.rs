@@ -8,7 +8,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
     g.bench_function("sim_1v1_bbrv2", |b| {
-        b.iter(|| black_box(bbrdom_bench::tiny_sim(20.0, 2.0, bbrdom_cca::CcaKind::BbrV2)))
+        b.iter(|| {
+            black_box(bbrdom_bench::tiny_sim(
+                20.0,
+                2.0,
+                bbrdom_cca::CcaKind::BbrV2,
+            ))
+        })
     });
     g.finish();
 }

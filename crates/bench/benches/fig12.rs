@@ -18,7 +18,9 @@ fn deep_sweep() -> f64 {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12");
-    g.bench_function("model_ultra_deep_sweep", |b| b.iter(|| black_box(deep_sweep())));
+    g.bench_function("model_ultra_deep_sweep", |b| {
+        b.iter(|| black_box(deep_sweep()))
+    });
     g.sample_size(10);
     g.bench_function("sim_deep_buffer_point", |b| {
         b.iter(|| black_box(bbrdom_bench::tiny_sim(10.0, 30.0, bbrdom_cca::CcaKind::Bbr)))

@@ -2,33 +2,125 @@
 //!
 //! Not a paper figure — this tracks the substrate's speed (events/sec),
 //! which bounds how fast the paper-scale sweeps (`repro --full`) run.
+//!
+//! Three slices of one simulated second at 100 Mbps / 20 ms: a single
+//! saturating flow (in-order fast path), the historical 10-flow mix (the
+//! cross-engine comparison case — keep its config stable), and a 50-flow
+//! overload that drops and retransmits (scoreboard + loss-marking path).
+//!
+//! Besides the stdout report, the run writes `BENCH_netsim.json` at the
+//! repo root: machine-readable events/sec per case (format documented in
+//! `EXPERIMENTS.md`), so perf regressions are diffable in review.
 
 use bbrdom_netsim::cc::FixedWindow;
 use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-/// One simulated second at 100 Mbps with 10 fixed-window flows
-/// ≈ 8.3k packets ≈ 33k events.
-fn run_slice() -> u64 {
+struct Case {
+    name: &'static str,
+    flows: usize,
+    /// Per-flow fixed window as a fraction of the path BDP.
+    window_bdp: f64,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "dumbbell_1s_1flow_100mbps",
+        flows: 1,
+        window_bdp: 2.0,
+    },
+    Case {
+        name: "dumbbell_1s_10flows_100mbps",
+        flows: 10,
+        window_bdp: 1.0 / 3.0,
+    },
+    Case {
+        name: "dumbbell_1s_50flows_100mbps",
+        flows: 50,
+        window_bdp: 1.0 / 8.0,
+    },
+];
+
+fn build_sim(case: &Case) -> Simulator {
     let rate = Rate::from_mbps(100.0);
     let rtt = SimDuration::from_millis(20);
     let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, 2.0);
     let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(1.0)));
     let bdp = rate.bdp_bytes(rtt);
-    for _ in 0..10 {
-        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(bdp / 3)), rtt));
+    let window = ((bdp as f64 * case.window_bdp) as u64).max(bbrdom_netsim::MSS);
+    for _ in 0..case.flows {
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(window)), rtt));
     }
-    let report = sim.run();
-    report.flows.iter().map(|f| f.goodput_bytes).sum()
+    sim
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim");
-    g.throughput(Throughput::Elements(33_000));
-    g.bench_function("dumbbell_1s_10flows_100mbps", |b| b.iter(|| black_box(run_slice())));
-    g.finish();
+struct Measurement {
+    events: u64,
+    median: Duration,
+    min: Duration,
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+/// Time `samples` full runs of one case (after one untimed warm-up).
+fn measure(case: &Case, samples: usize) -> Measurement {
+    let events = build_sim(case).run().events_processed;
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut sim = build_sim(case);
+            let start = Instant::now();
+            black_box(sim.run());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    Measurement {
+        events,
+        median: times[times.len() / 2],
+        min: times[0],
+    }
+}
+
+fn events_per_sec(m: &Measurement) -> f64 {
+    m.events as f64 / m.median.as_secs_f64()
+}
+
+fn main() {
+    let samples: usize = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+
+    let mut results = Vec::new();
+    for case in CASES {
+        let m = measure(case, samples);
+        println!(
+            "netsim/{:<32} median {:>12.3?}  min {:>12.3?}  {:>12.0} events/s  ({} events)",
+            case.name,
+            m.median,
+            m.min,
+            events_per_sec(&m),
+            m.events,
+        );
+        results.push((case, m));
+    }
+
+    // Repo root: two levels up from this crate's manifest.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netsim.json");
+    let mut json = String::from("{\n  \"schema\": \"netsim-perf-v1\",\n  \"cases\": [\n");
+    for (i, (case, m)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"flows\": {}, \"events\": {}, \
+             \"median_secs\": {:.6}, \"min_secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            case.name,
+            case.flows,
+            m.events,
+            m.median.as_secs_f64(),
+            m.min.as_secs_f64(),
+            events_per_sec(m),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, json).expect("write BENCH_netsim.json");
+    println!("wrote {out}");
+}

@@ -18,9 +18,7 @@ pub fn bench_profile() -> Profile {
 pub fn tiny_sim(mbps: f64, buffer_bdp: f64, challenger: bbrdom_cca::CcaKind) -> f64 {
     use bbrdom_experiments::Scenario;
     let s = Scenario::versus(mbps, 20.0, buffer_bdp, 1, challenger, 1, 4.0, 42);
-    s.run()
-        .mean_throughput_of(challenger.name())
-        .unwrap_or(0.0)
+    s.run().mean_throughput_of(challenger.name()).unwrap_or(0.0)
 }
 
 #[cfg(test)]

@@ -256,8 +256,7 @@ impl Bbr {
         if self.state == State::ProbeRtt {
             // Clamp the window to the ProbeRTT floor.
             self.cwnd = self.cwnd.min(self.min_cwnd());
-            if self.probe_rtt_done_stamp.is_none()
-                && (ack.inflight_bytes as f64) <= self.min_cwnd()
+            if self.probe_rtt_done_stamp.is_none() && (ack.inflight_bytes as f64) <= self.min_cwnd()
             {
                 self.probe_rtt_done_stamp = Some(ack.now + PROBE_RTT_DURATION);
                 self.probe_rtt_round_done = false;
@@ -326,8 +325,7 @@ impl CongestionControl for Bbr {
         } else if self.rounds.round_start() {
             self.btlbw.expire(self.rounds.rounds());
         }
-        let rtprop_expired =
-            ack.now.saturating_since(self.rtprop_stamp) > RTPROP_WINDOW;
+        let rtprop_expired = ack.now.saturating_since(self.rtprop_stamp) > RTPROP_WINDOW;
         self.update_rtprop(ack, rtprop_expired);
         self.update_state_machine(ack);
         self.handle_probe_rtt(ack, rtprop_expired);
@@ -454,10 +452,7 @@ mod tests {
             40,
             1.0,
             60.0,
-            vec![
-                Box::new(Bbr::new(0)),
-                Box::new(crate::cubic::Cubic::new()),
-            ],
+            vec![Box::new(Bbr::new(0)), Box::new(crate::cubic::Cubic::new())],
         );
         let bbr = report.flows[0].throughput_mbps();
         let cubic = report.flows[1].throughput_mbps();
@@ -474,20 +469,14 @@ mod tests {
             40,
             2.0,
             60.0,
-            vec![
-                Box::new(Bbr::new(0)),
-                Box::new(crate::cubic::Cubic::new()),
-            ],
+            vec![Box::new(Bbr::new(0)), Box::new(crate::cubic::Cubic::new())],
         );
         let deep = run_dumbbell(
             50.0,
             40,
             16.0,
             60.0,
-            vec![
-                Box::new(Bbr::new(0)),
-                Box::new(crate::cubic::Cubic::new()),
-            ],
+            vec![Box::new(Bbr::new(0)), Box::new(crate::cubic::Cubic::new())],
         );
         let bbr_shallow = shallow.flows[0].throughput_mbps();
         let bbr_deep = deep.flows[0].throughput_mbps();

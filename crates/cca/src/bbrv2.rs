@@ -236,18 +236,13 @@ impl BbrV2 {
             }
             State::ProbeBwUp => {
                 let rtprop = self.rtprop.unwrap_or(0.1);
-                let elapsed =
-                    ack.now.saturating_since(self.cycle_stamp).as_secs_f64() > rtprop;
+                let elapsed = ack.now.saturating_since(self.cycle_stamp).as_secs_f64() > rtprop;
                 let too_high = self.round_loss_rate() > LOSS_THRESH;
                 if too_high {
                     // Loss ceiling found: remember it and back down.
                     self.inflight_hi = inflight.max(self.bdp().unwrap_or(inflight));
                     self.enter_down(ack.now);
-                } else if elapsed
-                    && self
-                        .bdp()
-                        .is_some_and(|b| inflight >= 1.25 * b)
-                {
+                } else if elapsed && self.bdp().is_some_and(|b| inflight >= 1.25 * b) {
                     // Probe achieved its volume without excessive loss:
                     // raise the ceiling and back down.
                     if self.inflight_hi.is_finite() {
@@ -364,10 +359,8 @@ impl CongestionControl for BbrV2 {
         } else if self.rounds.round_start() {
             self.btlbw.expire(self.rounds.rounds());
         }
-        let filter_expired =
-            ack.now.saturating_since(self.rtprop_stamp) > RTPROP_WINDOW;
-        let probe_due =
-            ack.now.saturating_since(self.rtprop_stamp) > PROBE_RTT_INTERVAL;
+        let filter_expired = ack.now.saturating_since(self.rtprop_stamp) > RTPROP_WINDOW;
+        let probe_due = ack.now.saturating_since(self.rtprop_stamp) > PROBE_RTT_INTERVAL;
         self.update_rtprop(ack, filter_expired);
         self.update_state_machine(ack);
         self.handle_probe_rtt(ack, probe_due);

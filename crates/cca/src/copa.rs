@@ -276,10 +276,7 @@ mod tests {
             40,
             2.0,
             60.0,
-            vec![
-                Box::new(Copa::new()),
-                Box::new(crate::cubic::Cubic::new()),
-            ],
+            vec![Box::new(Copa::new()), Box::new(crate::cubic::Cubic::new())],
         );
         let copa = report.flows[0].throughput_mbps();
         let cubic = report.flows[1].throughput_mbps();

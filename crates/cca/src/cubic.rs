@@ -108,8 +108,7 @@ impl Cubic {
             self.hystart_samples += 1;
         }
         if self.hystart_samples >= HYSTART_MIN_SAMPLES && self.hystart_base_rtt.is_finite() {
-            let thresh = (self.hystart_base_rtt / 8.0)
-                .clamp(HYSTART_DELAY_MIN, HYSTART_DELAY_MAX);
+            let thresh = (self.hystart_base_rtt / 8.0).clamp(HYSTART_DELAY_MIN, HYSTART_DELAY_MAX);
             if self.hystart_round_min >= self.hystart_base_rtt + thresh {
                 return true;
             }
@@ -198,10 +197,7 @@ impl CongestionControl for Cubic {
             self.cwnd += acked_mss;
             return;
         }
-        let srtt = view
-            .srtt
-            .map(|d| d.as_secs_f64())
-            .unwrap_or(0.1);
+        let srtt = view.srtt.map(|d| d.as_secs_f64()).unwrap_or(0.1);
         self.congestion_avoidance(ack.now, srtt);
     }
 

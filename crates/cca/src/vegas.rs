@@ -174,10 +174,7 @@ mod tests {
             40,
             4.0,
             40.0,
-            vec![
-                Box::new(Vegas::new()),
-                Box::new(crate::cubic::Cubic::new()),
-            ],
+            vec![Box::new(Vegas::new()), Box::new(crate::cubic::Cubic::new())],
         );
         let vegas = report.flows[0].throughput_mbps();
         let cubic = report.flows[1].throughput_mbps();

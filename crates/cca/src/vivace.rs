@@ -100,7 +100,7 @@ impl Mi {
     }
 
     fn contains(&self, t: SimTime) -> bool {
-        t >= self.start && self.end.map_or(true, |e| t < e)
+        t >= self.start && self.end.is_none_or(|e| t < e)
     }
 
     /// Vivace utility of this (finished) MI.
@@ -118,9 +118,7 @@ impl Mi {
             self.lost_bytes as f64 / total as f64
         };
         let raw_gradient = match (self.first_rtt, self.last_rtt) {
-            (Some((t0, r0)), Some((t1, r1))) if t1 > t0 => {
-                (r1 - r0) / (t1 - t0).as_secs_f64()
-            }
+            (Some((t0, r0)), Some((t1, r1))) if t1 > t0 => (r1 - r0) / (t1 - t0).as_secs_f64(),
             _ => 0.0,
         };
         let rtt_gradient = if raw_gradient.abs() < GRADIENT_DEAD_ZONE {
@@ -291,7 +289,8 @@ impl Vivace {
     fn process_ack(&mut self, ack: &AckSample, srtt: f64) {
         if !self.started {
             self.started = true;
-            self.mis.push_back(Mi::new(MiRole::SlowStart, ack.now, self.rate));
+            self.mis
+                .push_back(Mi::new(MiRole::SlowStart, ack.now, self.rate));
             self.mi_len = srtt.max(MIN_MI);
         }
         // Send-time of the ACKed packet (Karn: retransmits carry no RTT

@@ -150,7 +150,7 @@ where
                 trial[j] += 1;
                 let there = (self.payoff)(&trial);
                 let gain = there[j] - here[i];
-                if gain > self.epsilon && best.as_ref().map_or(true, |(g, _)| gain > *g) {
+                if gain > self.epsilon && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                     best = Some((gain, trial.clone()));
                 }
                 trial[i] += 1;
@@ -237,9 +237,7 @@ mod tests {
         // And best-response dynamics must keep moving forever.
         let mut state = vec![3, 0, 0];
         for _ in 0..10 {
-            state = g
-                .best_response_step(&state)
-                .expect("never settles");
+            state = g.best_response_step(&state).expect("never settles");
         }
     }
 
@@ -253,7 +251,10 @@ mod tests {
                 None => break,
             }
         }
-        assert!(g.is_nash(&state), "dynamics should settle at an NE, got {state:?}");
+        assert!(
+            g.is_nash(&state),
+            "dynamics should settle at an NE, got {state:?}"
+        );
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl SymmetricGame {
         }
         if k > 0 {
             let gain = self.cubic[(k - 1) as usize] - self.bbr[k as usize];
-            if gain > self.epsilon && best.map_or(true, |(g, _)| gain > g) {
+            if gain > self.epsilon && best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, k - 1));
             }
         }

@@ -11,7 +11,7 @@ pub mod two_flow;
 pub mod ware;
 
 pub use multi_flow::{MultiFlowModel, MultiFlowPrediction, SyncMode};
-pub use nash::{NashPredictor, NashPrediction, NashRegion};
+pub use nash::{NashPrediction, NashPredictor, NashRegion};
 pub use two_flow::{TwoFlowModel, TwoFlowPrediction};
 pub use ware::{WareModel, WarePrediction};
 

@@ -68,7 +68,10 @@ impl NashPredictor {
     }
 
     pub fn from_paper_units(mbps: f64, rtt_ms: f64, buffer_bdp: f64, n_total: u32) -> Self {
-        NashPredictor::new(LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp), n_total)
+        NashPredictor::new(
+            LinkParams::from_paper_units(mbps, rtt_ms, buffer_bdp),
+            n_total,
+        )
     }
 
     /// BBR per-flow bandwidth (bytes/s) at a (possibly fractional)
@@ -110,9 +113,7 @@ impl NashPredictor {
         }
         let n = self.n_total as f64;
         let fair = self.link.capacity / n;
-        let f = |nb: f64| -> Result<f64, ModelError> {
-            Ok(self.bbr_per_flow(nb, mode)? - fair)
-        };
+        let f = |nb: f64| -> Result<f64, ModelError> { Ok(self.bbr_per_flow(nb, mode)? - fair) };
         // At n_bbr = N the curve touches fair share exactly; the interior
         // crossing (if any) is where f changes sign. Scan coarsely, then
         // bisect.
@@ -172,10 +173,7 @@ impl NashPredictor {
 
     /// The full per-distribution curve (Fig. 6): BBR per-flow bandwidth
     /// for every integer `N_b ∈ [1, N]`, plus the fair-share line.
-    pub fn distribution_curve(
-        &self,
-        mode: SyncMode,
-    ) -> Result<Vec<(u32, f64)>, ModelError> {
+    pub fn distribution_curve(&self, mode: SyncMode) -> Result<Vec<(u32, f64)>, ModelError> {
         let mut out = Vec::with_capacity(self.n_total as usize);
         for nb in 1..=self.n_total {
             let m = MultiFlowModel::new(self.link, self.n_total - nb, nb);
@@ -283,7 +281,10 @@ mod tests {
         // Interior states (some CUBIC present): per-flow BBR bandwidth is
         // the fixed aggregate divided by N_b, hence strictly decreasing.
         for w in curve[..curve.len() - 1].windows(2) {
-            assert!(w[0].1 >= w[1].1 - 1e-9, "interior curve must be non-increasing");
+            assert!(
+                w[0].1 >= w[1].1 - 1e-9,
+                "interior curve must be non-increasing"
+            );
         }
         // The all-BBR endpoint is exactly the fair share (point B in
         // Fig. 6). Note the aggregate model is discontinuous here: with

@@ -91,10 +91,7 @@ impl TwoFlowModel {
 
 /// Solve Eq. (18) generalized to an arbitrary back-off factor γ, then
 /// apply Eqs. (19)–(20). Shared by the 2-flow and multi-flow models.
-pub fn solve_with_gamma(
-    link: &LinkParams,
-    gamma: f64,
-) -> Result<TwoFlowPrediction, ModelError> {
+pub fn solve_with_gamma(link: &LinkParams, gamma: f64) -> Result<TwoFlowPrediction, ModelError> {
     solve_with_gamma_and_gain(link, gamma, 2.0)
 }
 

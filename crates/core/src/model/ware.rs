@@ -140,7 +140,11 @@ mod tests {
         // Probe_time = (0.4 + 0.2 + 0.04)·12 = 7.68 s
         // frac = 0.5524 · (112.32/120) = 0.51705 → 25.85 Mbps
         let pred = model(10.0).predict().unwrap();
-        assert!((pred.bbr_mbps() - 25.85).abs() < 0.1, "got {}", pred.bbr_mbps());
+        assert!(
+            (pred.bbr_mbps() - 25.85).abs() < 0.1,
+            "got {}",
+            pred.bbr_mbps()
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@ fn main() {
         sim.add_flow(FlowConfig::new(Box::new(bbrdom_cca::Cubic::new()), rtt));
         sim.add_flow(FlowConfig::new(Box::new(bbrdom_cca::Bbr::new(0)), rtt));
         let r = sim.run();
-        let c = &r.flows[0]; let b = &r.flows[1];
+        let c = &r.flows[0];
+        let b = &r.flows[1];
         println!("{mbps}Mbps {bdp}BDP: cubic={:.1} (ce={} rtos={} lost={} avg_cwnd={:.0}pkt maxcwnd={:.0} meanrtt={:.0}ms) bbr={:.1} (lost={} avgcwnd={:.0}pkt)",
           c.throughput_mbps(), c.congestion_events, c.rtos, c.lost_packets, c.avg_cwnd_bytes/1500.0, c.max_cwnd_bytes as f64/1500.0, c.mean_rtt_secs.unwrap_or(0.0)*1e3,
           b.throughput_mbps(), b.lost_packets, b.avg_cwnd_bytes/1500.0);

@@ -41,7 +41,8 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => profile = Profile::smoke(),
             "--out" => {
                 out_dir = PathBuf::from(
-                    args.next().ok_or_else(|| "--out needs a directory".to_string())?,
+                    args.next()
+                        .ok_or_else(|| "--out needs a directory".to_string())?,
                 );
             }
             "--ne-flows" => {
@@ -144,9 +145,7 @@ fn main() -> ExitCode {
     for target in &targets {
         eprintln!("== running {target} ==");
         let started = std::time::Instant::now();
-        match run_figure(target, &args.profile)
-            .or_else(|| run_extension(target, &args.profile))
-        {
+        match run_figure(target, &args.profile).or_else(|| run_extension(target, &args.profile)) {
             Some(result) => {
                 print!("{}", result.render());
                 match result.write_csvs(&args.out_dir) {

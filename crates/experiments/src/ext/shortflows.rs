@@ -29,13 +29,7 @@ pub const SHORT_SIZES: [u64; 2] = [30_000, 300_000];
 /// Build a scenario: `n_bbr` of `n_long` long flows run BBR, the rest
 /// CUBIC; short CUBIC transfers of `size` bytes arrive every
 /// `interval_s` from `warmup_s` on.
-pub fn scenario(
-    n_long: u32,
-    n_bbr: u32,
-    size: u64,
-    duration: f64,
-    seed: u64,
-) -> Scenario {
+pub fn scenario(n_long: u32, n_bbr: u32, size: u64, duration: f64, seed: u64) -> Scenario {
     let mut flows = Vec::new();
     for _ in 0..(n_long - n_bbr) {
         flows.push(FlowSpec::long(CcaKind::Cubic, RTT_MS));
@@ -88,12 +82,7 @@ pub fn run(profile: &Profile) -> FigResult {
             "ext-shortflows: short-transfer FCT vs long-flow mix \
              ({n_long} long flows, {MBPS} Mbps, {BUFFER_BDP} BDP)"
         ),
-        &[
-            "n_bbr_long",
-            "fct_30kB_ms",
-            "fct_300kB_ms",
-            "qdelay_ms",
-        ],
+        &["n_bbr_long", "fct_30kB_ms", "fct_300kB_ms", "qdelay_ms"],
     );
     let mut scenarios = Vec::new();
     for n_bbr in 0..=n_long {
@@ -126,7 +115,11 @@ pub fn run(profile: &Profile) -> FigResult {
                 }
                 qd.push(r.avg_queuing_delay_ms);
             }
-            per_size.push(if fcts.is_empty() { f64::NAN } else { mean(&fcts) });
+            per_size.push(if fcts.is_empty() {
+                f64::NAN
+            } else {
+                mean(&fcts)
+            });
         }
         if n_bbr == 0 {
             fct_all_cubic = Some(per_size[0]);

@@ -43,14 +43,14 @@ fn scenario_for(state: &[u32], duration: f64, seed: u64) -> Scenario {
     }
 }
 
+/// Boxed payoff oracle: composition state -> per-strategy payoffs.
+pub type PayoffOracle = Box<dyn Fn(&[u32]) -> Vec<f64>>;
+
+/// A measured game plus the composition states backing its payoff oracle.
+pub type MeasuredGame = (MultiStrategyGame<PayoffOracle>, Vec<Vec<u32>>);
+
 /// Measure all compositions and build the payoff oracle.
-pub fn measure_game(
-    n: u32,
-    profile: &Profile,
-) -> (
-    MultiStrategyGame<impl Fn(&[u32]) -> Vec<f64>>,
-    Vec<Vec<u32>>,
-) {
+pub fn measure_game(n: u32, profile: &Profile) -> MeasuredGame {
     // Enumerate compositions via a scratch game (payoffs unused).
     let scratch = MultiStrategyGame::new(n, 3, |_: &[u32]| vec![0.0; 3]);
     let states = scratch.states();
@@ -69,10 +69,9 @@ pub fn measure_game(
         payoffs.insert(state.clone(), per_strategy);
     }
     let eps = 0.03 * MBPS / n as f64;
-    let game = MultiStrategyGame::new(n, 3, move |st: &[u32]| {
-        payoffs.get(st).cloned().expect("state measured")
-    })
-    .with_epsilon(eps);
+    let oracle: PayoffOracle =
+        Box::new(move |st: &[u32]| payoffs.get(st).cloned().expect("state measured"));
+    let game = MultiStrategyGame::new(n, 3, oracle).with_epsilon(eps);
     (game, states)
 }
 
@@ -141,7 +140,7 @@ mod tests {
         p.duration_secs = 5.0;
         let (game, states) = measure_game(4, &p);
         assert_eq!(states.len(), 15); // C(6,2)
-        // Every state's oracle answers without panicking.
+                                      // Every state's oracle answers without panicking.
         for st in &states {
             let _ = game.is_nash(st);
         }

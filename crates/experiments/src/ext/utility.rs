@@ -34,8 +34,8 @@ pub fn run(profile: &Profile) -> FigResult {
     let n = (profile.ne_flows / 2).clamp(4, 10);
     let mut p = *profile;
     p.ne_trials = profile.trials;
-    let curves = measure_payoffs(MBPS, RTT_MS, BUFFER_BDP, n, CcaKind::Bbr, &p, 0xE4_0000)
-        .mean_curves();
+    let curves =
+        measure_payoffs(MBPS, RTT_MS, BUFFER_BDP, n, CcaKind::Bbr, &p, 0xE4_0000).mean_curves();
 
     let mut table = Table::new(
         format!(

@@ -90,7 +90,10 @@ mod tests {
     fn smoke_run_produces_table() {
         let r = run(&Profile::smoke());
         assert_eq!(r.tables.len(), 1);
-        assert_eq!(r.tables[0].rows.len(), buffer_sweep(&Profile::smoke()).len());
+        assert_eq!(
+            r.tables[0].rows.len(),
+            buffer_sweep(&Profile::smoke()).len()
+        );
         assert!(!r.notes.is_empty());
     }
 }

@@ -22,14 +22,7 @@ pub fn run(profile: &Profile) -> FigResult {
     let fair = MBPS / n as f64;
     let mut table = Table::new(
         format!("Fig 7: per-flow throughput of X vs #X flows ({n} flows, {BUFFER_BDP} BDP)"),
-        &[
-            "n_x",
-            "fair_share",
-            "pcc_vivace",
-            "bbr",
-            "bbrv2",
-            "copa",
-        ],
+        &["n_x", "fair_share", "pcc_vivace", "bbr", "bbrv2", "copa"],
     );
     let mut p = *profile;
     p.ne_trials = profile.trials;
@@ -42,6 +35,7 @@ pub fn run(profile: &Profile) -> FigResult {
                 .x_per_flow
         })
         .collect();
+    #[allow(clippy::needless_range_loop)] // k is data (col 1), not just an index
     for k in 1..=n as usize {
         table.push_floats(&[
             k as f64,

@@ -40,7 +40,11 @@ pub fn run(profile: &Profile) -> FigResult {
         } else {
             f64::NAN
         };
-        let bbr = if k > 0 { curves.x_per_flow[k] } else { f64::NAN };
+        let bbr = if k > 0 {
+            curves.x_per_flow[k]
+        } else {
+            f64::NAN
+        };
         tp.push_floats(&[k as f64, cubic, bbr]);
         qd.push_floats(&[k as f64, curves.queuing_delay_ms[k]]);
     }

@@ -122,10 +122,7 @@ pub fn find_equilibria(buffer_bdp: f64, profile: &Profile) -> (Vec<Vec<u32>>, u3
     // share tolerance absorbs single-trial noise at quick scale.
     let eps = 0.05 * MBPS / (3.0 * g as f64);
     let game = MultiGroupGame::new(vec![g; 3], move |state: &[u32]| {
-        payoffs
-            .get(state)
-            .cloned()
-            .expect("state measured")
+        payoffs.get(state).cloned().expect("state measured")
     })
     .with_epsilon(eps);
     (game.nash_equilibria(), g)
@@ -187,7 +184,11 @@ pub fn run(profile: &Profile) -> FigResult {
             ),
             format!(
                 "CUBIC concentrates in short-RTT groups at every NE: {}",
-                if ordering_holds { "YES" } else { "NO (see table)" }
+                if ordering_holds {
+                    "YES"
+                } else {
+                    "NO (see table)"
+                }
             ),
         ],
     }

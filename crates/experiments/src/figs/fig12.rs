@@ -33,7 +33,12 @@ pub fn run(profile: &Profile) -> FigResult {
     let buffers = buffer_sweep(profile);
     let mut table = Table::new(
         format!("Fig 12: ultra-deep buffers, 1v1, {MBPS} Mbps, {RTT_MS} ms"),
-        &["buffer_bdp", "ware_mbps", "our_model_mbps", "actual_bbr_mbps"],
+        &[
+            "buffer_bdp",
+            "ware_mbps",
+            "our_model_mbps",
+            "actual_bbr_mbps",
+        ],
     );
     let mut scenarios = Vec::new();
     for &b in &buffers {

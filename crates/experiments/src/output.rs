@@ -25,11 +25,7 @@ impl Table {
 
     /// Append a row; must match the column count.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(
-            row.len(),
-            self.columns.len(),
-            "row width must match header"
-        );
+        assert_eq!(row.len(), self.columns.len(), "row width must match header");
         self.rows.push(row);
     }
 

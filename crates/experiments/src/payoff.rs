@@ -12,10 +12,9 @@ use crate::runner;
 use crate::scenario::{DisciplineSpec, Scenario, TrialResult};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::symmetric::{SymmetricGame, SymmetricNe};
-use serde::{Deserialize, Serialize};
 
 /// Per-distribution payoff measurements for one trial (or averaged).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PayoffCurves {
     pub n: u32,
     /// Challenger algorithm name (e.g. "bbr").
@@ -49,7 +48,7 @@ impl PayoffCurves {
 }
 
 /// All per-trial curves for one network setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PayoffMeasurement {
     pub mbps: f64,
     pub rtt_ms: f64,
@@ -248,7 +247,10 @@ mod tests {
         let m = tiny_measurement();
         let eps = default_epsilon_mbps(20.0, 4);
         let ne = m.observed_ne_cubic_counts(eps);
-        assert!(!ne.is_empty(), "at least one NE must exist (finite game with symmetric states along a line)");
+        assert!(
+            !ne.is_empty(),
+            "at least one NE must exist (finite game with symmetric states along a line)"
+        );
         for &c in &ne {
             assert!(c <= 4);
         }

@@ -7,10 +7,8 @@
 //! sweep grids so `repro all` completes in minutes. `--full` restores
 //! the paper-scale parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Global experiment sizing knobs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Profile {
     /// Flow duration, seconds (paper: 120).
     pub duration_secs: f64,
@@ -69,9 +67,7 @@ impl Profile {
         }
         let n = points.len();
         let m = self.buffer_points;
-        (0..m)
-            .map(|i| points[i * (n - 1) / (m - 1)])
-            .collect()
+        (0..m).map(|i| points[i * (n - 1) / (m - 1)]).collect()
     }
 }
 

@@ -1,11 +1,19 @@
 //! Parallel scenario execution.
 //!
 //! Simulations are CPU-bound and independent, so we fan out over OS
-//! threads with crossbeam's scoped threads (per the networking guides:
-//! an async runtime buys nothing for compute-bound work). Results come
+//! threads with `std::thread::scope` (per the networking guides: an
+//! async runtime buys nothing for compute-bound work). Results come
 //! back in input order regardless of completion order.
+//!
+//! A panic inside one `Scenario::run` does not take down the whole
+//! sweep opaquely: the payload is caught on the worker, tagged with the
+//! scenario index, and re-raised from the calling thread once all other
+//! scenarios have finished — so a 500-point sweep failure names the one
+//! point that died.
 
 use crate::scenario::{Scenario, TrialResult};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -16,7 +24,23 @@ pub fn default_workers() -> usize {
         .unwrap_or(4)
 }
 
+/// Render a caught panic payload the way `panic!` would display it.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Run all scenarios, in parallel, returning results in input order.
+///
+/// # Panics
+///
+/// If any scenario panics, re-raises the first (lowest-index) panic as
+/// `"scenario <i> panicked: <original message>"`.
 pub fn run_all(scenarios: &[Scenario]) -> Vec<TrialResult> {
     run_all_with_workers(scenarios, default_workers())
 }
@@ -28,20 +52,32 @@ pub fn run_all_with_workers(scenarios: &[Scenario], workers: usize) -> Vec<Trial
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<TrialResult>>> =
         scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= scenarios.len() {
                     break;
                 }
-                let result = scenarios[i].run();
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                match catch_unwind(AssertUnwindSafe(|| scenarios[i].run())) {
+                    Ok(result) => *results[i].lock().expect("result slot poisoned") = Some(result),
+                    Err(payload) => panics
+                        .lock()
+                        .expect("panic log poisoned")
+                        .push((i, payload)),
+                }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+
+    let mut panics = panics.into_inner().expect("panic log poisoned");
+    if !panics.is_empty() {
+        panics.sort_by_key(|(i, _)| *i);
+        let (index, payload) = panics.swap_remove(0);
+        panic!("scenario {index} panicked: {}", payload_message(&*payload));
+    }
 
     results
         .into_iter()
@@ -100,5 +136,33 @@ mod tests {
     fn empty_input_is_fine() {
         let results = run_all(&[]);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_reports_scenario_index_and_message() {
+        // Scenario 1 has no flows: `run` panics with "scenario needs flows".
+        let mut scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        scenarios[1].flows.clear();
+        let caught = catch_unwind(AssertUnwindSafe(|| run_all_with_workers(&scenarios, 2)))
+            .expect_err("sweep with a panicking scenario must panic");
+        let msg = payload_message(&*caught);
+        assert!(
+            msg.contains("scenario 1") && msg.contains("needs flows"),
+            "unhelpful panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn earliest_panicking_scenario_wins() {
+        let mut scenarios: Vec<Scenario> = (0..4).map(tiny).collect();
+        scenarios[0].flows.clear();
+        scenarios[2].flows.clear();
+        let caught = catch_unwind(AssertUnwindSafe(|| run_all_with_workers(&scenarios, 4)))
+            .expect_err("sweep must panic");
+        let msg = payload_message(&*caught);
+        assert!(
+            msg.contains("scenario 0"),
+            "expected scenario 0 first: {msg}"
+        );
     }
 }

@@ -6,23 +6,21 @@
 //! trials reproducible: the same scenario + seed is bit-identical.
 
 use bbrdom_cca::CcaKind;
+use bbrdom_netsim::json::{self, Value};
 use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, SimTime, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One flow in a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Which congestion-control algorithm the flow runs.
     pub cca: CcaKindSpec,
     /// Base RTT in milliseconds.
     pub rtt_ms: f64,
     /// Application start time, seconds (on top of the seed jitter).
-    #[serde(default)]
     pub start_s: f64,
     /// Finite transfer size in bytes (`None` = backlogged long flow).
-    #[serde(default)]
     pub byte_limit: Option<u64>,
 }
 
@@ -49,8 +47,7 @@ impl FlowSpec {
 }
 
 /// Serializable bottleneck queue discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DisciplineSpec {
     #[default]
     DropTail,
@@ -69,6 +66,16 @@ impl DisciplineSpec {
         }
     }
 
+    /// Inverse of [`DisciplineSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "droptail" => Some(DisciplineSpec::DropTail),
+            "red" => Some(DisciplineSpec::Red),
+            "codel" => Some(DisciplineSpec::Codel),
+            _ => None,
+        }
+    }
+
     fn to_discipline(self, buffer_bytes: u64) -> bbrdom_netsim::QueueDiscipline {
         use bbrdom_netsim::{CodelConfig, QueueDiscipline, RedConfig};
         match self {
@@ -79,9 +86,9 @@ impl DisciplineSpec {
     }
 }
 
-/// Serializable mirror of [`CcaKind`] (keeps serde out of the cca crate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+/// Serializable mirror of [`CcaKind`] (keeps JSON naming out of the cca
+/// crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcaKindSpec {
     Cubic,
     NewReno,
@@ -120,8 +127,29 @@ impl From<CcaKindSpec> for CcaKind {
     }
 }
 
+impl CcaKindSpec {
+    /// Lowercase wire name (matches `CcaKind::name`).
+    pub fn name(self) -> &'static str {
+        CcaKind::from(self).name()
+    }
+
+    /// Inverse of [`CcaKindSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "cubic" => CcaKindSpec::Cubic,
+            "newreno" => CcaKindSpec::NewReno,
+            "bbr" => CcaKindSpec::Bbr,
+            "bbrv2" => CcaKindSpec::BbrV2,
+            "copa" => CcaKindSpec::Copa,
+            "vivace" => CcaKindSpec::Vivace,
+            "vegas" => CcaKindSpec::Vegas,
+            _ => return None,
+        })
+    }
+}
+
 /// A complete, runnable experiment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Bottleneck rate, Mbps.
     pub mbps: f64,
@@ -138,12 +166,11 @@ pub struct Scenario {
     /// Trial seed: start-time jitter and per-flow CCA phase seeds.
     pub seed: u64,
     /// Bottleneck queue discipline (default drop-tail, as in the paper).
-    #[serde(default)]
     pub discipline: DisciplineSpec,
 }
 
 /// Measurements from one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrialResult {
     /// Per-flow throughput, Mbps (same order as `Scenario::flows`).
     pub throughput_mbps: Vec<f64>,
@@ -169,6 +196,7 @@ pub struct TrialResult {
 impl Scenario {
     /// A same-RTT scenario with `n_cubic` CUBIC flows and `n_x` flows of
     /// algorithm `x` — the shape of most of the paper's experiments.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
     pub fn versus(
         mbps: f64,
         rtt_ms: f64,
@@ -209,23 +237,22 @@ impl Scenario {
         self.flows.iter().filter(|f| f.cca == spec).count()
     }
 
-    /// Run the scenario through the simulator.
-    pub fn run(&self) -> TrialResult {
+    /// Build the configured simulator without running it. Exposed so the
+    /// golden-seed regression harness (and any tool that wants the raw
+    /// [`bbrdom_netsim::SimReport`]) shares the exact flow/jitter/seed
+    /// wiring that [`Scenario::run`] uses.
+    pub fn build_simulator(&self) -> Simulator {
         assert!(!self.flows.is_empty(), "scenario needs flows");
         let rate = Rate::from_mbps(self.mbps);
         let ref_rtt = SimDuration::from_secs_f64(self.reference_rtt_ms / 1e3);
         let buffer = bbrdom_netsim::units::buffer_bytes(rate, ref_rtt, self.buffer_bdp);
-        let cfg = SimConfig::new(
-            rate,
-            buffer,
-            SimDuration::from_secs_f64(self.duration_secs),
-        )
-        .with_discipline(self.discipline.to_discipline(buffer))
-        // 100 µs of ACK-path timing noise: real hosts are never
-        // phase-locked; without this a deterministic simulator drops only
-        // the growing flow's marginal packets and inverts TCP's RTT bias
-        // (see `SimConfig::ack_jitter`).
-        .with_ack_jitter(SimDuration::from_micros(100), self.seed);
+        let cfg = SimConfig::new(rate, buffer, SimDuration::from_secs_f64(self.duration_secs))
+            .with_discipline(self.discipline.to_discipline(buffer))
+            // 100 µs of ACK-path timing noise: real hosts are never
+            // phase-locked; without this a deterministic simulator drops only
+            // the growing flow's marginal packets and inverts TCP's RTT bias
+            // (see `SimConfig::ack_jitter`).
+            .with_ack_jitter(SimDuration::from_micros(100), self.seed);
         let mut sim = Simulator::new(cfg);
         let mut rng = StdRng::seed_from_u64(self.seed);
         for (i, f) in self.flows.iter().enumerate() {
@@ -239,14 +266,19 @@ impl Scenario {
             // one reference RTT so "simultaneous" trials still differ by
             // seed (the testbed's natural noise).
             let jitter = rng.gen_range(0.0..ref_rtt.as_secs_f64().max(1e-6));
-            let mut fc = FlowConfig::new(cc, rtt)
-                .starting_at(SimTime::from_secs_f64(f.start_s + jitter));
+            let mut fc =
+                FlowConfig::new(cc, rtt).starting_at(SimTime::from_secs_f64(f.start_s + jitter));
             if let Some(limit) = f.byte_limit {
                 fc = fc.with_byte_limit(limit);
             }
             sim.add_flow(fc);
         }
-        let report = sim.run();
+        sim
+    }
+
+    /// Run the scenario through the simulator.
+    pub fn run(&self) -> TrialResult {
+        let report = self.build_simulator().run();
         TrialResult {
             throughput_mbps: report.flows.iter().map(|f| f.throughput_mbps()).collect(),
             cc_names: report.flows.iter().map(|f| f.cc_name.clone()).collect(),
@@ -270,6 +302,95 @@ impl Scenario {
                 .map(|f| f.completion_time_secs)
                 .collect(),
         }
+    }
+}
+
+impl FlowSpec {
+    fn to_json_value(self) -> Value {
+        let mut v = Value::object();
+        v.set("cca", self.cca.name().into())
+            .set("rtt_ms", self.rtt_ms.into())
+            .set("start_s", self.start_s.into());
+        v.set(
+            "byte_limit",
+            match self.byte_limit {
+                Some(b) => Value::U64(b),
+                None => Value::Null,
+            },
+        );
+        v
+    }
+
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let cca_name = v
+            .get("cca")
+            .and_then(Value::as_str)
+            .ok_or("flow missing 'cca'")?;
+        Ok(FlowSpec {
+            cca: CcaKindSpec::from_name(cca_name)
+                .ok_or_else(|| format!("unknown cca '{cca_name}'"))?,
+            rtt_ms: v
+                .get("rtt_ms")
+                .and_then(Value::as_f64)
+                .ok_or("flow missing 'rtt_ms'")?,
+            start_s: v.get("start_s").and_then(Value::as_f64).unwrap_or(0.0),
+            byte_limit: v.get("byte_limit").and_then(Value::as_u64),
+        })
+    }
+}
+
+impl Scenario {
+    /// Serialize to a compact JSON string (inverse of
+    /// [`Scenario::from_json`]). Floats round-trip bit-exactly, so a
+    /// stored scenario reproduces its trial bit-for-bit.
+    pub fn to_json(&self) -> String {
+        let mut v = Value::object();
+        v.set("mbps", self.mbps.into())
+            .set("buffer_bdp", self.buffer_bdp.into())
+            .set("reference_rtt_ms", self.reference_rtt_ms.into())
+            .set(
+                "flows",
+                Value::Array(self.flows.iter().map(|f| f.to_json_value()).collect()),
+            )
+            .set("duration_secs", self.duration_secs.into())
+            .set("seed", self.seed.into())
+            .set("discipline", self.discipline.name().into());
+        v.to_json()
+    }
+
+    /// Parse a scenario serialized with [`Scenario::to_json`].
+    /// `start_s`, `byte_limit`, and `discipline` may be omitted.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let flows = v
+            .get("flows")
+            .and_then(Value::as_array)
+            .ok_or("scenario missing 'flows'")?
+            .iter()
+            .map(FlowSpec::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("scenario missing '{name}'"))
+        };
+        let discipline = match v.get("discipline").and_then(Value::as_str) {
+            None => DisciplineSpec::DropTail,
+            Some(name) => DisciplineSpec::from_name(name)
+                .ok_or_else(|| format!("unknown discipline '{name}'"))?,
+        };
+        Ok(Scenario {
+            mbps: field("mbps")?,
+            buffer_bdp: field("buffer_bdp")?,
+            reference_rtt_ms: field("reference_rtt_ms")?,
+            flows,
+            duration_secs: field("duration_secs")?,
+            seed: v
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or("scenario missing 'seed'")?,
+            discipline,
+        })
     }
 }
 
@@ -347,11 +468,33 @@ mod tests {
     }
 
     #[test]
-    fn scenario_roundtrips_through_serde() {
-        let s = Scenario::versus(100.0, 40.0, 3.0, 2, CcaKind::Vivace, 3, 10.0, 5);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
+    fn scenario_roundtrips_through_json() {
+        let mut s = Scenario::versus(100.0, 40.0, 3.0, 2, CcaKind::Vivace, 3, 10.0, u64::MAX - 17)
+            .with_discipline(DisciplineSpec::Codel);
+        s.flows[0].byte_limit = Some(50_000);
+        s.flows[1].start_s = 2.5;
+        let back = Scenario::from_json(&s.to_json()).unwrap();
         assert_eq!(back.flows.len(), 5);
         assert_eq!(back.count_of(CcaKind::Vivace), 3);
+        assert_eq!(back.seed, u64::MAX - 17);
+        assert_eq!(back.discipline, DisciplineSpec::Codel);
+        assert_eq!(back.flows[0].byte_limit, Some(50_000));
+        assert_eq!(back.flows[1].start_s, 2.5);
+        assert_eq!(back.mbps.to_bits(), s.mbps.to_bits());
+    }
+
+    #[test]
+    fn scenario_from_json_defaults_and_errors() {
+        let minimal = r#"{"mbps":10.0,"buffer_bdp":2.0,"reference_rtt_ms":20.0,
+            "flows":[{"cca":"bbr","rtt_ms":20.0}],"duration_secs":3.0,"seed":1}"#;
+        let s = Scenario::from_json(minimal).unwrap();
+        assert_eq!(s.discipline, DisciplineSpec::DropTail);
+        assert_eq!(s.flows[0].start_s, 0.0);
+        assert_eq!(s.flows[0].byte_limit, None);
+
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json("not json").is_err());
+        let bad_cca = minimal.replace("\"bbr\"", "\"quic\"");
+        assert!(Scenario::from_json(&bad_cca).unwrap_err().contains("quic"));
     }
 }

@@ -158,7 +158,7 @@ impl CodelState {
                 false
             } else if now >= self.drop_next {
                 self.count += 1;
-                self.drop_next = self.drop_next + Self::backoff(cfg.interval, self.count);
+                self.drop_next += Self::backoff(cfg.interval, self.count);
                 true
             } else {
                 false
@@ -167,8 +167,8 @@ impl CodelState {
             self.dropping = true;
             // RFC 8289: resume from a recent episode's count to converge
             // faster; we restart at the prior count minus 2 if recent.
-            self.count = if self.count > 2 && now.saturating_since(self.drop_next)
-                < SimDuration(cfg.interval.0 * 16)
+            self.count = if self.count > 2
+                && now.saturating_since(self.drop_next) < SimDuration(cfg.interval.0 * 16)
             {
                 self.count - 2
             } else {
@@ -226,7 +226,10 @@ mod tests {
             max_p: 0.1,
             weight: 0.0, // frozen EWMA
         };
-        let mut red = RedState { avg: 1000.0, count_since_drop: 0 };
+        let mut red = RedState {
+            avg: 1000.0,
+            count_since_drop: 0,
+        };
         let drops: usize = (0..200).filter(|_| red.on_arrival(&cfg, 1000)).count();
         assert_eq!(drops, 10, "expected 1-in-20 drop spacing");
     }

@@ -82,6 +82,14 @@ pub trait CongestionControl: Send {
 
     /// Current pacing rate in bytes/sec, or `None` for pure ACK clocking.
     fn pacing_rate(&self) -> Option<f64>;
+
+    /// Whether this controller is open-loop: its `on_*` callbacks are
+    /// no-ops and `cwnd_bytes`/`pacing_rate` never change. The sender
+    /// skips assembling the per-ACK [`AckSample`]/[`FlowView`] for such
+    /// algorithms — purely an optimization; behavior is unchanged.
+    fn is_open_loop(&self) -> bool {
+        false
+    }
 }
 
 /// Factory used by experiment code to build one CC instance per flow.
@@ -116,6 +124,9 @@ impl CongestionControl for FixedWindow {
     }
     fn pacing_rate(&self) -> Option<f64> {
         None
+    }
+    fn is_open_loop(&self) -> bool {
+        true
     }
 }
 
@@ -152,6 +163,9 @@ impl CongestionControl for FixedRate {
     }
     fn pacing_rate(&self) -> Option<f64> {
         Some(self.rate)
+    }
+    fn is_open_loop(&self) -> bool {
+        true
     }
 }
 

@@ -2,11 +2,34 @@
 //!
 //! Events are ordered by `(time, insertion sequence)`, so simultaneous
 //! events fire in insertion order and every run is deterministic.
+//!
+//! # Engine
+//!
+//! [`EventQueue`] is a calendar queue (a timer wheel with an overflow
+//! level): simulated time is divided into ticks of `2^TICK_SHIFT`
+//! nanoseconds, and a ring of [`NUM_BUCKETS`] buckets holds the pending
+//! events of the next `NUM_BUCKETS` ticks. Scheduling within the ring is
+//! an array index plus an inline-slot (or spill `Vec`) write; popping
+//! jumps straight to the next occupied tick by scanning a one-bit-per-
+//! bucket occupancy bitmap a word at a time. Events beyond the ring's
+//! horizon (long RTO timers, flows starting seconds in) sit in an
+//! overflow min-heap that is pulled in as the wheel advances.
+//!
+//! The events of the current tick live in a tiny binary heap (`active`)
+//! so that ties within a tick still resolve by `(time, seq)`; because a
+//! tick is ~66 µs, this heap holds a handful of events, not the whole
+//! future. The result is O(1) amortized schedule/pop versus the O(log n)
+//! of a global heap — and, more importantly at simulation scale, far
+//! less pointer churn per event.
+//!
+//! [`BinaryHeapQueue`] is the original global-heap engine, kept as an
+//! executable specification: property tests drive both engines with the
+//! same schedule stream and assert identical pop sequences.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::packet::{FlowId, Packet};
+use crate::packet::FlowId;
 use crate::time::SimTime;
 
 /// Everything that can happen in the simulator.
@@ -18,9 +41,11 @@ pub enum Event {
     Pacing(FlowId),
     /// The bottleneck link finished serializing the packet in service.
     LinkDequeue,
-    /// An ACK for `packet` reaches its sender (receiver behaviour — ACK per
-    /// packet, immediate — is folded into scheduling this event).
-    AckArrive(Packet),
+    /// The ACK for `seq` reaches its sender (receiver behaviour — ACK per
+    /// packet, immediate — is folded into scheduling this event). Only
+    /// the identity travels with the event; everything else the sender
+    /// needs is on its scoreboard.
+    AckArrive { flow: FlowId, seq: u64 },
     /// A flow's retransmission timer may have expired (lazy-cancelled:
     /// the flow re-checks its actual deadline).
     RtoCheck(FlowId),
@@ -28,7 +53,7 @@ pub enum Event {
     StatsSample,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled {
     time: SimTime,
     seq: u64,
@@ -52,14 +77,251 @@ impl Ord for Scheduled {
     }
 }
 
-/// Deterministic min-heap of [`Event`]s keyed by time.
+/// Tick width: 2^16 ns ≈ 65.5 µs. Comparable to per-packet event spacing
+/// at hundreds of Mbps, so buckets hold a handful of events each.
+const TICK_SHIFT: u32 = 16;
+/// Ring size (power of two). Horizon = `NUM_BUCKETS << TICK_SHIFT` ≈
+/// 67 ms — wide enough that pacing, serialization and RTT-scale
+/// deadlines schedule directly into the ring; RTO-scale timers take the
+/// overflow heap.
+const NUM_BUCKETS: usize = 1024;
+const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
+/// Words in the bucket-occupancy bitmap.
+const WORDS: usize = NUM_BUCKETS / 64;
+
+/// One ring slot. The first event of a tick is stored inline so the
+/// overwhelmingly common singleton bucket costs one cache line and no
+/// heap traffic; simultaneous extras spill into `rest`.
 #[derive(Debug, Default)]
+struct Bucket {
+    head: Option<Scheduled>,
+    rest: Vec<Scheduled>,
+}
+
+fn tick_of(t: SimTime) -> u64 {
+    t.0 >> TICK_SHIFT
+}
+
+/// Deterministic calendar queue of [`Event`]s keyed by time.
+///
+/// Pops in globally ascending `(time, insertion seq)` order — bit-for-bit
+/// the same order as [`BinaryHeapQueue`].
+#[derive(Debug)]
 pub struct EventQueue {
+    /// Tick currently being drained; all its events are in `active`.
+    cur_tick: u64,
+    /// Events of `cur_tick` (and any scheduled into the past), ordered.
+    active: BinaryHeap<Reverse<Scheduled>>,
+    /// `ring[tick & BUCKET_MASK]` holds the events of `tick`, for ticks
+    /// in `(cur_tick, cur_tick + NUM_BUCKETS)`. Unsorted within a bucket.
+    ring: Vec<Bucket>,
+    /// Total events in `ring`.
+    ring_len: usize,
+    /// One bit per ring bucket, set iff the bucket is non-empty, so the
+    /// wheel can jump to the next occupied tick with a word scan instead
+    /// of probing every empty bucket.
+    occupied: [u64; WORDS],
+    /// Events at or beyond the ring horizon, min-heap by `(time, seq)`.
+    /// (Tick is monotone in time, so the top is also the earliest tick.)
+    overflow: BinaryHeap<Reverse<Scheduled>>,
+    /// Cached tick of the overflow top (`u64::MAX` when empty), so the
+    /// wheel walk's eligibility test is one compare.
+    overflow_next_tick: u64,
+    next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            cur_tick: 0,
+            active: BinaryHeap::new(),
+            ring: (0..NUM_BUCKETS).map(|_| Bucket::default()).collect(),
+            ring_len: 0,
+            occupied: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            overflow_next_tick: u64::MAX,
+            next_seq: 0,
+        }
+    }
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = Scheduled {
+            time: at,
+            seq,
+            event,
+        };
+        let tick = tick_of(s.time);
+        if tick <= self.cur_tick {
+            // Current tick (or a time already in the past — the heap
+            // engine accepted those too, and ordering still holds because
+            // every earlier tick has been fully drained).
+            self.active.push(Reverse(s));
+        } else if tick - self.cur_tick < NUM_BUCKETS as u64 {
+            self.ring_insert(tick, s);
+        } else {
+            self.overflow_next_tick = self.overflow_next_tick.min(tick);
+            self.overflow.push(Reverse(s));
+        }
+    }
+
+    fn ring_insert(&mut self, tick: u64, s: Scheduled) {
+        let slot = (tick & BUCKET_MASK) as usize;
+        let bucket = &mut self.ring[slot];
+        if bucket.head.is_none() {
+            bucket.head = Some(s);
+            self.occupied[slot / 64] |= 1u64 << (slot % 64);
+        } else {
+            bucket.rest.push(s);
+        }
+        self.ring_len += 1;
+    }
+
+    /// The earliest tick after `cur_tick` with a non-empty ring bucket.
+    /// Requires `ring_len > 0`.
+    fn next_occupied_tick(&self) -> u64 {
+        debug_assert!(self.ring_len > 0);
+        let cur_slot = (self.cur_tick & BUCKET_MASK) as usize;
+        // `cur_tick`'s own slot is always empty (its tick has drained and
+        // tick `cur_tick + NUM_BUCKETS` lives in overflow), so scanning
+        // from the next slot and wrapping a full circle is exhaustive.
+        let start = (cur_slot + 1) & BUCKET_MASK as usize;
+        let mut w = start / 64;
+        let first = self.occupied[w] & (!0u64 << (start % 64));
+        let slot = if first != 0 {
+            w * 64 + first.trailing_zeros() as usize
+        } else {
+            loop {
+                w = (w + 1) % WORDS;
+                let word = self.occupied[w];
+                if word != 0 {
+                    break w * 64 + word.trailing_zeros() as usize;
+                }
+            }
+        };
+        let delta = ((slot + NUM_BUCKETS - cur_slot) & BUCKET_MASK as usize) as u64;
+        self.cur_tick + delta
+    }
+
+    /// Move overflow events whose ticks have come inside the ring horizon
+    /// into the ring (or straight to `active` after a jump landed on
+    /// their tick). Restores the invariant `overflow ticks ≥ cur_tick +
+    /// NUM_BUCKETS` … except transiently right after a horizon move,
+    /// which is exactly when this is called.
+    fn pull_overflow(&mut self) {
+        while let Some(Reverse(s)) = self.overflow.peek() {
+            let tick = tick_of(s.time);
+            if tick >= self.cur_tick + NUM_BUCKETS as u64 {
+                self.overflow_next_tick = tick;
+                return;
+            }
+            let Reverse(s) = self.overflow.pop().unwrap();
+            if tick <= self.cur_tick {
+                self.active.push(Reverse(s));
+            } else {
+                self.ring_insert(tick, s);
+            }
+        }
+        self.overflow_next_tick = u64::MAX;
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        loop {
+            if let Some(Reverse(s)) = self.active.pop() {
+                return Some((s.time, s.event));
+            }
+            if self.ring_len > 0 {
+                // Jump the wheel straight to the next occupied bucket.
+                // Any overflow event whose tick enters the horizon as the
+                // cursor moves has a tick beyond every current ring event
+                // (it was ≥ the old horizon), so pulling *after* the jump
+                // still places it ahead of the cursor, never behind.
+                self.cur_tick = self.next_occupied_tick();
+                if self.overflow_next_tick < self.cur_tick + NUM_BUCKETS as u64 {
+                    self.pull_overflow();
+                }
+                let slot = (self.cur_tick & BUCKET_MASK) as usize;
+                self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+                let bucket = &mut self.ring[slot];
+                let head = bucket.head.take().expect("occupied bit without head");
+                self.ring_len -= 1 + bucket.rest.len();
+                // `active` is empty here (its pop just failed) and every
+                // other pending event is in a later tick, so a lone bucket
+                // entry — the common case — is the global minimum; skip
+                // the heap round-trip.
+                if bucket.rest.is_empty() {
+                    return Some((head.time, head.event));
+                }
+                self.active.push(Reverse(head));
+                for s in bucket.rest.drain(..) {
+                    self.active.push(Reverse(s));
+                }
+            } else if !self.overflow.is_empty() {
+                // The wheel is empty: jump straight to the earliest
+                // overflow tick and redistribute what now fits.
+                self.cur_tick = self.overflow_next_tick;
+                self.pull_overflow();
+            } else {
+                return None;
+            }
+        }
+    }
+
+    /// Time of the earliest pending event.
+    ///
+    /// O(ring scan) in the worst case — fine for assertions and tests;
+    /// the hot loop only ever pops.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(Reverse(s)) = self.active.peek() {
+            return Some(s.time);
+        }
+        if self.ring_len > 0 {
+            for dt in 1..NUM_BUCKETS as u64 {
+                let bucket = &self.ring[((self.cur_tick + dt) & BUCKET_MASK) as usize];
+                let min = bucket
+                    .head
+                    .iter()
+                    .chain(bucket.rest.iter())
+                    .map(|s| (s.time, s.seq))
+                    .min();
+                if let Some(min) = min {
+                    return Some(min.0);
+                }
+            }
+        }
+        self.overflow.peek().map(|Reverse(s)| s.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.active.len() + self.ring_len + self.overflow.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The original engine: one global min-heap keyed by `(time, seq)`.
+///
+/// Retained as the executable specification of event ordering; see the
+/// `event_order` property tests, which check [`EventQueue`] pops exactly
+/// the sequence this does.
+#[derive(Debug, Default)]
+pub struct BinaryHeapQueue {
     heap: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl BinaryHeapQueue {
     pub fn new() -> Self {
         Self::default()
     }
@@ -135,7 +397,62 @@ mod tests {
     fn peek_time_matches_next_pop() {
         let mut q = EventQueue::new();
         assert!(q.peek_time().is_none());
-        q.schedule(SimTime::ZERO + SimDuration::from_millis(5), Event::StatsSample);
+        q.schedule(
+            SimTime::ZERO + SimDuration::from_millis(5),
+            Event::StatsSample,
+        );
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(0.005)));
+    }
+
+    #[test]
+    fn interleaves_ring_and_overflow_correctly() {
+        // Events straddling the ring horizon (~268 ms) and inserts that
+        // arrive while earlier events are being drained.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs_f64(10.0), Event::StatsSample); // overflow
+        q.schedule(SimTime::from_secs_f64(0.001), Event::FlowStart(FlowId(0))); // ring
+        q.schedule(SimTime::FAR_FUTURE, Event::RtoCheck(FlowId(1))); // overflow
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(0.001));
+        // Insert behind the cursor's tick but ahead of remaining events.
+        q.schedule(SimTime::from_secs_f64(0.002), Event::LinkDequeue);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(0.002));
+        assert!(matches!(e, Event::LinkDequeue));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(10.0));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::FAR_FUTURE);
+        assert!(matches!(e, Event::RtoCheck(FlowId(1))));
+        assert!(q.pop().is_none() && q.is_empty());
+    }
+
+    #[test]
+    fn len_counts_all_levels() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, Event::StatsSample); // active tick
+        q.schedule(SimTime::from_secs_f64(0.01), Event::StatsSample); // ring
+        q.schedule(SimTime::from_secs_f64(100.0), Event::StatsSample); // overflow
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reference_heap_same_behavior() {
+        let mut q = BinaryHeapQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue);
+        q.schedule(SimTime::from_secs_f64(1.0), Event::StatsSample);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(1.0)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(1.0));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(2.0));
+        assert!(q.pop().is_none());
     }
 }

@@ -13,8 +13,16 @@
 //!   back off again),
 //! * RTO (`srtt + 4·rttvar`, floored) as the deadlock-free fallback when
 //!   an entire window is lost.
+//!
+//! Sequence numbers are dense (0, 1, 2, …), so the sender's scoreboard is
+//! a [`Scoreboard`] ring buffer indexed by `seq - head_seq` rather than a
+//! search tree: insert, remove and the common in-order ACK are O(1), and
+//! the dup-marking scan below an arriving ACK touches a contiguous slice.
+//! The retransmission queue is a sorted `VecDeque` (loss bursts are small
+//! and nearly sorted), and the receiver's out-of-order set is a window
+//! bitmap offset by `rcv_next`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::VecDeque;
 
 use crate::cc::{AckSample, CongestionControl, FlowView};
 use crate::event::{Event, EventQueue};
@@ -49,11 +57,92 @@ struct SentPacket {
     marked_lost: bool,
 }
 
+/// The sender's outstanding-packet table, as a ring buffer over the
+/// contiguous sequence range `[head_seq, head_seq + slots.len())`.
+///
+/// Invariant: when non-empty, the front slot is occupied (`head_seq` is
+/// the lowest outstanding sequence), so "anything outstanding below X?"
+/// is a single comparison.
+#[derive(Debug, Default)]
+struct Scoreboard {
+    head_seq: u64,
+    slots: VecDeque<Option<SentPacket>>,
+    outstanding: usize,
+}
+
+impl Scoreboard {
+    fn is_empty(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Lowest outstanding sequence number (meaningless when empty).
+    fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Insert `seq`: either the next new sequence (appended) or a
+    /// retransmission replacing its marked-lost entry in place.
+    fn insert(&mut self, seq: u64, p: SentPacket) {
+        if self.slots.is_empty() {
+            self.head_seq = seq;
+            self.slots.push_back(Some(p));
+            self.outstanding += 1;
+            return;
+        }
+        debug_assert!(seq >= self.head_seq, "sequence below scoreboard head");
+        let idx = (seq - self.head_seq) as usize;
+        if idx == self.slots.len() {
+            self.slots.push_back(Some(p));
+            self.outstanding += 1;
+        } else {
+            let slot = &mut self.slots[idx];
+            debug_assert!(slot.is_some(), "retransmit must replace a live entry");
+            if slot.is_none() {
+                self.outstanding += 1;
+            }
+            *slot = Some(p);
+        }
+    }
+
+    /// Remove and return the entry for `seq`, advancing the head past any
+    /// leading hole it opens.
+    fn remove(&mut self, seq: u64) -> Option<SentPacket> {
+        if seq < self.head_seq {
+            return None;
+        }
+        let idx = (seq - self.head_seq) as usize;
+        if idx >= self.slots.len() {
+            return None;
+        }
+        let taken = self.slots[idx].take();
+        if taken.is_some() {
+            self.outstanding -= 1;
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.head_seq += 1;
+            }
+        }
+        taken
+    }
+}
+
+/// Snapshot of the RTO-computation inputs at a deferred [`Flow::arm_rto`].
+#[derive(Debug, Clone, Copy)]
+struct RtoArm {
+    at: SimTime,
+    srtt: Option<f64>,
+    rttvar: f64,
+    backoff: u32,
+}
+
 /// One flow: sender state machine plus receiver bookkeeping.
 pub struct Flow {
     pub id: FlowId,
     mss: u64,
     cc: Box<dyn CongestionControl>,
+    /// Cached [`CongestionControl::is_open_loop`]: skip assembling the
+    /// per-ACK sample/view when the CC ignores feedback entirely.
+    cc_open_loop: bool,
     /// One-way propagation delay, bottleneck → receiver.
     pub prop_fwd: SimDuration,
     /// One-way propagation delay, receiver → sender (ACK path).
@@ -68,8 +157,9 @@ pub struct Flow {
     // --- sender scoreboard ---
     next_seq: u64,
     next_txid: u64,
-    unacked: BTreeMap<u64, SentPacket>,
-    rtx_queue: BTreeSet<u64>,
+    unacked: Scoreboard,
+    /// Lost sequences awaiting retransmission, ascending.
+    rtx_queue: VecDeque<u64>,
     inflight_bytes: u64,
     delivered_bytes: u64,
     delivered_time: SimTime,
@@ -80,11 +170,17 @@ pub struct Flow {
 
     // --- RTT estimation ---
     srtt: Option<f64>,
+    /// `srtt` pre-converted to a [`SimDuration`] (kept in lockstep), so
+    /// building a [`FlowView`] per CC callback does no float→ns rounding.
+    srtt_dur: Option<SimDuration>,
     rttvar: f64,
     min_rtt: Option<SimDuration>,
 
     // --- timers ---
     rto_deadline: SimTime,
+    /// A deferred re-arm whose deadline has not been computed yet; when
+    /// set it supersedes `rto_deadline` (see [`Flow::arm_rto`]).
+    rto_lazy: Option<RtoArm>,
     rto_backoff: u32,
     next_rto_check: SimTime,
     pacing_release: SimTime,
@@ -92,7 +188,9 @@ pub struct Flow {
 
     // --- receiver ---
     rcv_next: u64,
-    rcv_ooo: BTreeSet<u64>,
+    /// Window bitmap: `rcv_ooo[i]` ⇔ sequence `rcv_next + i` received
+    /// out of order. Index 0 is always false (else `rcv_next` advances).
+    rcv_ooo: VecDeque<bool>,
 
     pub stats: FlowStats,
 }
@@ -106,10 +204,12 @@ impl Flow {
         prop_rev: SimDuration,
         start_time: SimTime,
     ) -> Self {
+        let cc_open_loop = cc.is_open_loop();
         Flow {
             id,
             mss,
             cc,
+            cc_open_loop,
             prop_fwd,
             prop_rev,
             start_time,
@@ -118,23 +218,25 @@ impl Flow {
             completion_time: None,
             next_seq: 0,
             next_txid: 0,
-            unacked: BTreeMap::new(),
-            rtx_queue: BTreeSet::new(),
+            unacked: Scoreboard::default(),
+            rtx_queue: VecDeque::new(),
             inflight_bytes: 0,
             delivered_bytes: 0,
             delivered_time: SimTime::ZERO,
             recovery_end: 0,
             in_recovery: false,
             srtt: None,
+            srtt_dur: None,
             rttvar: 0.0,
             min_rtt: None,
             rto_deadline: SimTime::FAR_FUTURE,
+            rto_lazy: None,
             rto_backoff: 0,
             next_rto_check: SimTime::FAR_FUTURE,
             pacing_release: SimTime::ZERO,
             pacing_event_pending: false,
             rcv_next: 0,
-            rcv_ooo: BTreeSet::new(),
+            rcv_ooo: VecDeque::new(),
             stats: FlowStats::default(),
         }
     }
@@ -191,7 +293,7 @@ impl Flow {
     fn view(&self) -> FlowView {
         FlowView {
             mss: self.mss,
-            srtt: self.srtt.map(SimDuration::from_secs_f64),
+            srtt: self.srtt_dur,
             min_rtt: self.min_rtt,
             inflight_bytes: self.inflight_bytes,
             delivered_bytes: self.delivered_bytes,
@@ -200,12 +302,37 @@ impl Flow {
     }
 
     fn integrate_cwnd(&mut self, now: SimTime) {
-        let dt = now.saturating_since(self.stats.last_cwnd_update).as_secs_f64();
-        if dt > 0.0 {
-            let cwnd = self.cc.cwnd_bytes();
-            self.stats.cwnd_time_integral += cwnd as f64 * dt;
-            self.stats.max_cwnd_bytes = self.stats.max_cwnd_bytes.max(cwnd);
-            self.stats.last_cwnd_update = now;
+        // Integer zero-check first: skipping the ns→secs division on
+        // same-instant calls is exact (dt > 0 iff the ns delta is > 0).
+        let elapsed = now.saturating_since(self.stats.last_cwnd_update);
+        if elapsed.as_nanos() == 0 {
+            return;
+        }
+        let dt = elapsed.as_secs_f64();
+        let cwnd = self.cc.cwnd_bytes();
+        self.stats.cwnd_time_integral += cwnd as f64 * dt;
+        self.stats.max_cwnd_bytes = self.stats.max_cwnd_bytes.max(cwnd);
+        self.stats.last_cwnd_update = now;
+    }
+
+    /// Queue `seq` for retransmission, keeping the queue sorted.
+    fn rtx_push(&mut self, seq: u64) {
+        match self.rtx_queue.back() {
+            // Loss marking walks sequences in ascending order, so the
+            // common case is a plain append.
+            Some(&last) if last < seq => self.rtx_queue.push_back(seq),
+            None => self.rtx_queue.push_back(seq),
+            _ => match self.rtx_queue.binary_search(&seq) {
+                Ok(_) => debug_assert!(false, "sequence queued for rtx twice"),
+                Err(pos) => self.rtx_queue.insert(pos, seq),
+            },
+        }
+    }
+
+    /// Drop `seq` from the retransmission queue if present.
+    fn rtx_cancel(&mut self, seq: u64) {
+        if let Ok(pos) = self.rtx_queue.binary_search(&seq) {
+            self.rtx_queue.remove(pos);
         }
     }
 
@@ -225,38 +352,65 @@ impl Flow {
     /// Receiver-side bookkeeping for a delivered packet. Returns the number
     /// of *new* (non-duplicate) payload bytes, for goodput accounting.
     pub fn receiver_on_data(&mut self, seq: u64, size: u64) -> u64 {
-        if seq < self.rcv_next || self.rcv_ooo.contains(&seq) {
+        if seq < self.rcv_next {
             return 0; // duplicate
         }
         if seq == self.rcv_next {
             self.rcv_next += 1;
-            while self.rcv_ooo.remove(&self.rcv_next) {
+            if let Some(flag) = self.rcv_ooo.pop_front() {
+                debug_assert!(!flag, "in-order slot marked out-of-order");
+            }
+            while self.rcv_ooo.front() == Some(&true) {
+                self.rcv_ooo.pop_front();
                 self.rcv_next += 1;
             }
         } else {
-            self.rcv_ooo.insert(seq);
+            let idx = (seq - self.rcv_next) as usize;
+            if idx < self.rcv_ooo.len() && self.rcv_ooo[idx] {
+                return 0; // duplicate
+            }
+            if idx >= self.rcv_ooo.len() {
+                self.rcv_ooo.resize(idx + 1, false);
+            }
+            self.rcv_ooo[idx] = true;
         }
         size
     }
 
-    fn rto_interval(&self) -> SimDuration {
-        let base = match self.srtt {
-            Some(srtt) => SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar),
+    fn rto_interval_from(srtt: Option<f64>, rttvar: f64, backoff: u32) -> SimDuration {
+        let base = match srtt {
+            Some(srtt) => SimDuration::from_secs_f64(srtt + 4.0 * rttvar),
             None => SimDuration::from_secs_f64(1.0),
         };
-        let scaled = SimDuration(
-            base.0
-                .max(MIN_RTO.0)
-                .saturating_mul(1u64 << self.rto_backoff.min(6)),
-        );
+        let scaled = SimDuration(base.0.max(MIN_RTO.0).saturating_mul(1u64 << backoff.min(6)));
         scaled.min(MAX_RTO)
+    }
+
+    fn rto_interval(&self) -> SimDuration {
+        Self::rto_interval_from(self.srtt, self.rttvar, self.rto_backoff)
     }
 
     fn arm_rto(&mut self, now: SimTime, events: &mut EventQueue) {
         if self.unacked.is_empty() {
             self.rto_deadline = SimTime::FAR_FUTURE;
+            self.rto_lazy = None;
             return;
         }
+        // The interval is clamped to ≥ MIN_RTO, so when the pending check
+        // fires no later than `now + MIN_RTO` the new deadline cannot
+        // precede it and nothing needs scheduling yet. Snapshot the
+        // inputs and defer the float clamp chain to the check — the
+        // common per-ACK case.
+        if self.next_rto_check <= now + MIN_RTO {
+            self.rto_lazy = Some(RtoArm {
+                at: now,
+                srtt: self.srtt,
+                rttvar: self.rttvar,
+                backoff: self.rto_backoff,
+            });
+            return;
+        }
+        self.rto_lazy = None;
         self.rto_deadline = now + self.rto_interval();
         if self.rto_deadline < self.next_rto_check {
             self.next_rto_check = self.rto_deadline;
@@ -271,6 +425,10 @@ impl Flow {
         queue: &mut DropTailQueue,
         events: &mut EventQueue,
     ) {
+        // Materialize a deferred re-arm before reading the deadline.
+        if let Some(arm) = self.rto_lazy.take() {
+            self.rto_deadline = arm.at + Self::rto_interval_from(arm.srtt, arm.rttvar, arm.backoff);
+        }
         if now >= self.next_rto_check {
             self.next_rto_check = SimTime::FAR_FUTURE;
         }
@@ -288,37 +446,39 @@ impl Flow {
         // Genuine timeout: every outstanding packet is presumed lost.
         self.stats.rtos += 1;
         self.rto_backoff += 1;
-        let seqs: Vec<u64> = self
-            .unacked
-            .iter()
-            .filter(|(_, p)| !p.marked_lost)
-            .map(|(s, _)| *s)
-            .collect();
-        for s in seqs {
-            let p = self.unacked.get_mut(&s).unwrap();
-            p.marked_lost = true;
-            self.inflight_bytes = self.inflight_bytes.saturating_sub(p.size);
-            self.rtx_queue.insert(s);
-            self.stats.lost_packets += 1;
+        for idx in 0..self.unacked.slots.len() {
+            let seq = self.unacked.head_seq + idx as u64;
+            if let Some(p) = self.unacked.slots[idx].as_mut() {
+                if p.marked_lost {
+                    continue;
+                }
+                p.marked_lost = true;
+                let size = p.size;
+                self.inflight_bytes = self.inflight_bytes.saturating_sub(size);
+                self.rtx_push(seq);
+                self.stats.lost_packets += 1;
+            }
         }
         self.in_recovery = true;
         self.recovery_end = self.next_seq;
         self.integrate_cwnd(now);
-        let view = self.view();
-        self.cc.on_rto(now, &view);
+        if !self.cc_open_loop {
+            let view = self.view();
+            self.cc.on_rto(now, &view);
+        }
         self.arm_rto(now, events);
         self.try_send(now, queue, events);
     }
 
-    /// Handle an arriving ACK for `pkt`.
+    /// Handle an arriving ACK for sequence `seq`.
     pub fn on_ack(
         &mut self,
         now: SimTime,
-        pkt: &Packet,
+        seq: u64,
         queue: &mut DropTailQueue,
         events: &mut EventQueue,
     ) {
-        let entry = match self.unacked.remove(&pkt.seq) {
+        let entry = match self.unacked.remove(seq) {
             Some(e) => e,
             None => {
                 // ACK for a sequence we no longer track (e.g. both the
@@ -330,7 +490,7 @@ impl Flow {
         if entry.marked_lost {
             // Presumed lost but actually delivered (spurious RTO): it was
             // already removed from flight; cancel the pending retransmit.
-            self.rtx_queue.remove(&pkt.seq);
+            self.rtx_cancel(seq);
         } else {
             self.inflight_bytes = self.inflight_bytes.saturating_sub(entry.size);
         }
@@ -352,6 +512,7 @@ impl Flow {
                     self.srtt = Some(0.875 * srtt + 0.125 * r);
                 }
             }
+            self.srtt_dur = self.srtt.map(SimDuration::from_secs_f64);
             self.min_rtt = Some(match self.min_rtt {
                 None => rtt,
                 Some(m) => m.min(rtt),
@@ -364,7 +525,9 @@ impl Flow {
         let mut delivery_rate = None;
         if !entry.is_retransmit {
             let delta = self.delivered_bytes + entry.size - entry.delivered_at_send;
-            let interval = now.saturating_since(entry.delivered_time_at_send).as_secs_f64();
+            let interval = now
+                .saturating_since(entry.delivered_time_at_send)
+                .as_secs_f64();
             if interval > 0.0 {
                 delivery_rate = Some(delta as f64 / interval);
             }
@@ -374,29 +537,30 @@ impl Flow {
 
         // Dup-threshold loss marking: every still-outstanding packet below
         // this sequence that was sent earlier has now been "passed" by one
-        // more ACK. (The range below an arriving ACK contains only loss
-        // holes, so this loop is short.)
+        // more ACK. (The slice below an arriving ACK contains only loss
+        // holes, so this scan is short.)
         let acked_txid = entry.txid;
         let mut newly_lost = 0u64;
         let mut max_lost_seq = None;
-        let mut to_mark: Vec<u64> = Vec::new();
-        for (&s, p) in self.unacked.range_mut(..pkt.seq) {
-            if p.marked_lost || p.txid >= acked_txid {
-                continue;
+        let upto =
+            (seq.saturating_sub(self.unacked.head_seq) as usize).min(self.unacked.slots.len());
+        for idx in 0..upto {
+            if let Some(p) = self.unacked.slots[idx].as_mut() {
+                if p.marked_lost || p.txid >= acked_txid {
+                    continue;
+                }
+                p.dup_count = p.dup_count.saturating_add(1);
+                if p.dup_count >= DUP_THRESH {
+                    p.marked_lost = true;
+                    let size = p.size;
+                    let s = self.unacked.head_seq + idx as u64;
+                    self.inflight_bytes = self.inflight_bytes.saturating_sub(size);
+                    self.rtx_push(s);
+                    self.stats.lost_packets += 1;
+                    newly_lost += size;
+                    max_lost_seq = Some(s);
+                }
             }
-            p.dup_count = p.dup_count.saturating_add(1);
-            if p.dup_count >= DUP_THRESH {
-                to_mark.push(s);
-            }
-        }
-        for s in to_mark {
-            let p = self.unacked.get_mut(&s).unwrap();
-            p.marked_lost = true;
-            self.inflight_bytes = self.inflight_bytes.saturating_sub(p.size);
-            self.rtx_queue.insert(s);
-            self.stats.lost_packets += 1;
-            newly_lost += p.size;
-            max_lost_seq = Some(max_lost_seq.map_or(s, |m: u64| m.max(s)));
         }
 
         // Congestion event: first loss beyond the previous recovery point.
@@ -407,30 +571,36 @@ impl Flow {
                 self.stats.congestion_events += 1;
                 self.stats.backoff_times.push(now);
                 self.integrate_cwnd(now);
-                let view = self.view();
-                self.cc.on_congestion_event(now, &view);
+                if !self.cc_open_loop {
+                    let view = self.view();
+                    self.cc.on_congestion_event(now, &view);
+                }
             }
         }
 
         // Exit recovery once nothing below the recovery point is
         // outstanding.
-        if self.in_recovery && self.unacked.range(..self.recovery_end).next().is_none() {
+        if self.in_recovery
+            && (self.unacked.is_empty() || self.unacked.head_seq() >= self.recovery_end)
+        {
             self.in_recovery = false;
         }
 
         self.integrate_cwnd(now);
-        let view = self.view();
-        let sample = AckSample {
-            now,
-            acked_bytes: entry.size,
-            rtt: rtt_sample,
-            delivery_rate,
-            delivered_total: self.delivered_bytes,
-            packet_delivered_at_send: entry.delivered_at_send,
-            inflight_bytes: self.inflight_bytes,
-            newly_lost_bytes: newly_lost,
-        };
-        self.cc.on_ack(&sample, &view);
+        if !self.cc_open_loop {
+            let view = self.view();
+            let sample = AckSample {
+                now,
+                acked_bytes: entry.size,
+                rtt: rtt_sample,
+                delivery_rate,
+                delivered_total: self.delivered_bytes,
+                packet_delivered_at_send: entry.delivered_at_send,
+                inflight_bytes: self.inflight_bytes,
+                newly_lost_bytes: newly_lost,
+            };
+            self.cc.on_ack(&sample, &view);
+        }
 
         if let Some(limit) = self.byte_limit {
             if self.completion_time.is_none() && self.delivered_bytes >= limit {
@@ -470,7 +640,7 @@ impl Flow {
             }
 
             // Retransmissions take priority over new data.
-            let (seq, is_retransmit) = match self.rtx_queue.pop_first() {
+            let (seq, is_retransmit) = match self.rtx_queue.pop_front() {
                 Some(s) => (s, true),
                 None => {
                     if !self.has_new_data() {
@@ -481,19 +651,6 @@ impl Flow {
                     (s, false)
                 }
             };
-            let pkt = Packet {
-                flow: self.id,
-                seq,
-                size: self.mss,
-                sent_time: now,
-                is_retransmit,
-                delivered_at_send: self.delivered_bytes,
-                delivered_time_at_send: if self.delivered_time == SimTime::ZERO {
-                    now
-                } else {
-                    self.delivered_time
-                },
-            };
             let txid = self.next_txid;
             self.next_txid += 1;
             let entry = SentPacket {
@@ -502,7 +659,11 @@ impl Flow {
                 txid,
                 is_retransmit,
                 delivered_at_send: self.delivered_bytes,
-                delivered_time_at_send: pkt.delivered_time_at_send,
+                delivered_time_at_send: if self.delivered_time == SimTime::ZERO {
+                    now
+                } else {
+                    self.delivered_time
+                },
                 dup_count: 0,
                 marked_lost: false,
             };
@@ -514,13 +675,19 @@ impl Flow {
                 self.stats.retransmits += 1;
             }
             self.integrate_cwnd(now);
-            let view = self.view();
-            self.cc.on_packet_sent(now, self.mss, &view);
+            if !self.cc_open_loop {
+                let view = self.view();
+                self.cc.on_packet_sent(now, self.mss, &view);
+            }
 
-            let size = pkt.size;
+            let pkt = Packet {
+                flow: self.id,
+                seq,
+                size: self.mss,
+            };
             match queue.offer(now, pkt) {
                 Offer::StartService => {
-                    let done = now + queue.rate().serialization_time(size);
+                    let done = now + queue.serialization_time(pkt.size);
                     events.schedule(done, Event::LinkDequeue);
                 }
                 Offer::Queued => {}
@@ -546,5 +713,123 @@ impl Flow {
     /// Final cwnd-integral update at simulation end.
     pub fn finalize(&mut self, now: SimTime) {
         self.integrate_cwnd(now);
+    }
+
+    /// Snapshot the cwnd integral at the measurement-window start, so the
+    /// reported average cwnd covers only the window.
+    pub fn mark_measure_start(&mut self, t: SimTime) {
+        // Before on_start the integral clock hasn't begun; integrating
+        // here would credit phantom pre-start cwnd time.
+        if self.started {
+            self.integrate_cwnd(t);
+        }
+        self.stats.cwnd_integral_mark = self.stats.cwnd_time_integral;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(txid: u64) -> SentPacket {
+        SentPacket {
+            size: 1500,
+            sent_time: SimTime::ZERO,
+            txid,
+            is_retransmit: false,
+            delivered_at_send: 0,
+            delivered_time_at_send: SimTime::ZERO,
+            dup_count: 0,
+            marked_lost: false,
+        }
+    }
+
+    #[test]
+    fn scoreboard_inserts_removes_and_tracks_head() {
+        let mut sb = Scoreboard::default();
+        assert!(sb.is_empty());
+        for seq in 0..5 {
+            sb.insert(seq, entry(seq));
+        }
+        assert_eq!(sb.head_seq(), 0);
+        // Remove from the middle: head unchanged, hole opens.
+        assert!(sb.remove(2).is_some());
+        assert_eq!(sb.head_seq(), 0);
+        assert!(sb.remove(2).is_none(), "double remove yields None");
+        // Remove the head: advances past the hole at 2? No — 1 is live.
+        assert!(sb.remove(0).is_some());
+        assert_eq!(sb.head_seq(), 1);
+        // Removing 1 skips the hole at 2 and lands on 3.
+        assert!(sb.remove(1).is_some());
+        assert_eq!(sb.head_seq(), 3);
+        assert!(sb.remove(3).is_some());
+        assert!(sb.remove(4).is_some());
+        assert!(sb.is_empty());
+        // After draining, appending the next sequence restarts cleanly.
+        sb.insert(5, entry(5));
+        assert_eq!(sb.head_seq(), 5);
+        assert!(!sb.is_empty());
+    }
+
+    #[test]
+    fn scoreboard_retransmit_replaces_in_place() {
+        let mut sb = Scoreboard::default();
+        sb.insert(0, entry(0));
+        sb.insert(1, entry(1));
+        let replacement = SentPacket {
+            txid: 9,
+            is_retransmit: true,
+            ..entry(0)
+        };
+        sb.insert(0, replacement);
+        assert_eq!(sb.outstanding, 2);
+        let got = sb.remove(0).unwrap();
+        assert_eq!(got.txid, 9);
+        assert!(got.is_retransmit);
+    }
+
+    #[test]
+    fn receiver_window_bitmap_matches_set_semantics() {
+        let mut f = Flow::new(
+            FlowId(0),
+            Box::new(crate::cc::FixedWindow::new(10_000)),
+            1500,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(5),
+            SimTime::ZERO,
+        );
+        // In-order delivery.
+        assert_eq!(f.receiver_on_data(0, 1500), 1500);
+        assert_eq!(f.rcv_next, 1);
+        // Gap: 2 and 4 arrive before 1.
+        assert_eq!(f.receiver_on_data(2, 1500), 1500);
+        assert_eq!(f.receiver_on_data(4, 1500), 1500);
+        assert_eq!(f.rcv_next, 1);
+        // Duplicates of buffered and already-delivered data count zero.
+        assert_eq!(f.receiver_on_data(2, 1500), 0);
+        assert_eq!(f.receiver_on_data(0, 1500), 0);
+        // Filling the hole advances through the buffered run.
+        assert_eq!(f.receiver_on_data(1, 1500), 1500);
+        assert_eq!(f.rcv_next, 3);
+        assert_eq!(f.receiver_on_data(3, 1500), 1500);
+        assert_eq!(f.rcv_next, 5);
+    }
+
+    #[test]
+    fn rtx_queue_stays_sorted_under_out_of_order_marking() {
+        let mut f = Flow::new(
+            FlowId(0),
+            Box::new(crate::cc::FixedWindow::new(10_000)),
+            1500,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(5),
+            SimTime::ZERO,
+        );
+        for s in [5u64, 7, 3, 9, 4] {
+            f.rtx_push(s);
+        }
+        f.rtx_cancel(7);
+        let drained: Vec<u64> = std::iter::from_fn(|| f.rtx_queue.pop_front()).collect();
+        assert_eq!(drained, vec![3, 4, 5, 9]);
     }
 }

@@ -26,8 +26,8 @@
 //!
 //! Design notes (following the session's networking guides):
 //! * **Event-driven, synchronous.** The workload is CPU-bound; no async
-//!   runtime is used. A single binary heap orders events by `(time, seq)`,
-//!   making runs bit-for-bit deterministic for a given seed.
+//!   runtime is used. A calendar queue (see [`event`]) orders events by
+//!   `(time, seq)`, making runs bit-for-bit deterministic for a given seed.
 //! * **No hidden global state.** A [`sim::Simulator`] owns everything.
 //! * **Simplicity over cleverness** (smoltcp's stated design goal): plain
 //!   structs, explicit state machines, no macro tricks.
@@ -36,6 +36,7 @@ pub mod aqm;
 pub mod cc;
 pub mod event;
 pub mod flow;
+pub mod json;
 pub mod packet;
 pub mod queue;
 pub mod sim;

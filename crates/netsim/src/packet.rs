@@ -14,23 +14,16 @@ impl FlowId {
 /// A data packet in flight. Sequence numbers count packets (not bytes);
 /// each packet carries `size` payload bytes (normally one MSS).
 ///
-/// The fields `delivered_at_send` / `delivered_time_at_send` snapshot the
-/// sender's delivery counter when the packet was (re)transmitted; they feed
-/// BBR-style delivery-rate samples on the returning ACK, mirroring Linux's
-/// `tcp_rate.c` mechanism in simplified form.
+/// Only identity and size travel on the wire: send-time metadata
+/// (transmit timestamps, delivery-rate snapshots) stays on the sender's
+/// scoreboard, keyed by `seq` — mirroring Linux's `tcp_rate.c`, where
+/// `tcp_skb_cb` state never leaves the host. This keeps the structs the
+/// bottleneck queue and event ring shuffle around small.
 #[derive(Debug, Clone, Copy)]
 pub struct Packet {
     pub flow: FlowId,
     pub seq: u64,
     pub size: u64,
-    /// When this copy of the packet left the sender.
-    pub sent_time: crate::time::SimTime,
-    /// True if this is a retransmission (excluded from RTT/rate samples).
-    pub is_retransmit: bool,
-    /// Sender's delivered-bytes counter at (re)transmit time.
-    pub delivered_at_send: u64,
-    /// Sender's delivered-time at (re)transmit time.
-    pub delivered_time_at_send: crate::time::SimTime,
 }
 
 #[cfg(test)]

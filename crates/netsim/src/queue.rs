@@ -8,8 +8,8 @@
 
 use crate::aqm::{CodelState, QueueDiscipline, RedState};
 use crate::packet::{FlowId, Packet};
-use crate::time::SimTime;
-use crate::units::Rate;
+use crate::time::{SimDuration, SimTime};
+use crate::units::{Rate, MSS};
 use std::collections::VecDeque;
 
 /// A recorded tail-drop event.
@@ -27,13 +27,22 @@ pub struct DropTailQueue {
     /// Maximum queued bytes (excludes the packet in service on the link).
     capacity_bytes: u64,
     queue: VecDeque<Packet>,
-    /// Enqueue timestamps, parallel to `queue` (for AQM sojourn times).
+    /// Enqueue timestamps, parallel to `queue`. Only maintained when the
+    /// discipline needs sojourn times (CoDel); empty otherwise.
     enqueue_times: VecDeque<SimTime>,
+    /// Whether `enqueue_times` is maintained.
+    track_sojourn: bool,
     queued_bytes: u64,
     /// Per-flow queued bytes (indexed by `FlowId`).
     per_flow_bytes: Vec<u64>,
+    /// `per_flow_bytes` shadowed as f64 (always exact: packet-size sums
+    /// stay far below 2^53), so the integral loop is pure float math the
+    /// compiler can vectorize.
+    per_flow_bytes_f64: Vec<f64>,
     /// The packet currently being serialized on the link, if any.
     in_service: Option<Packet>,
+    /// Cached serialization time of one MSS at `rate`.
+    ser_mss: SimDuration,
     /// Queue discipline and AQM state.
     discipline: QueueDiscipline,
     red: RedState,
@@ -47,6 +56,11 @@ pub struct DropTailQueue {
     byte_time_integral: f64,
     /// ∫ queue_bytes dt per flow.
     per_flow_integral: Vec<f64>,
+    /// Integral snapshots at the measurement-window start (zero unless
+    /// [`DropTailQueue::mark_measure_start`] was called), so averages can
+    /// cover only the window.
+    measure_mark_total: f64,
+    measure_mark_per_flow: Vec<f64>,
     /// Peak queued bytes observed.
     peak_bytes: u64,
     drops: Vec<DropRecord>,
@@ -75,12 +89,17 @@ impl DropTailQueue {
             aqm_drops: 0,
             queue: VecDeque::new(),
             enqueue_times: VecDeque::new(),
+            track_sojourn: matches!(discipline, QueueDiscipline::Codel(_)),
             queued_bytes: 0,
             per_flow_bytes: vec![0; n_flows],
+            per_flow_bytes_f64: vec![0.0; n_flows],
             in_service: None,
+            ser_mss: rate.serialization_time(MSS),
             last_change: SimTime::ZERO,
             byte_time_integral: 0.0,
             per_flow_integral: vec![0.0; n_flows],
+            measure_mark_total: 0.0,
+            measure_mark_per_flow: vec![0.0; n_flows],
             peak_bytes: 0,
             drops: Vec::new(),
             enqueued_packets: 0,
@@ -91,6 +110,18 @@ impl DropTailQueue {
     /// Link rate.
     pub fn rate(&self) -> Rate {
         self.rate
+    }
+
+    /// Serialization time of `bytes` on this link. Memoized for the
+    /// common MSS-sized packet (one f64 divide per dequeue otherwise);
+    /// other sizes fall through to the identical [`Rate`] computation.
+    #[inline]
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        if bytes == MSS {
+            self.ser_mss
+        } else {
+            self.rate.serialization_time(bytes)
+        }
     }
 
     /// Configured capacity in bytes.
@@ -114,13 +145,27 @@ impl DropTailQueue {
     }
 
     fn advance_integrals(&mut self, now: SimTime) {
-        let dt = now.saturating_since(self.last_change).as_secs_f64();
-        if dt > 0.0 {
-            self.byte_time_integral += self.queued_bytes as f64 * dt;
-            for (i, b) in self.per_flow_bytes.iter().enumerate() {
-                self.per_flow_integral[i] += *b as f64 * dt;
-            }
-            self.last_change = now;
+        // Integer zero-check first: skipping the ns→secs division on
+        // same-instant calls is exact (dt > 0 iff the ns delta is > 0).
+        let elapsed = now.saturating_since(self.last_change);
+        if elapsed.as_nanos() == 0 {
+            return;
+        }
+        let dt = elapsed.as_secs_f64();
+        self.last_change = now;
+        // Empty queue: every term would be `x + 0.0`, which reproduces
+        // `x` bit-for-bit for these non-negative integrals, so the idle
+        // case is O(1) instead of O(flows).
+        if self.queued_bytes == 0 {
+            return;
+        }
+        self.byte_time_integral += self.queued_bytes as f64 * dt;
+        for (acc, b) in self
+            .per_flow_integral
+            .iter_mut()
+            .zip(self.per_flow_bytes_f64.iter())
+        {
+            *acc += *b * dt;
         }
     }
 
@@ -151,10 +196,13 @@ impl DropTailQueue {
         if self.queued_bytes + pkt.size <= self.capacity_bytes {
             self.queued_bytes += pkt.size;
             self.per_flow_bytes[pkt.flow.index()] += pkt.size;
+            self.per_flow_bytes_f64[pkt.flow.index()] += pkt.size as f64;
             self.peak_bytes = self.peak_bytes.max(self.queued_bytes);
             self.enqueued_packets += 1;
             self.queue.push_back(pkt);
-            self.enqueue_times.push_back(now);
+            if self.track_sojourn {
+                self.enqueue_times.push_back(now);
+            }
             Offer::Queued
         } else {
             self.dropped_packets += 1;
@@ -180,14 +228,15 @@ impl DropTailQueue {
         loop {
             match self.queue.pop_front() {
                 Some(pkt) => {
-                    let enqueued_at = self
-                        .enqueue_times
-                        .pop_front()
-                        .expect("enqueue_times in sync with queue");
                     self.queued_bytes -= pkt.size;
                     self.per_flow_bytes[pkt.flow.index()] -= pkt.size;
+                    self.per_flow_bytes_f64[pkt.flow.index()] -= pkt.size as f64;
                     // CoDel: head-drop decision at dequeue time.
                     if let QueueDiscipline::Codel(cfg) = self.discipline {
+                        let enqueued_at = self
+                            .enqueue_times
+                            .pop_front()
+                            .expect("enqueue_times in sync with queue");
                         let sojourn = now.saturating_since(enqueued_at);
                         if self.codel.on_dequeue(&cfg, now, sojourn) {
                             self.dropped_packets += 1;
@@ -224,21 +273,35 @@ impl DropTailQueue {
         self.advance_integrals(now);
     }
 
-    /// Time-weighted average queue occupancy in bytes over `[0, now]`
-    /// (caller provides the elapsed time used for normalization).
-    pub fn avg_occupancy_bytes(&self, elapsed_secs: f64) -> f64 {
-        if elapsed_secs <= 0.0 {
-            return 0.0;
-        }
-        self.byte_time_integral / elapsed_secs
+    /// Snapshot the occupancy integrals at the measurement-window start.
+    /// After this, the `avg_occupancy*` accessors average over
+    /// `[mark, finalize]` instead of `[0, finalize]`.
+    pub fn mark_measure_start(&mut self, t: SimTime) {
+        self.advance_integrals(t);
+        self.measure_mark_total = self.byte_time_integral;
+        self.measure_mark_per_flow
+            .copy_from_slice(&self.per_flow_integral);
     }
 
-    /// Time-weighted average occupancy of one flow, in bytes.
-    pub fn avg_occupancy_bytes_of(&self, flow: FlowId, elapsed_secs: f64) -> f64 {
-        if elapsed_secs <= 0.0 {
+    /// Time-weighted average queue occupancy in bytes over the
+    /// measurement window (caller provides the window length used for
+    /// normalization; the window is `[0, finalize]` unless
+    /// [`Self::mark_measure_start`] moved its start).
+    pub fn avg_occupancy_bytes(&self, window_secs: f64) -> f64 {
+        if window_secs <= 0.0 {
             return 0.0;
         }
-        self.per_flow_integral[flow.index()] / elapsed_secs
+        (self.byte_time_integral - self.measure_mark_total) / window_secs
+    }
+
+    /// Time-weighted average occupancy of one flow over the measurement
+    /// window, in bytes.
+    pub fn avg_occupancy_bytes_of(&self, flow: FlowId, window_secs: f64) -> f64 {
+        if window_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.per_flow_integral[flow.index()] - self.measure_mark_per_flow[flow.index()])
+            / window_secs
     }
 
     pub fn peak_bytes(&self) -> u64 {
@@ -280,10 +343,6 @@ mod tests {
             flow: FlowId(flow),
             seq,
             size: MSS,
-            sent_time: SimTime::ZERO,
-            is_retransmit: false,
-            delivered_at_send: 0,
-            delivered_time_at_send: SimTime::ZERO,
         }
     }
 

@@ -44,8 +44,10 @@ pub struct SimConfig {
     pub buffer_bytes: u64,
     /// Total simulated time.
     pub duration: SimDuration,
-    /// Throughput is averaged over `[measure_start, duration]`. The paper
-    /// measures from flow start; keep `ZERO` to match.
+    /// All window-averaged report quantities — throughput, utilization,
+    /// average queue occupancy, and average cwnd — cover
+    /// `[measure_start, duration]`. The paper measures from flow start;
+    /// keep `ZERO` to match.
     pub measure_start: SimTime,
     /// Maximum segment size.
     pub mss: u64,
@@ -82,7 +84,8 @@ impl SimConfig {
         }
     }
 
-    /// Set a measurement warm-up: throughput ignores `[0, start)`.
+    /// Set a measurement warm-up: all window-averaged report quantities
+    /// ignore `[0, start)`.
     pub fn with_measure_start(mut self, start: SimTime) -> Self {
         self.measure_start = start;
         self
@@ -152,6 +155,9 @@ pub struct SimReport {
     pub queue: QueueReport,
     /// Simulated duration in seconds.
     pub duration_secs: f64,
+    /// Discrete events dispatched by the run — the denominator for
+    /// events/sec throughput measurements (`crates/bench/benches/netsim_perf.rs`).
+    pub events_processed: u64,
     /// Time-series trace (empty unless `SimConfig::with_trace` was set).
     pub trace: Trace,
 }
@@ -189,7 +195,10 @@ pub struct Simulator {
 impl Simulator {
     pub fn new(config: SimConfig) -> Self {
         assert!(config.buffer_bytes > 0, "buffer must be positive");
-        assert!(config.duration > SimDuration::ZERO, "duration must be positive");
+        assert!(
+            config.duration > SimDuration::ZERO,
+            "duration must be positive"
+        );
         Simulator {
             config,
             flows: Vec::new(),
@@ -206,14 +215,7 @@ impl Simulator {
         // paths; the split is arbitrary as long as the sum is the base RTT.
         let half = SimDuration(fc.base_rtt.0 / 2);
         let other_half = SimDuration(fc.base_rtt.0 - half.0);
-        let mut flow = Flow::new(
-            id,
-            fc.cc,
-            self.config.mss,
-            half,
-            other_half,
-            fc.start_time,
-        );
+        let mut flow = Flow::new(id, fc.cc, self.config.mss, half, other_half, fc.start_time);
         if let Some(limit) = fc.byte_limit {
             flow.set_byte_limit(limit);
         }
@@ -240,17 +242,37 @@ impl Simulator {
         let mut jitter_rng = StdRng::seed_from_u64(self.config.seed);
         let jitter_ns = self.config.ack_jitter.as_nanos();
 
+        // Schedule the first trace sample at t=0 (before any FlowStart) so
+        // traces carry the true baseline: empty queue, initial cwnd, zero
+        // delivered bytes.
+        if self.config.sample_interval.is_some() {
+            self.events.schedule(SimTime::ZERO, Event::StatsSample);
+        }
         for f in &self.flows {
             self.events.schedule(f.start_time, Event::FlowStart(f.id));
         }
-        if let Some(interval) = self.config.sample_interval {
-            self.events
-                .schedule(SimTime::ZERO + interval, Event::StatsSample);
-        }
+
+        let measure_start = self.config.measure_start.min(end);
+        let mut window_marked = false;
+        let mut events_processed: u64 = 0;
 
         while let Some((now, event)) = self.events.pop() {
             if now > end {
                 break;
+            }
+            events_processed += 1;
+            // Snapshot all time integrals the first time simulated time
+            // reaches the measurement window, so every window-averaged
+            // quantity (throughput, queue occupancy, cwnd) shares the same
+            // `[measure_start, end]` window. Events are processed in time
+            // order and no integral has advanced past `measure_start` yet,
+            // so marking here is exact.
+            if !window_marked && now >= measure_start {
+                queue.mark_measure_start(measure_start);
+                for f in &mut self.flows {
+                    f.mark_measure_start(measure_start);
+                }
+                window_marked = true;
             }
             match event {
                 Event::FlowStart(id) => {
@@ -262,7 +284,7 @@ impl Simulator {
                 Event::LinkDequeue => {
                     let (finished, next_size) = queue.service_complete(now);
                     if let Some(size) = next_size {
-                        let done = now + self.config.rate.serialization_time(size);
+                        let done = now + queue.serialization_time(size);
                         self.events.schedule(done, Event::LinkDequeue);
                     }
                     let flow = &mut self.flows[finished.flow.index()];
@@ -275,13 +297,18 @@ impl Simulator {
                     }
                     let mut ack_time = delivery_time + flow.prop_rev;
                     if jitter_ns > 0 {
-                        ack_time = ack_time
-                            + crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
+                        ack_time += crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
                     }
-                    self.events.schedule(ack_time, Event::AckArrive(finished));
+                    self.events.schedule(
+                        ack_time,
+                        Event::AckArrive {
+                            flow: finished.flow,
+                            seq: finished.seq,
+                        },
+                    );
                 }
-                Event::AckArrive(pkt) => {
-                    self.flows[pkt.flow.index()].on_ack(now, &pkt, &mut queue, &mut self.events);
+                Event::AckArrive { flow, seq } => {
+                    self.flows[flow.index()].on_ack(now, seq, &mut queue, &mut self.events);
                 }
                 Event::RtoCheck(id) => {
                     self.flows[id.index()].on_rto_check(now, &mut queue, &mut self.events);
@@ -308,13 +335,20 @@ impl Simulator {
             }
         }
 
+        // If every event fired before the window opened, mark now so the
+        // window averages cover `[measure_start, end]` of (idle) time.
+        if !window_marked {
+            queue.mark_measure_start(measure_start);
+            for f in &mut self.flows {
+                f.mark_measure_start(measure_start);
+            }
+        }
         queue.finalize(end);
         for f in &mut self.flows {
             f.finalize(end);
         }
 
-        let measure_secs = (end - self.config.measure_start).as_secs_f64();
-        let elapsed_secs = end.as_secs_f64();
+        let measure_secs = (end - measure_start).as_secs_f64();
         let flow_reports: Vec<FlowReport> = self
             .flows
             .iter()
@@ -332,11 +366,11 @@ impl Simulator {
                 lost_packets: f.stats.lost_packets,
                 congestion_events: f.stats.congestion_events,
                 rtos: f.stats.rtos,
-                avg_queue_occupancy_bytes: queue.avg_occupancy_bytes_of(f.id, elapsed_secs),
+                avg_queue_occupancy_bytes: queue.avg_occupancy_bytes_of(f.id, measure_secs),
                 min_rtt_secs: f.min_rtt().map(|d| d.as_secs_f64()),
                 mean_rtt_secs: f.mean_rtt_secs(),
-                avg_cwnd_bytes: if elapsed_secs > 0.0 {
-                    f.stats.cwnd_time_integral / elapsed_secs
+                avg_cwnd_bytes: if measure_secs > 0.0 {
+                    (f.stats.cwnd_time_integral - f.stats.cwnd_integral_mark) / measure_secs
                 } else {
                     0.0
                 },
@@ -355,7 +389,7 @@ impl Simulator {
 
         let total_goodput: u64 = flow_reports.iter().map(|f| f.goodput_bytes).sum();
         let capacity_bytes_in_window = self.config.rate.bytes_per_sec() * measure_secs;
-        let avg_occ = queue.avg_occupancy_bytes(elapsed_secs);
+        let avg_occ = queue.avg_occupancy_bytes(measure_secs);
         let queue_report = QueueReport {
             avg_occupancy_bytes: avg_occ,
             avg_queuing_delay_secs: avg_occ / self.config.rate.bytes_per_sec(),
@@ -381,6 +415,7 @@ impl Simulator {
             flows: flow_reports,
             queue: queue_report,
             duration_secs: self.config.duration.as_secs_f64(),
+            events_processed,
             trace,
         }
     }
@@ -500,6 +535,50 @@ mod tests {
     fn run_without_flows_panics() {
         let (cfg, _) = base_config(10.0, 40, 2.0, 1.0);
         Simulator::new(cfg).run();
+    }
+
+    #[test]
+    fn measure_window_consistent_across_report_fields() {
+        // A flow that starts at t=5s in a 10s run, measured over [5s, 10s].
+        // Every window-averaged quantity must be normalized by the 5s
+        // window, not the 10s elapsed time (the old bug halved the queue
+        // and cwnd averages).
+        let rate = Rate::from_mbps(10.0);
+        let rtt = SimDuration::from_millis(40);
+        let bdp = rate.bdp_bytes(rtt);
+        let buf = crate::units::buffer_bytes(rate, rtt, 8.0);
+        let window = 2 * bdp;
+        let start = SimTime::from_secs_f64(5.0);
+        let cfg =
+            SimConfig::new(rate, buf, SimDuration::from_secs_f64(10.0)).with_measure_start(start);
+        let mut sim = Simulator::new(cfg);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(window)), rtt).starting_at(start));
+        let report = sim.run();
+        let f = &report.flows[0];
+
+        // Steady state inside the window: cwnd pinned at 2*BDP, of which
+        // one BDP is in flight and one BDP sits in the buffer.
+        let cwnd = window as f64;
+        let queued = (window - bdp) as f64;
+        assert!(
+            (f.avg_cwnd_bytes - cwnd).abs() / cwnd < 0.15,
+            "avg_cwnd={} want≈{cwnd}",
+            f.avg_cwnd_bytes
+        );
+        assert!(
+            (f.avg_queue_occupancy_bytes - queued).abs() / queued < 0.15,
+            "avg_queue_occ={} want≈{queued}",
+            f.avg_queue_occupancy_bytes
+        );
+        assert!(
+            (report.queue.avg_occupancy_bytes - queued).abs() / queued < 0.15,
+            "queue avg_occ={} want≈{queued}",
+            report.queue.avg_occupancy_bytes
+        );
+        // Throughput over the window saturates the link.
+        let tp = f.throughput_mbps();
+        assert!((tp - 10.0).abs() < 0.5, "throughput={tp}");
+        assert!(report.queue.utilization > 0.9);
     }
 
     #[test]

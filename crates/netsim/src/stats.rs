@@ -36,6 +36,9 @@ pub struct FlowStats {
     pub max_cwnd_bytes: u64,
     /// ∫ cwnd dt, for average-cwnd reporting.
     pub cwnd_time_integral: f64,
+    /// Value of `cwnd_time_integral` at the measurement-window start, so
+    /// the reported average covers only the window.
+    pub cwnd_integral_mark: f64,
     /// Time of the last cwnd integral update.
     pub last_cwnd_update: SimTime,
     /// Sum and count of RTT samples (for mean RTT).

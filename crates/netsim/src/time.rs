@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs_f64(3.0),
             SimTime::ZERO,
             SimTime::from_secs_f64(1.0),

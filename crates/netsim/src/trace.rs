@@ -65,7 +65,10 @@ impl Trace {
 
     /// The queue-occupancy series `(time, bytes)`.
     pub fn queue_series(&self) -> Vec<(SimTime, u64)> {
-        self.samples.iter().map(|s| (s.time, s.queue_bytes)).collect()
+        self.samples
+            .iter()
+            .map(|s| (s.time, s.queue_bytes))
+            .collect()
     }
 
     /// The cwnd series of one flow `(time, bytes)`.

@@ -6,17 +6,15 @@ use bbrdom_netsim::cc::FixedWindow;
 use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, SimReport, Simulator, MSS};
 use proptest::prelude::*;
 
-fn run_sim(
-    mbps: f64,
-    rtt_ms: u64,
-    buffer_bdp: f64,
-    windows_bdp: Vec<f64>,
-    secs: f64,
-) -> SimReport {
+fn run_sim(mbps: f64, rtt_ms: u64, buffer_bdp: f64, windows_bdp: Vec<f64>, secs: f64) -> SimReport {
     let rate = Rate::from_mbps(mbps);
     let rtt = SimDuration::from_millis(rtt_ms);
     let buffer = bbrdom_netsim::units::buffer_bytes(rate, rtt, buffer_bdp);
-    let mut sim = Simulator::new(SimConfig::new(rate, buffer, SimDuration::from_secs_f64(secs)));
+    let mut sim = Simulator::new(SimConfig::new(
+        rate,
+        buffer,
+        SimDuration::from_secs_f64(secs),
+    ));
     let bdp = rate.bdp_bytes(rtt).max(MSS);
     for w in windows_bdp {
         let cwnd = ((bdp as f64 * w) as u64).max(2 * MSS);

@@ -152,8 +152,13 @@ fn trace_records_samples_and_throughput() {
         rtt,
     ));
     let report = sim.run();
-    // ~20 samples over 10 s at 500 ms.
-    assert!(report.trace.len() >= 18 && report.trace.len() <= 21);
+    // Samples at 0, 0.5, …, 10.0 s: exactly 21, starting with the t=0
+    // baseline (empty queue, nothing delivered yet).
+    assert_eq!(report.trace.len(), 21);
+    let first = &report.trace.samples[0];
+    assert_eq!(first.time, bbrdom_netsim::SimTime::ZERO);
+    assert_eq!(first.queue_bytes, 0);
+    assert_eq!(first.delivered_bytes[0], 0);
     let ts = report.trace.throughput_series();
     // Steady state: per-interval throughput ≈ link rate.
     let late = &ts[ts.len() / 2..];
@@ -198,10 +203,7 @@ fn finite_flow_completes_and_reports_fct() {
     let mut sim = Simulator::new(cfg);
     let bdp = 10.0e6 / 8.0 * 0.04;
     // Long background flow + a 150 kB transfer.
-    sim.add_flow(FlowConfig::new(
-        Box::new(FixedWindow::new(bdp as u64)),
-        rtt,
-    ));
+    sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(bdp as u64)), rtt));
     sim.add_flow(
         FlowConfig::new(Box::new(FixedWindow::new(bdp as u64)), rtt)
             .with_byte_limit(150_000)

@@ -14,8 +14,8 @@
 
 use bbrdom::cca::CcaKind;
 use bbrdom::experiments::Scenario;
-use bbrdom::model::nash::NashPredictor;
 use bbrdom::model::multi_flow::SyncMode;
+use bbrdom::model::nash::NashPredictor;
 
 fn main() {
     let (mbps, rtt_ms, n) = (100.0, 40.0, 10u32);
@@ -30,8 +30,8 @@ fn main() {
         let cubic = r.mean_throughput_of("cubic").unwrap_or(0.0);
         let bbr = r.mean_throughput_of("bbr").unwrap_or(0.0);
         let sent: u64 = r.dropped_packets; // drops at the bottleneck
-        let loss_pct = 100.0 * sent as f64
-            / (sent as f64 + r.total_throughput() * 1e6 / 8.0 * 30.0 / 1500.0);
+        let loss_pct =
+            100.0 * sent as f64 / (sent as f64 + r.total_throughput() * 1e6 / 8.0 * 30.0 / 1500.0);
         let ne = NashPredictor::from_paper_units(mbps, rtt_ms, bdp, n)
             .predict(SyncMode::Synchronized)
             .map(|p| format!("{:.1}", p.n_cubic))

@@ -11,9 +11,7 @@ use bbrdom::experiments::Scenario;
 fn main() {
     let (mbps, rtt_ms, buffer_bdp, secs) = (100.0, 40.0, 2.0, 45.0);
     let fair = mbps / 2.0;
-    println!(
-        "1 challenger vs 1 CUBIC, {mbps} Mbps, {rtt_ms} ms, {buffer_bdp} BDP, {secs} s\n"
-    );
+    println!("1 challenger vs 1 CUBIC, {mbps} Mbps, {rtt_ms} ms, {buffer_bdp} BDP, {secs} s\n");
     println!(
         "{:>10}  {:>12}  {:>12}  {:>8}  {:>8}  verdict",
         "algorithm", "X Mbps", "CUBIC Mbps", "delay ms", "drops"

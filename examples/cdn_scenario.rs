@@ -42,8 +42,8 @@ fn main() {
 
     let mut n_bbr = 0u32; // everyone starts on CUBIC
     println!(
-        "{:>5}  {:>6}  {:>10}  {:>10}  {}",
-        "round", "#BBR", "BBR Mbps", "CUBIC Mbps", "action"
+        "{:>5}  {:>6}  {:>10}  {:>10}  action",
+        "round", "#BBR", "BBR Mbps", "CUBIC Mbps"
     );
     for round in 0..ROUNDS {
         let (bbr, cubic) = measure(n_bbr, 0xCD_0000 + round as u64);
@@ -91,6 +91,8 @@ fn print_row(round: usize, n_bbr: u32, bbr: Option<f64>, cubic: Option<f64>, act
     println!(
         "{round:>5}  {n_bbr:>6}  {:>10}  {:>10}  {action}",
         bbr.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
-        cubic.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+        cubic
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into()),
     );
 }

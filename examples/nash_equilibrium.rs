@@ -14,8 +14,14 @@ use bbrdom::model::nash::NashPredictor;
 fn main() {
     let (mbps, rtt_ms, n) = (100.0, 40.0, 50u32);
     println!("Nash equilibria for {n} same-RTT flows at {mbps} Mbps / {rtt_ms} ms\n");
-    println!("{:>10}  {:>18}  {:>18}", "buffer", "#CUBIC at NE", "(range over CUBIC");
-    println!("{:>10}  {:>18}  {:>18}", "(BDP)", "sync … desync", "synchronization)");
+    println!(
+        "{:>10}  {:>18}  {:>18}",
+        "buffer", "#CUBIC at NE", "(range over CUBIC"
+    );
+    println!(
+        "{:>10}  {:>18}  {:>18}",
+        "(BDP)", "sync … desync", "synchronization)"
+    );
 
     for bdp in [1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 50.0] {
         let p = NashPredictor::from_paper_units(mbps, rtt_ms, bdp, n);

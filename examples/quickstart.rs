@@ -17,7 +17,11 @@ fn main() {
     // 1. Ask the model (Eqs. (18)–(20) of the paper).
     let model = TwoFlowModel::from_paper_units(mbps, rtt_ms, buffer_bdp);
     let pred = model.solve().expect("valid configuration");
-    println!("model: BBR {:.1} Mbps / CUBIC {:.1} Mbps", pred.bbr_mbps(), pred.cubic_mbps());
+    println!(
+        "model: BBR {:.1} Mbps / CUBIC {:.1} Mbps",
+        pred.bbr_mbps(),
+        pred.cubic_mbps()
+    );
 
     // 2. Run the real thing: one CUBIC and one BBR flow through the
     //    discrete-event simulator for 60 simulated seconds.

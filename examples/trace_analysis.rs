@@ -18,7 +18,10 @@ use bbrdom::netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator, MSS};
 
 fn main() {
     println!("BBR cwnd-limited fraction vs buffer depth (1 CUBIC vs 1 BBR, 30 Mbps, 40 ms):\n");
-    println!("{:>12}  {:>18}  {:>14}", "buffer (BDP)", "cwnd-limited (%)", "BBR share (%)");
+    println!(
+        "{:>12}  {:>18}  {:>14}",
+        "buffer (BDP)", "cwnd-limited (%)", "BBR share (%)"
+    );
     for bdp in [2.0, 8.0, 30.0, 80.0, 150.0] {
         let rate = Rate::from_mbps(30.0);
         let rtt = SimDuration::from_millis(40);
@@ -54,11 +57,7 @@ fn main() {
         let rate = Rate::from_mbps(50.0);
         let rtt = SimDuration::from_millis(40);
         let buf = bbrdom::netsim::units::buffer_bytes(rate, rtt, 3.0);
-        let mut sim = Simulator::new(SimConfig::new(
-            rate,
-            buf,
-            SimDuration::from_secs_f64(60.0),
-        ));
+        let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(60.0)));
         for _ in 0..5 {
             sim.add_flow(FlowConfig::new(Box::new(Cubic::new()), rtt));
         }

@@ -1,0 +1,181 @@
+//! Golden-seed regression harness for the simulator engine.
+//!
+//! The discrete-event engine (event queue, sender scoreboard, dispatch
+//! loop) may be rebuilt for speed, but never at the cost of changing
+//! results: a given scenario + seed must stay **bit-identical** across
+//! engine rewrites. This harness runs a matrix of CCAs × buffer sizes ×
+//! seeds, reduces every [`bbrdom_netsim::SimReport`] to an FNV-1a
+//! fingerprint over the exact bit patterns of all its fields, and
+//! compares against the checked-in goldens captured from the original
+//! `BinaryHeap`/`BTreeMap` engine.
+//!
+//! If an intentional behavior change invalidates the goldens (this
+//! should be rare and deliberate), regenerate with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test golden_simreports
+//! ```
+//!
+//! and explain the change in the commit message.
+
+use bbrdom_experiments::scenario::{DisciplineSpec, Scenario};
+use bbrdom_netsim::json::{self, Value};
+use bbrdom_netsim::SimReport;
+use std::path::PathBuf;
+
+/// FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u64(u64::MAX - 1),
+            Some(x) => self.f64(x),
+        }
+    }
+}
+
+/// Every field of the report, bit-exact, folded into one u64.
+fn fingerprint(report: &SimReport) -> u64 {
+    let mut h = Fnv::new();
+    h.f64(report.duration_secs);
+    for f in &report.flows {
+        h.write(f.cc_name.as_bytes());
+        h.f64(f.throughput_bytes_per_sec);
+        h.u64(f.goodput_bytes);
+        h.u64(f.sent_bytes);
+        h.u64(f.retransmits);
+        h.u64(f.lost_packets);
+        h.u64(f.congestion_events);
+        h.u64(f.rtos);
+        h.f64(f.avg_queue_occupancy_bytes);
+        h.opt_f64(f.min_rtt_secs);
+        h.opt_f64(f.mean_rtt_secs);
+        h.f64(f.avg_cwnd_bytes);
+        h.u64(f.max_cwnd_bytes);
+        h.opt_f64(f.completion_time_secs);
+        h.u64(f.backoff_times_secs.len() as u64);
+        for &t in &f.backoff_times_secs {
+            h.f64(t);
+        }
+    }
+    let q = &report.queue;
+    h.f64(q.avg_occupancy_bytes);
+    h.f64(q.avg_queuing_delay_secs);
+    h.u64(q.peak_occupancy_bytes);
+    h.u64(q.capacity_bytes);
+    h.u64(q.dropped_packets);
+    h.u64(q.aqm_drops);
+    h.u64(q.enqueued_packets);
+    h.f64(q.utilization);
+    h.u64(q.drops.len() as u64);
+    for &(t, flow) in &q.drops {
+        h.f64(t);
+        h.u64(flow.0 as u64);
+    }
+    h.0
+}
+
+/// The regression matrix: every CCA the paper studies, shallow and deep
+/// buffers, two seeds — plus a many-flow case and an AQM case so the
+/// queue disciplines and larger event populations are covered too.
+fn matrix() -> Vec<(String, Scenario)> {
+    use bbrdom_cca::CcaKind::*;
+    let mut cases = Vec::new();
+    for cca in [Cubic, NewReno, Bbr, BbrV2, Copa, Vivace, Vegas] {
+        for buffer_bdp in [0.5, 2.0] {
+            for seed in [1u64, 2] {
+                let s = Scenario::versus(10.0, 20.0, buffer_bdp, 1, cca, 1, 5.0, seed);
+                cases.push((
+                    format!("{}_b{buffer_bdp}_s{seed}", s.flows[1].cca.name()),
+                    s,
+                ));
+            }
+        }
+    }
+    // 8 flows, mixed algorithms, deeper buffer: bigger event population.
+    let mixed = Scenario::versus(40.0, 30.0, 3.0, 4, Bbr, 4, 5.0, 7);
+    cases.push(("mixed8_b3_s7".to_string(), mixed));
+    // AQM paths (RED drops on arrival, CoDel at dequeue).
+    for (name, d) in [
+        ("red", DisciplineSpec::Red),
+        ("codel", DisciplineSpec::Codel),
+    ] {
+        let s = Scenario::versus(20.0, 20.0, 2.0, 1, Bbr, 1, 5.0, 3).with_discipline(d);
+        cases.push((format!("{name}_b2_s3"), s));
+    }
+    cases
+}
+
+fn run_report(s: &Scenario) -> SimReport {
+    // Scenario::run returns a TrialResult; the harness needs the raw
+    // SimReport, so rebuild the simulator the same way Scenario does.
+    s.build_simulator().run()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/simreports.json")
+}
+
+#[test]
+fn simreports_match_goldens() {
+    let mut current = Value::object();
+    for (key, scenario) in matrix() {
+        let fp = fingerprint(&run_report(&scenario));
+        current.set(&key, Value::Str(format!("{fp:016x}")));
+    }
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), current.to_json() + "\n").unwrap();
+        eprintln!("regenerated {}", golden_path().display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing goldens at {} ({e}); generate with GOLDEN_REGEN=1",
+            golden_path().display()
+        )
+    });
+    let golden = json::parse(&text).expect("goldens parse");
+    let mut mismatches = Vec::new();
+    for (key, scenario) in matrix() {
+        let fp = format!("{:016x}", fingerprint(&run_report(&scenario)));
+        match golden.get(&key).and_then(Value::as_str) {
+            Some(want) if want == fp => {}
+            Some(want) => mismatches.push(format!("{key}: golden {want}, got {fp}")),
+            None => mismatches.push(format!("{key}: missing from goldens")),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "engine output diverged from the golden seed runs:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn fingerprint_is_sensitive_to_results() {
+    // Sanity: two different seeds must fingerprint differently, and the
+    // same run twice must fingerprint identically.
+    let a = Scenario::versus(10.0, 20.0, 1.0, 1, bbrdom_cca::CcaKind::Bbr, 1, 3.0, 1);
+    let b = Scenario::versus(10.0, 20.0, 1.0, 1, bbrdom_cca::CcaKind::Bbr, 1, 3.0, 2);
+    assert_eq!(fingerprint(&run_report(&a)), fingerprint(&run_report(&a)));
+    assert_ne!(fingerprint(&run_report(&a)), fingerprint(&run_report(&b)));
+}

