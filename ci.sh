@@ -15,6 +15,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1 tests (workspace, release)"
 cargo test --release --workspace
 
+# Re-run the suite with the runtime invariant auditor armed: every
+# simulation in every test now verifies packet conservation, queue
+# bounds and report finiteness at runtime (see crates/netsim/src/audit.rs).
+echo "==> audited test pass (BBRDOM_AUDIT=1)"
+BBRDOM_AUDIT=1 cargo test --release --workspace -q
+
+# Fault-injection smoke: drive the impairment sweep (wire loss, outage,
+# delay spike) end to end through the repro binary's fail-soft path.
+echo "==> fault smoke sweep (repro ext-faults --smoke)"
+cargo run --release -p bbrdom-experiments --bin repro -- ext-faults --smoke \
+    --out "${TMPDIR:-/tmp}/bbrdom-ci-faults"
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
     # regressions and keep BENCH_netsim.json generation exercised. Not a

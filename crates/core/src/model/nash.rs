@@ -41,7 +41,13 @@ pub struct NashPrediction {
 impl NashPrediction {
     /// Integer distributions adjacent to the continuous crossing —
     /// the NE candidates an empirical search should find.
+    ///
+    /// A non-finite crossing (which a hand-built prediction can carry)
+    /// yields no candidates rather than a silent `NaN as u32 == 0`.
     pub fn integer_candidates(&self, n_total: u32) -> Vec<u32> {
+        if !self.n_cubic.is_finite() {
+            return Vec::new();
+        }
         let lo = self.n_cubic.floor().clamp(0.0, n_total as f64) as u32;
         let hi = self.n_cubic.ceil().clamp(0.0, n_total as f64) as u32;
         if lo == hi {
@@ -81,6 +87,7 @@ impl NashPredictor {
     /// (γ(N_c) = (N_c − 0.3)/N_c with real-valued `N_c`), which the
     /// integer model interpolates.
     pub fn bbr_per_flow(&self, n_bbr: f64, mode: SyncMode) -> Result<f64, ModelError> {
+        self.link.validate()?;
         let n = self.n_total as f64;
         if !(0.0 < n_bbr && n_bbr <= n) {
             return Err(ModelError::InvalidParameter("n_bbr out of range"));
@@ -101,7 +108,11 @@ impl NashPredictor {
             }
         };
         let pred = solve_with_gamma(&self.link, gamma)?;
-        Ok(pred.bbr_bandwidth / n_bbr)
+        let per_flow = pred.bbr_bandwidth / n_bbr;
+        if !per_flow.is_finite() {
+            return Err(ModelError::NoSolution);
+        }
+        Ok(per_flow)
     }
 
     /// Solve Eq. (25) for one bound: the `n_bbr` where BBR's per-flow
@@ -323,6 +334,52 @@ mod tests {
     fn two_flows_minimum() {
         assert!(predictor(5.0, 1).predict(SyncMode::Synchronized).is_err());
         assert!(predictor(5.0, 2).predict(SyncMode::Synchronized).is_ok());
+    }
+
+    #[test]
+    fn degenerate_links_are_rejected_not_propagated() {
+        // NaN, zero, and infinite capacity must all surface as typed
+        // errors from every solver entry point — never as NaN results.
+        for capacity in [f64::NAN, 0.0, -5.0, f64::INFINITY] {
+            let mut p = predictor(10.0, 50);
+            p.link.capacity = capacity;
+            assert!(
+                p.predict(SyncMode::Synchronized).is_err(),
+                "capacity={capacity} must be rejected by predict()"
+            );
+            assert!(
+                p.bbr_per_flow(10.0, SyncMode::Synchronized).is_err(),
+                "capacity={capacity} must be rejected by bbr_per_flow()"
+            );
+        }
+        let mut p = predictor(10.0, 50);
+        p.link.rtt = f64::NAN;
+        assert!(p.predict_region().is_err());
+    }
+
+    #[test]
+    fn nan_buffer_in_region_sweep_is_an_error() {
+        // A single degenerate buffer point poisons from_paper_units with
+        // a NaN buffer; the sweep must fail loudly, not emit NaN rows.
+        let err = nash_region_over_buffers(100.0, 40.0, &[2.0, f64::NAN, 10.0], 50);
+        assert!(err.is_err());
+        let err = nash_region_over_buffers(100.0, 40.0, &[2.0, 0.0], 50);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn integer_candidates_of_non_finite_crossing_are_empty() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let ne = NashPrediction {
+                mode: SyncMode::Synchronized,
+                n_bbr: 50.0 - bad,
+                n_cubic: bad,
+            };
+            assert!(
+                ne.integer_candidates(50).is_empty(),
+                "n_cubic={bad} must yield no candidates"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ struct Overrides {
     duration: Option<f64>,
     trials: Option<u32>,
     buffer_points: Option<usize>,
+    loss: Option<f64>,
+    ack_loss: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +75,22 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--buffer-points needs a number".to_string())?,
                 );
             }
+            "--loss" => {
+                overrides.loss = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .ok_or_else(|| "--loss needs a probability in [0, 1]".to_string())?,
+                );
+            }
+            "--ack-loss" => {
+                overrides.ack_loss = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .ok_or_else(|| "--ack-loss needs a probability in [0, 1]".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(usage());
             }
@@ -98,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
     if let Some(b) = overrides.buffer_points {
         profile.buffer_points = b;
     }
+    if let Some(p) = overrides.loss {
+        profile.loss = p;
+    }
+    if let Some(p) = overrides.ack_loss {
+        profile.ack_loss = p;
+    }
     Ok(Args {
         targets,
         profile,
@@ -112,7 +136,8 @@ fn usage() -> String {
          figures: {}  (or 'all', or bare numbers like '3')\n\
          extensions: {}  (or 'ext' for all of them)\n\
          profiles: --quick (default, minutes), --full (paper scale), --smoke (seconds)\n\
-         overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n",
+         overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n\
+         impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n",
         ALL_FIGURES.join(" "),
         ALL_EXTENSIONS.join(" ")
     )
@@ -142,11 +167,17 @@ fn main() -> ExitCode {
             other => targets.push(other.to_string()),
         }
     }
+    // Fail-soft across targets: a figure that panics is reported and the
+    // remaining figures still run; the exit code records the damage.
+    let mut failed: Vec<(String, String)> = Vec::new();
     for target in &targets {
         eprintln!("== running {target} ==");
         let started = std::time::Instant::now();
-        match run_figure(target, &args.profile).or_else(|| run_extension(target, &args.profile)) {
-            Some(result) => {
+        let ran = std::panic::catch_unwind(|| {
+            run_figure(target, &args.profile).or_else(|| run_extension(target, &args.profile))
+        });
+        match ran {
+            Ok(Some(result)) => {
                 print!("{}", result.render());
                 match result.write_csvs(&args.out_dir) {
                     Ok(paths) => {
@@ -156,7 +187,8 @@ fn main() -> ExitCode {
                     }
                     Err(e) => {
                         eprintln!("error writing CSVs for {target}: {e}");
-                        return ExitCode::FAILURE;
+                        failed.push((target.clone(), format!("CSV write failed: {e}")));
+                        continue;
                     }
                 }
                 eprintln!(
@@ -164,11 +196,29 @@ fn main() -> ExitCode {
                     started.elapsed().as_secs_f64()
                 );
             }
-            None => {
+            Ok(None) => {
                 eprintln!("unknown figure '{target}'\n{}", usage());
                 return ExitCode::from(2);
             }
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                eprintln!("== {target} FAILED: {msg} ==");
+                failed.push((target.clone(), msg));
+            }
         }
+    }
+    if !failed.is_empty() {
+        eprintln!("\n{} of {} targets failed:", failed.len(), targets.len());
+        for (target, msg) in &failed {
+            eprintln!("  {target}: {msg}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

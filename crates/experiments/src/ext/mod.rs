@@ -7,11 +7,14 @@
 //! | [`ternary`] | §4.2 (future work: >2 CCAs) | Where does a three-strategy CUBIC/BBR/BBRv2 game settle? |
 //! | [`shortflows`] | §5 (future work: diverse workloads) | How do short-flow completion times change as the long-flow mix shifts from CUBIC to BBR? |
 //! | [`utility`] | §4.3 (complex utility functions) | Do Nash equilibria persist under `u = throughput − w·delay`? |
+//! | [`faults`] | §5 (real-path diversity) | Does the split — and the Nash mix — survive wire loss, outages, and delay spikes? |
 //!
 //! All are runnable through the `repro` binary: `repro ext-aqm`,
-//! `repro ext-ternary`, `repro ext-shortflows`, `repro ext-utility`.
+//! `repro ext-ternary`, `repro ext-shortflows`, `repro ext-utility`,
+//! `repro ext-faults`.
 
 pub mod aqm;
+pub mod faults;
 pub mod shortflows;
 pub mod ternary;
 pub mod utility;
@@ -20,7 +23,13 @@ use crate::figs::FigResult;
 use crate::profile::Profile;
 
 /// All extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 4] = ["ext-aqm", "ext-ternary", "ext-shortflows", "ext-utility"];
+pub const ALL_EXTENSIONS: [&str; 5] = [
+    "ext-aqm",
+    "ext-ternary",
+    "ext-shortflows",
+    "ext-utility",
+    "ext-faults",
+];
 
 /// Run an extension experiment by id.
 pub fn run_extension(id: &str, profile: &Profile) -> Option<FigResult> {
@@ -29,6 +38,7 @@ pub fn run_extension(id: &str, profile: &Profile) -> Option<FigResult> {
         "ext-ternary" => Some(ternary::run(profile)),
         "ext-shortflows" => Some(shortflows::run(profile)),
         "ext-utility" => Some(utility::run(profile)),
+        "ext-faults" => Some(faults::run(profile)),
         _ => None,
     }
 }

@@ -15,7 +15,7 @@ use super::FigResult;
 use crate::output::Table;
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{DisciplineSpec, FlowSpec, Scenario};
+use crate::scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::multistrategy::MultiStrategyGame;
 use std::collections::HashMap;
@@ -40,6 +40,7 @@ fn scenario_for(state: &[u32], duration: f64, seed: u64) -> Scenario {
         duration_secs: duration,
         seed,
         discipline: DisciplineSpec::DropTail,
+        faults: FaultSpec::default(),
     }
 }
 

@@ -59,6 +59,7 @@ fn scenario_for_state(
         duration_secs: duration,
         seed,
         discipline: Default::default(),
+        faults: Default::default(),
     }
 }
 

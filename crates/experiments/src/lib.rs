@@ -36,4 +36,4 @@ pub mod scenario;
 pub mod sync;
 
 pub use profile::Profile;
-pub use scenario::{DisciplineSpec, FlowSpec, Scenario, TrialResult};
+pub use scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario, TrialResult};

@@ -9,7 +9,7 @@
 
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{DisciplineSpec, Scenario, TrialResult};
+use crate::scenario::{DisciplineSpec, FaultSpec, Scenario, TrialResult};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::symmetric::{SymmetricGame, SymmetricNe};
 
@@ -134,6 +134,33 @@ pub fn measure_payoffs_with_discipline(
     base_seed: u64,
     discipline: DisciplineSpec,
 ) -> PayoffMeasurement {
+    measure_payoffs_with(
+        mbps,
+        rtt_ms,
+        buffer_bdp,
+        n,
+        challenger,
+        profile,
+        base_seed,
+        discipline,
+        &FaultSpec::default(),
+    )
+}
+
+/// [`measure_payoffs`] under an arbitrary discipline *and* path
+/// impairments (used by the `ext-faults` experiment).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_payoffs_with(
+    mbps: f64,
+    rtt_ms: f64,
+    buffer_bdp: f64,
+    n: u32,
+    challenger: CcaKind,
+    profile: &Profile,
+    base_seed: u64,
+    discipline: DisciplineSpec,
+    faults: &FaultSpec,
+) -> PayoffMeasurement {
     let trials = profile.ne_trials.max(1);
     let mut scenarios = Vec::with_capacity(((n + 1) * trials) as usize);
     for trial in 0..trials {
@@ -151,7 +178,8 @@ pub fn measure_payoffs_with_discipline(
                         .wrapping_add(trial as u64 * 7919)
                         .wrapping_add(k as u64 * 104729),
                 )
-                .with_discipline(discipline),
+                .with_discipline(discipline)
+                .with_faults(faults.clone()),
             );
         }
     }

@@ -22,6 +22,11 @@ pub struct Profile {
     pub ne_flows: u32,
     /// Trials for NE searches (cheaper per-point grids).
     pub ne_trials: u32,
+    /// Forward-path (data) random wire-loss probability applied to every
+    /// scenario (`repro --loss`; the paper's testbed is clean, so 0).
+    pub loss: f64,
+    /// Reverse-path (ACK) random wire-loss probability (`repro --ack-loss`).
+    pub ack_loss: f64,
 }
 
 impl Profile {
@@ -33,6 +38,8 @@ impl Profile {
             buffer_points: 60,
             ne_flows: 50,
             ne_trials: 3,
+            loss: 0.0,
+            ack_loss: 0.0,
         }
     }
 
@@ -44,6 +51,8 @@ impl Profile {
             buffer_points: 12,
             ne_flows: 20,
             ne_trials: 1,
+            loss: 0.0,
+            ack_loss: 0.0,
         }
     }
 
@@ -56,6 +65,18 @@ impl Profile {
             buffer_points: 4,
             ne_flows: 6,
             ne_trials: 1,
+            loss: 0.0,
+            ack_loss: 0.0,
+        }
+    }
+
+    /// The [`crate::scenario::FaultSpec`] implied by the profile's
+    /// `--loss`/`--ack-loss` impairments (no-op for the clean default).
+    pub fn fault_spec(&self) -> crate::scenario::FaultSpec {
+        crate::scenario::FaultSpec {
+            loss_fwd: self.loss,
+            loss_ack: self.ack_loss,
+            ..Default::default()
         }
     }
 

@@ -12,8 +12,11 @@
 //! point that died.
 
 use crate::scenario::{Scenario, TrialResult};
+use bbrdom_netsim::json::{self, Value};
 use std::any::Any;
+use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -99,6 +102,217 @@ where
     run_all(&scenarios)
 }
 
+/// Structured failure record for one trial in a fail-soft sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialFailure {
+    /// Index of the failing scenario in the sweep's input order.
+    pub index: usize,
+    /// The error (panic message, budget trip, or audit violation).
+    pub error: String,
+    /// Human-readable scenario summary for the report.
+    pub context: String,
+}
+
+/// The fail-soft result of one trial: the measurement, or a structured
+/// failure that the rest of the sweep survived.
+#[derive(Debug, Clone)]
+pub enum TrialOutcome {
+    Ok(TrialResult),
+    Failed(TrialFailure),
+}
+
+impl TrialOutcome {
+    /// The result, if the trial succeeded.
+    pub fn ok(&self) -> Option<&TrialResult> {
+        match self {
+            TrialOutcome::Ok(r) => Some(r),
+            TrialOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if the trial failed.
+    pub fn failure(&self) -> Option<&TrialFailure> {
+        match self {
+            TrialOutcome::Ok(_) => None,
+            TrialOutcome::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// Configuration for a fail-soft, resumable sweep ([`run_sweep`]).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (defaults to the machine's parallelism).
+    pub workers: usize,
+    /// Per-scenario event budget (livelock guard; `None` = unlimited).
+    pub event_budget: Option<u64>,
+    /// Per-scenario wall-clock budget (`None` = unlimited).
+    pub wall_budget: Option<std::time::Duration>,
+    /// JSONL journal path. Completed trials (successes *and* structured
+    /// failures) are appended as they finish; a rerun with the same
+    /// journal reuses entries whose scenario still matches instead of
+    /// re-running them.
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            workers: default_workers(),
+            event_budget: None,
+            wall_budget: None,
+            journal: None,
+        }
+    }
+}
+
+/// One-line scenario summary used as failure context.
+fn scenario_context(s: &Scenario) -> String {
+    format!(
+        "{} flows, {} Mbps, buffer {} BDP, {} s, seed {}",
+        s.flows.len(),
+        s.mbps,
+        s.buffer_bdp,
+        s.duration_secs,
+        s.seed
+    )
+}
+
+/// Serialize one finished trial as a journal line.
+fn journal_line(index: usize, scenario_json: &str, outcome: &TrialOutcome) -> String {
+    let mut v = Value::object();
+    v.set("index", Value::U64(index as u64))
+        .set("scenario", Value::Str(scenario_json.to_string()));
+    match outcome {
+        TrialOutcome::Ok(r) => {
+            v.set("ok", true.into()).set("result", r.to_json_value());
+        }
+        TrialOutcome::Failed(f) => {
+            v.set("ok", false.into())
+                .set("error", Value::Str(f.error.clone()))
+                .set("context", Value::Str(f.context.clone()));
+        }
+    }
+    v.to_json()
+}
+
+/// Parse one journal line back into `(index, scenario_json, outcome)`.
+/// Returns `None` for malformed or truncated lines (e.g. a crash mid-write),
+/// which are simply re-run.
+fn parse_journal_line(line: &str) -> Option<(usize, String, TrialOutcome)> {
+    let v = json::parse(line).ok()?;
+    let index = v.get("index")?.as_u64()? as usize;
+    let scenario_json = v.get("scenario")?.as_str()?.to_string();
+    let ok = match v.get("ok")? {
+        Value::Bool(b) => *b,
+        _ => return None,
+    };
+    let outcome = if ok {
+        TrialOutcome::Ok(TrialResult::from_json_value(v.get("result")?).ok()?)
+    } else {
+        TrialOutcome::Failed(TrialFailure {
+            index,
+            error: v.get("error")?.as_str()?.to_string(),
+            context: v
+                .get("context")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    };
+    Some((index, scenario_json, outcome))
+}
+
+/// Run all scenarios fail-soft: one panicking, livelocked, or invalid
+/// scenario becomes a structured [`TrialOutcome::Failed`] while the rest
+/// of the sweep completes. Outcomes come back in input order.
+///
+/// With [`SweepConfig::journal`] set, finished trials are checkpointed as
+/// JSONL; rerunning the same sweep resumes, re-using every journal entry
+/// whose `(index, scenario)` still matches and re-running only the rest.
+pub fn run_sweep(scenarios: &[Scenario], config: &SweepConfig) -> Vec<TrialOutcome> {
+    let scenario_jsons: Vec<String> = scenarios.iter().map(|s| s.to_json()).collect();
+    let outcomes: Vec<Mutex<Option<TrialOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+
+    // Resume: pre-fill slots from the journal when the stored scenario
+    // still matches the one we were asked to run.
+    if let Some(path) = &config.journal {
+        if let Ok(file) = std::fs::File::open(path) {
+            for line in std::io::BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                let Some((index, stored, outcome)) = parse_journal_line(&line) else {
+                    continue;
+                };
+                if index < scenarios.len() && stored == scenario_jsons[index] {
+                    *outcomes[index].lock().expect("outcome slot poisoned") = Some(outcome);
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| outcomes[i].lock().expect("outcome slot poisoned").is_none())
+        .collect();
+
+    let journal: Option<Mutex<std::fs::File>> = config.journal.as_ref().map(|path| {
+        Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open sweep journal {}: {e}", path.display())),
+        )
+    });
+
+    let workers = config.workers.max(1).min(pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= pending.len() {
+                    break;
+                }
+                let i = pending[slot];
+                let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                    scenarios[i].try_run_with(config.event_budget, config.wall_budget)
+                })) {
+                    Ok(Ok(result)) => TrialOutcome::Ok(result),
+                    Ok(Err(err)) => TrialOutcome::Failed(TrialFailure {
+                        index: i,
+                        error: err.to_string(),
+                        context: scenario_context(&scenarios[i]),
+                    }),
+                    Err(payload) => TrialOutcome::Failed(TrialFailure {
+                        index: i,
+                        error: format!("panic: {}", payload_message(&*payload)),
+                        context: scenario_context(&scenarios[i]),
+                    }),
+                };
+                if let Some(journal) = &journal {
+                    let line = journal_line(i, &scenario_jsons[i], &outcome);
+                    let mut file = journal.lock().expect("journal poisoned");
+                    // A failed write is not fatal: the sweep still
+                    // completes, the trial just won't resume for free.
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                }
+                *outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot poisoned")
+                .expect("scenario not executed")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +378,170 @@ mod tests {
             msg.contains("scenario 0"),
             "expected scenario 0 first: {msg}"
         );
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bbrdom-sweep-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn sweep_survives_a_failing_scenario() {
+        // Scenario 1 is invalid (no flows): the sweep must record a
+        // structured failure at index 1 and still run the other two.
+        let mut scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        scenarios[1].flows.clear();
+        let cfg = SweepConfig {
+            workers: 2,
+            ..SweepConfig::default()
+        };
+        let outcomes = run_sweep(&scenarios, &cfg);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].ok().is_some());
+        assert!(outcomes[2].ok().is_some());
+        let failure = outcomes[1].failure().expect("scenario 1 must fail");
+        assert_eq!(failure.index, 1);
+        assert!(
+            failure.error.contains("no flows"),
+            "unhelpful error: {}",
+            failure.error
+        );
+        assert!(failure.context.contains("0 flows"));
+    }
+
+    #[test]
+    fn sweep_event_budget_fails_soft() {
+        // 1000 events is far too few for a 3-second trial: the budget
+        // trips and is reported as a structured failure, not a panic.
+        let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
+        let cfg = SweepConfig {
+            workers: 2,
+            event_budget: Some(1_000),
+            ..SweepConfig::default()
+        };
+        let outcomes = run_sweep(&scenarios, &cfg);
+        for o in &outcomes {
+            let f = o.failure().expect("budget must trip");
+            assert!(
+                f.error.contains("event budget"),
+                "unhelpful error: {}",
+                f.error
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_journal_resumes_without_rerunning() {
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        let cfg = SweepConfig {
+            workers: 2,
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let first = run_sweep(&scenarios, &cfg);
+        assert!(first.iter().all(|o| o.ok().is_some()));
+
+        // Tamper with trial 0's journaled throughput. If the resumed
+        // sweep re-ran the scenario it would recompute the honest value;
+        // seeing 999 back proves the journal entry was reused verbatim.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered: String = text
+            .lines()
+            .map(|line| {
+                let (index, _, outcome) = parse_journal_line(line).expect("valid journal line");
+                if index == 0 {
+                    let mut r = outcome.ok().unwrap().clone();
+                    r.throughput_mbps[0] = 999.0;
+                    let mut out = journal_line(0, &scenarios[0].to_json(), &TrialOutcome::Ok(r));
+                    out.push('\n');
+                    out
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        std::fs::write(&path, tampered).unwrap();
+
+        let resumed = run_sweep(&scenarios, &cfg);
+        assert_eq!(resumed[0].ok().unwrap().throughput_mbps[0], 999.0);
+        // Untampered entries round-trip bit-exactly.
+        assert_eq!(
+            resumed[1].ok().unwrap().throughput_mbps,
+            first[1].ok().unwrap().throughput_mbps
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_journal_ignores_stale_entries() {
+        let path = temp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
+        let cfg = SweepConfig {
+            workers: 1,
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let first = run_sweep(&scenarios, &cfg);
+
+        // Change scenario 1 (different seed): its journal entry is stale
+        // and must be re-run; scenario 0 still resumes from the journal.
+        let mut changed = scenarios.clone();
+        changed[1] = tiny(77);
+        let resumed = run_sweep(&changed, &cfg);
+        assert_eq!(
+            resumed[0].ok().unwrap().throughput_mbps,
+            first[0].ok().unwrap().throughput_mbps
+        );
+        assert_ne!(
+            resumed[1].ok().unwrap().throughput_mbps,
+            first[1].ok().unwrap().throughput_mbps
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_journal_skips_corrupt_lines() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{truncated\nnot json at all\n").unwrap();
+        let scenarios: Vec<Scenario> = vec![tiny(3)];
+        let cfg = SweepConfig {
+            workers: 1,
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let outcomes = run_sweep(&scenarios, &cfg);
+        assert!(
+            outcomes[0].ok().is_some(),
+            "corrupt journal must be ignored"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_outcomes_are_journaled_and_resumed() {
+        let path = temp_path("failed");
+        let _ = std::fs::remove_file(&path);
+        let mut scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
+        scenarios[0].flows.clear();
+        let cfg = SweepConfig {
+            workers: 1,
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let first = run_sweep(&scenarios, &cfg);
+        let resumed = run_sweep(&scenarios, &cfg);
+        assert_eq!(
+            resumed[0].failure().expect("still failed"),
+            first[0].failure().expect("failed")
+        );
+        // The journal holds exactly the two first-run lines: the resumed
+        // sweep re-ran nothing and appended nothing.
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines, 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

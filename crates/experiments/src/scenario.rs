@@ -7,7 +7,10 @@
 
 use bbrdom_cca::CcaKind;
 use bbrdom_netsim::json::{self, Value};
-use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, SimTime, Simulator};
+use bbrdom_netsim::{
+    ConfigError, FaultSchedule, FlowConfig, Rate, SimConfig, SimDuration, SimError, SimTime,
+    Simulator,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -148,6 +151,118 @@ impl CcaKindSpec {
     }
 }
 
+/// Serializable path impairments for a scenario: seconds/Mbps-denominated
+/// mirror of [`FaultSchedule`] (which uses integer-nanosecond sim types).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Forward-path (data) random wire-loss probability, `[0, 1]`.
+    pub loss_fwd: f64,
+    /// Reverse-path (ACK) random wire-loss probability, `[0, 1]`.
+    pub loss_ack: f64,
+    /// Link outages: `(start_s, down_for_s)`.
+    pub outages: Vec<(f64, f64)>,
+    /// Capacity steps: `(start_s, new_mbps)`.
+    pub rate_steps: Vec<(f64, f64)>,
+    /// Delay spikes: `(start_s, length_s, extra_ms)` added to the
+    /// forward path.
+    pub delay_spikes: Vec<(f64, f64, f64)>,
+}
+
+impl FaultSpec {
+    /// True when the spec injects nothing (a clean path).
+    pub fn is_noop(&self) -> bool {
+        self.loss_fwd == 0.0
+            && self.loss_ack == 0.0
+            && self.outages.is_empty()
+            && self.rate_steps.is_empty()
+            && self.delay_spikes.is_empty()
+    }
+
+    /// Lower to the simulator's [`FaultSchedule`]. The loss RNG is seeded
+    /// from the trial seed so trials stay reproducible yet decorrelated.
+    pub fn to_schedule(&self, seed: u64) -> FaultSchedule {
+        let mut faults = FaultSchedule::none()
+            .with_loss(self.loss_fwd)
+            .with_ack_loss(self.loss_ack)
+            .with_seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        for &(at, down) in &self.outages {
+            faults =
+                faults.with_outage(SimTime::from_secs_f64(at), SimDuration::from_secs_f64(down));
+        }
+        for &(at, mbps) in &self.rate_steps {
+            faults = faults.with_rate_step(SimTime::from_secs_f64(at), Rate::from_mbps(mbps));
+        }
+        for &(at, len, extra_ms) in &self.delay_spikes {
+            faults = faults.with_delay_spike(
+                SimTime::from_secs_f64(at),
+                SimDuration::from_secs_f64(len),
+                SimDuration::from_secs_f64(extra_ms / 1e3),
+            );
+        }
+        faults
+    }
+
+    fn to_json_value(&self) -> Value {
+        let pair = |&(a, b): &(f64, f64)| Value::Array(vec![a.into(), b.into()]);
+        let triple =
+            |&(a, b, c): &(f64, f64, f64)| Value::Array(vec![a.into(), b.into(), c.into()]);
+        let mut v = Value::object();
+        v.set("loss_fwd", self.loss_fwd.into())
+            .set("loss_ack", self.loss_ack.into())
+            .set(
+                "outages",
+                Value::Array(self.outages.iter().map(pair).collect()),
+            )
+            .set(
+                "rate_steps",
+                Value::Array(self.rate_steps.iter().map(pair).collect()),
+            )
+            .set(
+                "delay_spikes",
+                Value::Array(self.delay_spikes.iter().map(triple).collect()),
+            );
+        v
+    }
+
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        fn nums(v: &Value, want: usize, what: &str) -> Result<Vec<f64>, String> {
+            let arr = v
+                .as_array()
+                .filter(|a| a.len() == want)
+                .ok_or_else(|| format!("fault {what} must be a {want}-element array"))?;
+            arr.iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric {what}")))
+                .collect()
+        }
+        fn list<T>(
+            v: &Value,
+            key: &str,
+            f: impl Fn(&Value) -> Result<T, String>,
+        ) -> Result<Vec<T>, String> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(x) => x
+                    .as_array()
+                    .ok_or_else(|| format!("fault '{key}' must be an array"))?
+                    .iter()
+                    .map(f)
+                    .collect(),
+            }
+        }
+        Ok(FaultSpec {
+            loss_fwd: v.get("loss_fwd").and_then(Value::as_f64).unwrap_or(0.0),
+            loss_ack: v.get("loss_ack").and_then(Value::as_f64).unwrap_or(0.0),
+            outages: list(v, "outages", |x| nums(x, 2, "outage").map(|n| (n[0], n[1])))?,
+            rate_steps: list(v, "rate_steps", |x| {
+                nums(x, 2, "rate step").map(|n| (n[0], n[1]))
+            })?,
+            delay_spikes: list(v, "delay_spikes", |x| {
+                nums(x, 3, "delay spike").map(|n| (n[0], n[1], n[2]))
+            })?,
+        })
+    }
+}
+
 /// A complete, runnable experiment description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -167,6 +282,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Bottleneck queue discipline (default drop-tail, as in the paper).
     pub discipline: DisciplineSpec,
+    /// Path impairments (default: none — the paper's clean testbed).
+    pub faults: FaultSpec,
 }
 
 /// Measurements from one run.
@@ -222,6 +339,7 @@ impl Scenario {
             duration_secs,
             seed,
             discipline: DisciplineSpec::DropTail,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -229,6 +347,50 @@ impl Scenario {
     pub fn with_discipline(mut self, d: DisciplineSpec) -> Self {
         self.discipline = d;
         self
+    }
+
+    /// Attach path impairments.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validate the scenario without running it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.flows.is_empty() {
+            return Err(ConfigError::NoFlows);
+        }
+        for (name, v) in [
+            ("mbps", self.mbps),
+            ("buffer_bdp", self.buffer_bdp),
+            ("reference_rtt_ms", self.reference_rtt_ms),
+            ("duration_secs", self.duration_secs),
+        ] {
+            if !v.is_finite() {
+                return Err(ConfigError::NonFinite { field: name });
+            }
+            if v <= 0.0 {
+                return Err(ConfigError::NonPositive { field: name });
+            }
+        }
+        for f in &self.flows {
+            if !f.rtt_ms.is_finite() || f.rtt_ms <= 0.0 {
+                return Err(ConfigError::NonPositive {
+                    field: "flow rtt_ms",
+                });
+            }
+            if !f.start_s.is_finite() || f.start_s < 0.0 {
+                return Err(ConfigError::NonFinite {
+                    field: "flow start_s",
+                });
+            }
+            if f.byte_limit == Some(0) {
+                return Err(ConfigError::NonPositive {
+                    field: "flow byte_limit",
+                });
+            }
+        }
+        self.faults.to_schedule(self.seed).validate()
     }
 
     /// Number of flows running `cca`.
@@ -243,17 +405,36 @@ impl Scenario {
     /// wiring that [`Scenario::run`] uses.
     pub fn build_simulator(&self) -> Simulator {
         assert!(!self.flows.is_empty(), "scenario needs flows");
+        self.try_build_simulator(None, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Scenario::build_simulator`] with optional event and
+    /// wall-clock budgets (livelock guards for fail-soft sweeps).
+    pub fn try_build_simulator(
+        &self,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> Result<Simulator, ConfigError> {
+        self.validate()?;
         let rate = Rate::from_mbps(self.mbps);
         let ref_rtt = SimDuration::from_secs_f64(self.reference_rtt_ms / 1e3);
         let buffer = bbrdom_netsim::units::buffer_bytes(rate, ref_rtt, self.buffer_bdp);
-        let cfg = SimConfig::new(rate, buffer, SimDuration::from_secs_f64(self.duration_secs))
+        let mut cfg = SimConfig::new(rate, buffer, SimDuration::from_secs_f64(self.duration_secs))
             .with_discipline(self.discipline.to_discipline(buffer))
             // 100 µs of ACK-path timing noise: real hosts are never
             // phase-locked; without this a deterministic simulator drops only
             // the growing flow's marginal packets and inverts TCP's RTT bias
             // (see `SimConfig::ack_jitter`).
-            .with_ack_jitter(SimDuration::from_micros(100), self.seed);
-        let mut sim = Simulator::new(cfg);
+            .with_ack_jitter(SimDuration::from_micros(100), self.seed)
+            .with_faults(self.faults.to_schedule(self.seed));
+        if let Some(budget) = event_budget {
+            cfg = cfg.with_event_budget(budget);
+        }
+        if let Some(budget) = wall_budget {
+            cfg = cfg.with_wall_clock_budget(budget);
+        }
+        let mut sim = Simulator::try_new(cfg)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         for (i, f) in self.flows.iter().enumerate() {
             let kind: CcaKind = f.cca.into();
@@ -273,13 +454,30 @@ impl Scenario {
             }
             sim.add_flow(fc);
         }
-        sim
+        Ok(sim)
     }
 
-    /// Run the scenario through the simulator.
+    /// Run the scenario through the simulator, panicking on error (the
+    /// legacy interface; see [`Scenario::try_run_with`]).
     pub fn run(&self) -> TrialResult {
-        let report = self.build_simulator().run();
-        TrialResult {
+        assert!(!self.flows.is_empty(), "scenario needs flows");
+        self.try_run_with(None, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run the scenario with optional event and wall-clock budgets,
+    /// returning a structured error instead of panicking when the
+    /// configuration is invalid, a budget trips, or (with auditing on) a
+    /// simulator invariant is violated.
+    pub fn try_run_with(
+        &self,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> Result<TrialResult, SimError> {
+        let report = self
+            .try_build_simulator(event_budget, wall_budget)?
+            .try_run()?;
+        Ok(TrialResult {
             throughput_mbps: report.flows.iter().map(|f| f.throughput_mbps()).collect(),
             cc_names: report.flows.iter().map(|f| f.cc_name.clone()).collect(),
             avg_queue_occupancy_bytes: report
@@ -301,7 +499,7 @@ impl Scenario {
                 .iter()
                 .map(|f| f.completion_time_secs)
                 .collect(),
-        }
+        })
     }
 }
 
@@ -355,6 +553,9 @@ impl Scenario {
             .set("duration_secs", self.duration_secs.into())
             .set("seed", self.seed.into())
             .set("discipline", self.discipline.name().into());
+        if !self.faults.is_noop() {
+            v.set("faults", self.faults.to_json_value());
+        }
         v.to_json()
     }
 
@@ -379,6 +580,10 @@ impl Scenario {
             Some(name) => DisciplineSpec::from_name(name)
                 .ok_or_else(|| format!("unknown discipline '{name}'"))?,
         };
+        let faults = match v.get("faults") {
+            None => FaultSpec::default(),
+            Some(f) => FaultSpec::from_json_value(f)?,
+        };
         Ok(Scenario {
             mbps: field("mbps")?,
             buffer_bdp: field("buffer_bdp")?,
@@ -390,6 +595,7 @@ impl Scenario {
                 .and_then(Value::as_u64)
                 .ok_or("scenario missing 'seed'")?,
             discipline,
+            faults,
         })
     }
 }
@@ -424,6 +630,119 @@ impl TrialResult {
     /// Total throughput of all flows, Mbps.
     pub fn total_throughput(&self) -> f64 {
         self.throughput_mbps.iter().sum()
+    }
+
+    /// Serialize for the sweep journal (inverse of
+    /// [`TrialResult::from_json_value`]). Floats round-trip bit-exactly,
+    /// so resumed sweeps reproduce the original numbers.
+    pub fn to_json_value(&self) -> Value {
+        let f64s = |xs: &[f64]| Value::Array(xs.iter().map(|&x| x.into()).collect());
+        let mut v = Value::object();
+        v.set("throughput_mbps", f64s(&self.throughput_mbps))
+            .set(
+                "cc_names",
+                Value::Array(
+                    self.cc_names
+                        .iter()
+                        .map(|n| Value::Str(n.clone()))
+                        .collect(),
+                ),
+            )
+            .set(
+                "avg_queue_occupancy_bytes",
+                f64s(&self.avg_queue_occupancy_bytes),
+            )
+            .set(
+                "backoff_times_secs",
+                Value::Array(self.backoff_times_secs.iter().map(|xs| f64s(xs)).collect()),
+            )
+            .set("avg_queuing_delay_ms", self.avg_queuing_delay_ms.into())
+            .set("utilization", self.utilization.into())
+            .set("dropped_packets", Value::U64(self.dropped_packets))
+            .set("aqm_drops", Value::U64(self.aqm_drops))
+            .set(
+                "completion_times_secs",
+                Value::Array(
+                    self.completion_times_secs
+                        .iter()
+                        .map(|c| match c {
+                            Some(t) => Value::F64(*t),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                ),
+            );
+        v
+    }
+
+    /// Parse a result serialized with [`TrialResult::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        fn f64s(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("result missing '{key}'"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric '{key}'")))
+                .collect()
+        }
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("result missing '{key}'"))
+        };
+        Ok(TrialResult {
+            throughput_mbps: f64s(v, "throughput_mbps")?,
+            cc_names: v
+                .get("cc_names")
+                .and_then(Value::as_array)
+                .ok_or("result missing 'cc_names'")?
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| "non-string cc name".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            avg_queue_occupancy_bytes: f64s(v, "avg_queue_occupancy_bytes")?,
+            backoff_times_secs: v
+                .get("backoff_times_secs")
+                .and_then(Value::as_array)
+                .ok_or("result missing 'backoff_times_secs'")?
+                .iter()
+                .map(|xs| {
+                    xs.as_array()
+                        .ok_or_else(|| "non-array backoff list".to_string())?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or_else(|| "non-numeric backoff time".to_string())
+                        })
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?,
+            avg_queuing_delay_ms: field("avg_queuing_delay_ms")?,
+            utilization: field("utilization")?,
+            dropped_packets: v
+                .get("dropped_packets")
+                .and_then(Value::as_u64)
+                .ok_or("result missing 'dropped_packets'")?,
+            aqm_drops: v.get("aqm_drops").and_then(Value::as_u64).unwrap_or(0),
+            completion_times_secs: v
+                .get("completion_times_secs")
+                .and_then(Value::as_array)
+                .ok_or("result missing 'completion_times_secs'")?
+                .iter()
+                .map(|x| {
+                    if x.is_null() {
+                        Ok(None)
+                    } else {
+                        x.as_f64()
+                            .map(Some)
+                            .ok_or_else(|| "non-numeric completion time".to_string())
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -481,6 +800,83 @@ mod tests {
         assert_eq!(back.flows[0].byte_limit, Some(50_000));
         assert_eq!(back.flows[1].start_s, 2.5);
         assert_eq!(back.mbps.to_bits(), s.mbps.to_bits());
+    }
+
+    #[test]
+    fn faults_roundtrip_through_json() {
+        let mut s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        s.faults = FaultSpec {
+            loss_fwd: 0.01,
+            loss_ack: 0.002,
+            outages: vec![(2.0, 0.5)],
+            rate_steps: vec![(1.0, 5.0), (3.0, 10.0)],
+            delay_spikes: vec![(4.0, 0.25, 40.0)],
+        };
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.faults, s.faults);
+
+        // A clean scenario omits the key and parses back to no-op faults.
+        let clean = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        assert!(!clean.to_json().contains("faults"));
+        assert!(Scenario::from_json(&clean.to_json())
+            .unwrap()
+            .faults
+            .is_noop());
+    }
+
+    #[test]
+    fn faulted_scenario_runs_and_counts_wire_loss() {
+        let mut s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Cubic, 1, 10.0, 5);
+        s.faults.loss_fwd = 0.02;
+        let clean = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Cubic, 1, 10.0, 5).run();
+        let lossy = s.run();
+        // 2% loss must hurt CUBIC's aggregate throughput.
+        assert!(lossy.total_throughput() < clean.total_throughput());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_scenarios() {
+        let ok = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 1);
+        assert!(ok.validate().is_ok());
+
+        let mut s = ok.clone();
+        s.flows.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = ok.clone();
+        s.mbps = f64::NAN;
+        assert!(s.validate().is_err());
+
+        let mut s = ok.clone();
+        s.duration_secs = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = ok.clone();
+        s.flows[0].byte_limit = Some(0);
+        assert!(s.validate().is_err());
+
+        let mut s = ok.clone();
+        s.faults.loss_fwd = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn try_run_with_reports_event_budget() {
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 1);
+        let err = s.try_run_with(Some(100), None).unwrap_err();
+        assert!(err.to_string().contains("event budget"), "{err}");
+    }
+
+    #[test]
+    fn trial_result_roundtrips_through_json() {
+        let r = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 9).run();
+        let back = TrialResult::from_json_value(&r.to_json_value()).unwrap();
+        assert_eq!(back.throughput_mbps, r.throughput_mbps);
+        assert_eq!(back.cc_names, r.cc_names);
+        assert_eq!(back.backoff_times_secs, r.backoff_times_secs);
+        assert_eq!(back.completion_times_secs, r.completion_times_secs);
+        assert_eq!(back.dropped_packets, r.dropped_packets);
+        assert_eq!(back.utilization.to_bits(), r.utilization.to_bits());
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub enum Event {
     RtoCheck(FlowId),
     /// Periodic statistics sample (queue time series).
     StatsSample,
+    /// A scheduled fault fires: index into the compiled
+    /// [`crate::fault::FaultSchedule`] timeline for this run.
+    Fault(u32),
 }
 
 #[derive(Debug, Clone)]

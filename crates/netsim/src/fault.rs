@@ -1,0 +1,265 @@
+//! Fault injection: scheduled and seeded-random path impairments.
+//!
+//! The paper validates its model on a clean drop-tail path; related work
+//! (Sarpkaya et al., Scherrer et al.) shows BBR's sharing behavior shifts
+//! materially on impaired paths. A [`FaultSchedule`] attached to
+//! [`crate::SimConfig`] lets every experiment run under non-ideal
+//! conditions:
+//!
+//! * **random wire loss** on the forward (data) and/or reverse (ACK)
+//!   path, applied *after* the bottleneck so it composes with queue
+//!   drops the way real last-mile loss does;
+//! * **link outages** ("flaps"): the bottleneck stops serving for a
+//!   configured interval — packets keep queueing (and tail-dropping);
+//! * **capacity steps/ramps**: the link rate changes mid-run;
+//! * **delay spikes**: extra one-way delay on the forward path for a
+//!   configured interval (also shifts the ACK).
+//!
+//! Scheduled items are compiled into `Event::Fault` entries on the
+//! normal event queue; random losses draw from a dedicated RNG seeded by
+//! [`FaultSchedule::seed`], so enabling faults never perturbs the
+//! ACK-jitter stream and runs stay bit-for-bit reproducible.
+
+use crate::error::ConfigError;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// One compiled impairment, fired through the event queue.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultAction {
+    /// The bottleneck link stops serving packets.
+    LinkDown,
+    /// The bottleneck link resumes service.
+    LinkUp,
+    /// The bottleneck capacity changes to the given rate.
+    SetRate(Rate),
+    /// Extra forward-path delay begins.
+    DelayStart(SimDuration),
+    /// Extra forward-path delay ends.
+    DelayEnd(SimDuration),
+}
+
+/// Declarative description of the path impairments for one run.
+///
+/// The default schedule is a no-op (clean path); builders add
+/// impairments. Attach with [`crate::SimConfig::with_faults`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Probability each packet leaving the bottleneck is lost before the
+    /// receiver (`[0, 1]`).
+    pub loss_fwd: f64,
+    /// Probability each ACK is lost on the reverse path (`[0, 1]`).
+    pub loss_ack: f64,
+    /// Seed for the loss RNG (independent of the ACK-jitter seed).
+    pub seed: u64,
+    /// Link outages: `(start, down_for)`.
+    pub outages: Vec<(SimTime, SimDuration)>,
+    /// Capacity steps: `(at, new_rate)`.
+    pub rate_changes: Vec<(SimTime, Rate)>,
+    /// Delay spikes: `(start, length, extra_one_way_delay)`.
+    pub delay_spikes: Vec<(SimTime, SimDuration, SimDuration)>,
+}
+
+impl FaultSchedule {
+    /// A clean path: no impairments.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set the forward-path (data) random loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_fwd = p;
+        self
+    }
+
+    /// Set the reverse-path (ACK) random loss probability.
+    pub fn with_ack_loss(mut self, p: f64) -> Self {
+        self.loss_ack = p;
+        self
+    }
+
+    /// Set the loss-RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a link outage: the bottleneck serves nothing during
+    /// `[at, at + down_for)`.
+    pub fn with_outage(mut self, at: SimTime, down_for: SimDuration) -> Self {
+        self.outages.push((at, down_for));
+        self
+    }
+
+    /// Add a capacity step: the link rate becomes `rate` at `at`.
+    pub fn with_rate_step(mut self, at: SimTime, rate: Rate) -> Self {
+        self.rate_changes.push((at, rate));
+        self
+    }
+
+    /// Add a linear capacity ramp from `from` to `to` over
+    /// `[start, start + length)`, discretized into `steps` rate steps.
+    pub fn with_rate_ramp(
+        mut self,
+        start: SimTime,
+        length: SimDuration,
+        steps: u32,
+        from: Rate,
+        to: Rate,
+    ) -> Self {
+        let steps = steps.max(1);
+        for i in 0..steps {
+            let frac = (i + 1) as f64 / steps as f64;
+            let mbps = from.as_mbps() + (to.as_mbps() - from.as_mbps()) * frac;
+            let at = start + length.mul_f64(i as f64 / steps as f64);
+            self.rate_changes.push((at, Rate::from_mbps(mbps)));
+        }
+        self
+    }
+
+    /// Add a delay spike: `extra` one-way forward delay during
+    /// `[at, at + length)`.
+    pub fn with_delay_spike(
+        mut self,
+        at: SimTime,
+        length: SimDuration,
+        extra: SimDuration,
+    ) -> Self {
+        self.delay_spikes.push((at, length, extra));
+        self
+    }
+
+    /// Whether this schedule changes nothing (the hot path skips all
+    /// fault bookkeeping when true).
+    pub fn is_noop(&self) -> bool {
+        self.loss_fwd == 0.0
+            && self.loss_ack == 0.0
+            && self.outages.is_empty()
+            && self.rate_changes.is_empty()
+            && self.delay_spikes.is_empty()
+    }
+
+    /// Validate probabilities and intervals.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (path, p) in [("forward", self.loss_fwd), ("ack", self.loss_ack)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::LossOutOfRange { path, value: p });
+            }
+        }
+        for &(at, down) in &self.outages {
+            if down == SimDuration::ZERO {
+                return Err(ConfigError::EmptyFaultInterval { kind: "outage", at });
+            }
+        }
+        for &(at, len, _) in &self.delay_spikes {
+            if len == SimDuration::ZERO {
+                return Err(ConfigError::EmptyFaultInterval {
+                    kind: "delay spike",
+                    at,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile into a time-sorted action list. Interval impairments
+    /// become paired start/end actions; overlapping intervals compose
+    /// (outages nest via a pause depth counter, delay spikes add).
+    pub fn compile(&self) -> Vec<(SimTime, FaultAction)> {
+        let mut timeline = Vec::with_capacity(
+            2 * self.outages.len() + self.rate_changes.len() + 2 * self.delay_spikes.len(),
+        );
+        for &(at, down) in &self.outages {
+            timeline.push((at, FaultAction::LinkDown));
+            timeline.push((at + down, FaultAction::LinkUp));
+        }
+        for &(at, rate) in &self.rate_changes {
+            timeline.push((at, FaultAction::SetRate(rate)));
+        }
+        for &(at, len, extra) in &self.delay_spikes {
+            timeline.push((at, FaultAction::DelayStart(extra)));
+            timeline.push((at + len, FaultAction::DelayEnd(extra)));
+        }
+        // Stable sort: simultaneous actions keep insertion order, so the
+        // compiled timeline (and thus the run) is deterministic.
+        timeline.sort_by_key(|(t, _)| *t);
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop_and_valid() {
+        let f = FaultSchedule::none();
+        assert!(f.is_noop());
+        assert!(f.validate().is_ok());
+        assert!(f.compile().is_empty());
+    }
+
+    #[test]
+    fn loss_probability_bounds_are_enforced() {
+        assert!(FaultSchedule::none().with_loss(0.0).validate().is_ok());
+        assert!(FaultSchedule::none().with_loss(1.0).validate().is_ok());
+        assert!(FaultSchedule::none().with_loss(1.5).validate().is_err());
+        assert!(FaultSchedule::none().with_loss(-0.1).validate().is_err());
+        assert!(FaultSchedule::none()
+            .with_loss(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(FaultSchedule::none().with_ack_loss(2.0).validate().is_err());
+    }
+
+    #[test]
+    fn zero_length_intervals_are_rejected() {
+        let f = FaultSchedule::none().with_outage(SimTime::from_secs_f64(1.0), SimDuration::ZERO);
+        assert!(f.validate().is_err());
+        let f = FaultSchedule::none().with_delay_spike(
+            SimTime::from_secs_f64(1.0),
+            SimDuration::ZERO,
+            SimDuration::from_millis(10),
+        );
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn compile_sorts_and_pairs_interval_actions() {
+        let f = FaultSchedule::none()
+            .with_outage(SimTime::from_secs_f64(2.0), SimDuration::from_secs_f64(1.0))
+            .with_rate_step(SimTime::from_secs_f64(0.5), Rate::from_mbps(5.0))
+            .with_delay_spike(
+                SimTime::from_secs_f64(1.0),
+                SimDuration::from_secs_f64(0.25),
+                SimDuration::from_millis(20),
+            );
+        let t = f.compile();
+        assert_eq!(t.len(), 5);
+        let times: Vec<f64> = t.iter().map(|(at, _)| at.as_secs_f64()).collect();
+        assert_eq!(times, vec![0.5, 1.0, 1.25, 2.0, 3.0]);
+        assert!(matches!(t[0].1, FaultAction::SetRate(_)));
+        assert!(matches!(t[1].1, FaultAction::DelayStart(_)));
+        assert!(matches!(t[2].1, FaultAction::DelayEnd(_)));
+        assert!(matches!(t[3].1, FaultAction::LinkDown));
+        assert!(matches!(t[4].1, FaultAction::LinkUp));
+    }
+
+    #[test]
+    fn rate_ramp_discretizes_linearly() {
+        let f = FaultSchedule::none().with_rate_ramp(
+            SimTime::from_secs_f64(10.0),
+            SimDuration::from_secs_f64(4.0),
+            4,
+            Rate::from_mbps(40.0),
+            Rate::from_mbps(20.0),
+        );
+        assert_eq!(f.rate_changes.len(), 4);
+        let (at0, r0) = f.rate_changes[0];
+        assert_eq!(at0, SimTime::from_secs_f64(10.0));
+        assert!((r0.as_mbps() - 35.0).abs() < 1e-9);
+        let (at3, r3) = f.rate_changes[3];
+        assert_eq!(at3, SimTime::from_secs_f64(13.0));
+        assert!((r3.as_mbps() - 20.0).abs() < 1e-9);
+    }
+}

@@ -278,6 +278,11 @@ impl Flow {
         &*self.cc
     }
 
+    /// Segment size this flow sends with (audit: packet-count = bytes/mss).
+    pub(crate) fn mss(&self) -> u64 {
+        self.mss
+    }
+
     pub fn inflight_bytes(&self) -> u64 {
         self.inflight_bytes
     }

@@ -33,8 +33,11 @@
 //!   structs, explicit state machines, no macro tricks.
 
 pub mod aqm;
+pub mod audit;
 pub mod cc;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod json;
 pub mod packet;
@@ -47,6 +50,8 @@ pub mod units;
 
 pub use aqm::{CodelConfig, QueueDiscipline, RedConfig};
 pub use cc::{AckSample, CongestionControl, FlowView};
+pub use error::{AuditViolation, ConfigError, SimError};
+pub use fault::{FaultAction, FaultSchedule};
 pub use packet::FlowId;
 pub use sim::{FlowConfig, SimConfig, SimReport, Simulator};
 pub use stats::{FlowReport, QueueReport};

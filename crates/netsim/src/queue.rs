@@ -43,6 +43,10 @@ pub struct DropTailQueue {
     in_service: Option<Packet>,
     /// Cached serialization time of one MSS at `rate`.
     ser_mss: SimDuration,
+    /// Outage depth: while > 0 the link starts no new service (fault
+    /// injection; overlapping outages nest). The packet already in
+    /// service finishes serializing.
+    paused: u32,
     /// Queue discipline and AQM state.
     discipline: QueueDiscipline,
     red: RedState,
@@ -66,6 +70,12 @@ pub struct DropTailQueue {
     drops: Vec<DropRecord>,
     enqueued_packets: u64,
     dropped_packets: u64,
+    /// Per-flow packet counters for the conservation audit: every packet
+    /// offered ends up exactly once in dropped, serviced, still-queued,
+    /// or in-service (see [`crate::audit`]).
+    per_flow_offered: Vec<u64>,
+    per_flow_dropped: Vec<u64>,
+    per_flow_serviced: Vec<u64>,
 }
 
 impl DropTailQueue {
@@ -95,6 +105,7 @@ impl DropTailQueue {
             per_flow_bytes_f64: vec![0.0; n_flows],
             in_service: None,
             ser_mss: rate.serialization_time(MSS),
+            paused: 0,
             last_change: SimTime::ZERO,
             byte_time_integral: 0.0,
             per_flow_integral: vec![0.0; n_flows],
@@ -104,6 +115,9 @@ impl DropTailQueue {
             drops: Vec::new(),
             enqueued_packets: 0,
             dropped_packets: 0,
+            per_flow_offered: vec![0; n_flows],
+            per_flow_dropped: vec![0; n_flows],
+            per_flow_serviced: vec![0; n_flows],
         }
     }
 
@@ -177,7 +191,8 @@ impl DropTailQueue {
     /// packet is queued, or dropped if the queue is full.
     pub fn offer(&mut self, now: SimTime, pkt: Packet) -> Offer {
         self.advance_integrals(now);
-        if self.in_service.is_none() {
+        self.per_flow_offered[pkt.flow.index()] += 1;
+        if self.paused == 0 && self.in_service.is_none() {
             self.in_service = Some(pkt);
             return Offer::StartService;
         }
@@ -186,6 +201,7 @@ impl DropTailQueue {
             if self.red.on_arrival(&cfg, self.queued_bytes) {
                 self.dropped_packets += 1;
                 self.aqm_drops += 1;
+                self.per_flow_dropped[pkt.flow.index()] += 1;
                 self.drops.push(DropRecord {
                     time: now,
                     flow: pkt.flow,
@@ -206,6 +222,7 @@ impl DropTailQueue {
             Offer::Queued
         } else {
             self.dropped_packets += 1;
+            self.per_flow_dropped[pkt.flow.index()] += 1;
             self.drops.push(DropRecord {
                 time: now,
                 flow: pkt.flow,
@@ -225,6 +242,21 @@ impl DropTailQueue {
             .take()
             .expect("service_complete on an idle link");
         self.advance_integrals(now);
+        self.per_flow_serviced[finished.flow.index()] += 1;
+        if self.paused > 0 {
+            // Link is down: the packet already on the wire finishes, but
+            // nothing new enters service until `resume`.
+            return (finished, None);
+        }
+        let next = self.start_next(now);
+        (finished, next)
+    }
+
+    /// Pull the next packet (skipping CoDel head drops) into service.
+    /// Requires an idle, unpaused link; returns the new in-service
+    /// packet's size so the caller can schedule its `LinkDequeue`.
+    fn start_next(&mut self, now: SimTime) -> Option<u64> {
+        debug_assert!(self.in_service.is_none() && self.paused == 0);
         loop {
             match self.queue.pop_front() {
                 Some(pkt) => {
@@ -241,6 +273,7 @@ impl DropTailQueue {
                         if self.codel.on_dequeue(&cfg, now, sojourn) {
                             self.dropped_packets += 1;
                             self.aqm_drops += 1;
+                            self.per_flow_dropped[pkt.flow.index()] += 1;
                             self.drops.push(DropRecord {
                                 time: now,
                                 flow: pkt.flow,
@@ -250,11 +283,46 @@ impl DropTailQueue {
                     }
                     let size = pkt.size;
                     self.in_service = Some(pkt);
-                    return (finished, Some(size));
+                    return Some(size);
                 }
-                None => return (finished, None),
+                None => return None,
             }
         }
+    }
+
+    /// Fault injection: the link goes down. Nested calls stack; the
+    /// packet currently being serialized (if any) still completes.
+    pub fn pause(&mut self, now: SimTime) {
+        self.advance_integrals(now);
+        self.paused += 1;
+    }
+
+    /// Fault injection: one `pause` level ends. When the last level
+    /// clears and the link is idle, the head-of-line packet enters
+    /// service; its size is returned so the caller schedules the
+    /// corresponding `LinkDequeue`.
+    pub fn resume(&mut self, now: SimTime) -> Option<u64> {
+        debug_assert!(self.paused > 0, "resume without matching pause");
+        self.paused = self.paused.saturating_sub(1);
+        if self.paused == 0 && self.in_service.is_none() {
+            self.advance_integrals(now);
+            self.start_next(now)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the link is currently paused by an outage.
+    pub fn is_paused(&self) -> bool {
+        self.paused > 0
+    }
+
+    /// Fault injection: change the link capacity. The packet currently
+    /// in service finishes at the old rate (its `LinkDequeue` is already
+    /// scheduled); subsequent packets serialize at the new rate.
+    pub fn set_rate(&mut self, rate: Rate) {
+        self.rate = rate;
+        self.ser_mss = rate.serialization_time(MSS);
     }
 
     /// Drops made by the AQM (RED early drops + CoDel head drops),
@@ -318,6 +386,33 @@ impl DropTailQueue {
 
     pub fn enqueued_packets(&self) -> u64 {
         self.enqueued_packets
+    }
+
+    /// Packets `flow` has offered to the bottleneck.
+    pub fn offered_packets_of(&self, flow: FlowId) -> u64 {
+        self.per_flow_offered[flow.index()]
+    }
+
+    /// Packets of `flow` dropped at the bottleneck (tail + AQM).
+    pub fn dropped_packets_of(&self, flow: FlowId) -> u64 {
+        self.per_flow_dropped[flow.index()]
+    }
+
+    /// Packets of `flow` that completed serialization on the link.
+    pub fn serviced_packets_of(&self, flow: FlowId) -> u64 {
+        self.per_flow_serviced[flow.index()]
+    }
+
+    /// The flow whose packet is currently being serialized, if any.
+    pub fn in_service_flow(&self) -> Option<FlowId> {
+        self.in_service.as_ref().map(|p| p.flow)
+    }
+
+    /// Test hook: corrupt a per-flow conservation counter so the audit's
+    /// detection of a seeded accounting bug can itself be tested.
+    #[cfg(test)]
+    pub(crate) fn test_corrupt_serviced_counter(&mut self, flow: FlowId) {
+        self.per_flow_serviced[flow.index()] += 1;
     }
 }
 

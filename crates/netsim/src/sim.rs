@@ -23,8 +23,11 @@
 //! ```
 
 use crate::aqm::QueueDiscipline;
+use crate::audit::Auditor;
 use crate::cc::CongestionControl;
+use crate::error::{ConfigError, SimError};
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultAction, FaultSchedule};
 use crate::flow::Flow;
 use crate::packet::FlowId;
 use crate::queue::DropTailQueue;
@@ -36,7 +39,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Bottleneck and run-length configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Bottleneck link capacity.
     pub rate: Rate,
@@ -67,6 +70,17 @@ pub struct SimConfig {
     pub ack_jitter: SimDuration,
     /// Seed for the jitter RNG (simulations stay reproducible).
     pub seed: u64,
+    /// Path impairments for this run (default: none — a clean path).
+    pub faults: FaultSchedule,
+    /// Force the runtime invariant auditor on for this run (it is also
+    /// enabled globally by `BBRDOM_AUDIT=1`; see [`crate::audit`]).
+    pub audit: bool,
+    /// Abort the run with [`SimError::EventBudgetExceeded`] after this
+    /// many events (livelock guard; `None` = unlimited).
+    pub max_events: Option<u64>,
+    /// Abort the run with [`SimError::WallClockExceeded`] after this much
+    /// real time (`None` = unlimited; checked every 65 536 events).
+    pub max_wall_clock: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -81,7 +95,30 @@ impl SimConfig {
             discipline: QueueDiscipline::DropTail,
             ack_jitter: SimDuration::ZERO,
             seed: 0,
+            faults: FaultSchedule::none(),
+            audit: false,
+            max_events: None,
+            max_wall_clock: None,
         }
+    }
+
+    /// Validate the configuration without constructing a simulator.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.buffer_bytes == 0 {
+            return Err(ConfigError::NonPositive { field: "buffer" });
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(ConfigError::NonPositive { field: "duration" });
+        }
+        if self.mss == 0 {
+            return Err(ConfigError::NonPositive { field: "mss" });
+        }
+        if self.sample_interval == Some(SimDuration::ZERO) {
+            return Err(ConfigError::NonPositive {
+                field: "trace sample interval",
+            });
+        }
+        self.faults.validate()
     }
 
     /// Set a measurement warm-up: all window-averaged report quantities
@@ -110,6 +147,31 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Attach a fault schedule (wire loss, outages, rate changes, delay
+    /// spikes) to this run.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Force the runtime invariant auditor on for this run.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// Abort the run after `max_events` dispatched events (livelock guard).
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Abort the run after `budget` of real (wall-clock) time.
+    pub fn with_wall_clock_budget(mut self, budget: std::time::Duration) -> Self {
+        self.max_wall_clock = Some(budget);
+        self
+    }
 }
 
 /// Per-flow configuration.
@@ -132,6 +194,19 @@ impl FlowConfig {
             start_time: SimTime::ZERO,
             byte_limit: None,
         }
+    }
+
+    /// Validate the flow configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.base_rtt == SimDuration::ZERO {
+            return Err(ConfigError::NonPositive { field: "base RTT" });
+        }
+        if self.byte_limit == Some(0) {
+            return Err(ConfigError::NonPositive {
+                field: "byte limit",
+            });
+        }
+        Ok(())
     }
 
     pub fn starting_at(mut self, t: SimTime) -> Self {
@@ -190,26 +265,43 @@ pub struct Simulator {
     flows: Vec<Flow>,
     events: EventQueue,
     queue: Option<DropTailQueue>,
+    /// Deliberately corrupt a queue counter after this many events, so
+    /// tests can prove the auditor catches a mid-run conservation bug.
+    #[cfg(test)]
+    corrupt_at_event: Option<u64>,
 }
 
 impl Simulator {
+    /// Construct a simulator, panicking on invalid configuration (the
+    /// legacy interface; see [`Self::try_new`] for the fallible one).
     pub fn new(config: SimConfig) -> Self {
-        assert!(config.buffer_bytes > 0, "buffer must be positive");
-        assert!(
-            config.duration > SimDuration::ZERO,
-            "duration must be positive"
-        );
-        Simulator {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct a simulator, rejecting invalid configuration.
+    pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Simulator {
             config,
             flows: Vec::new(),
             events: EventQueue::new(),
             queue: None,
-        }
+            #[cfg(test)]
+            corrupt_at_event: None,
+        })
     }
 
     /// Add a flow; returns its id. Must be called before [`Self::run`].
+    /// Panics on an invalid flow config (the legacy interface; see
+    /// [`Self::try_add_flow`]).
     pub fn add_flow(&mut self, fc: FlowConfig) -> FlowId {
+        self.try_add_flow(fc).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Add a flow, rejecting invalid flow configuration.
+    pub fn try_add_flow(&mut self, fc: FlowConfig) -> Result<FlowId, ConfigError> {
         assert!(self.queue.is_none(), "cannot add flows after run()");
+        fc.validate()?;
         let id = FlowId(self.flows.len() as u32);
         // Split the base RTT between the forward (data) and reverse (ACK)
         // paths; the split is arbitrary as long as the sum is the base RTT.
@@ -220,7 +312,7 @@ impl Simulator {
             flow.set_byte_limit(limit);
         }
         self.flows.push(flow);
-        id
+        Ok(id)
     }
 
     /// Number of flows added so far.
@@ -228,9 +320,21 @@ impl Simulator {
         self.flows.len()
     }
 
-    /// Run the simulation to completion and produce the report.
+    /// Run the simulation to completion and produce the report, panicking
+    /// on any [`SimError`] (the legacy interface; see [`Self::try_run`]).
     pub fn run(&mut self) -> SimReport {
-        assert!(!self.flows.is_empty(), "no flows configured");
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run the simulation to completion and produce the report.
+    ///
+    /// Fails with a structured [`SimError`] instead of panicking when the
+    /// configuration is invalid, an event/wall-clock budget is exceeded,
+    /// or (with auditing on) a runtime invariant is violated.
+    pub fn try_run(&mut self) -> Result<SimReport, SimError> {
+        if self.flows.is_empty() {
+            return Err(ConfigError::NoFlows.into());
+        }
         let mut queue = DropTailQueue::with_discipline(
             self.config.rate,
             self.config.buffer_bytes,
@@ -241,6 +345,35 @@ impl Simulator {
         let mut trace = Trace::default();
         let mut jitter_rng = StdRng::seed_from_u64(self.config.seed);
         let jitter_ns = self.config.ack_jitter.as_nanos();
+
+        // Fault machinery: the compiled timeline is scheduled up front as
+        // ordinary events; the random-loss draws use their own RNG stream
+        // so enabling loss does not perturb the ACK-jitter sequence.
+        let mut faults = if self.config.faults.is_noop() {
+            None
+        } else {
+            let timeline = self.config.faults.compile();
+            for (i, (t, _)) in timeline.iter().enumerate() {
+                self.events.schedule(*t, Event::Fault(i as u32));
+            }
+            Some(FaultRuntime {
+                timeline,
+                rng: StdRng::seed_from_u64(self.config.faults.seed),
+                loss_fwd: self.config.faults.loss_fwd,
+                loss_ack: self.config.faults.loss_ack,
+                extra_delay: SimDuration::ZERO,
+            })
+        };
+        let mut auditor = if self.config.audit || crate::audit::env_enabled() {
+            Some(Auditor::new(self.flows.len()))
+        } else {
+            None
+        };
+        let max_events = self.config.max_events.unwrap_or(u64::MAX);
+        let wall = self
+            .config
+            .max_wall_clock
+            .map(|limit| (std::time::Instant::now(), limit));
 
         // Schedule the first trace sample at t=0 (before any FlowStart) so
         // traces carry the true baseline: empty queue, initial cwnd, zero
@@ -259,6 +392,23 @@ impl Simulator {
         while let Some((now, event)) = self.events.pop() {
             if now > end {
                 break;
+            }
+            if events_processed >= max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    events: events_processed,
+                    sim_time: now,
+                });
+            }
+            if events_processed & 0xFFFF == 0 {
+                if let Some((started, limit)) = wall {
+                    let elapsed = started.elapsed();
+                    if elapsed > limit {
+                        return Err(SimError::WallClockExceeded {
+                            elapsed_secs: elapsed.as_secs_f64(),
+                            sim_time: now,
+                        });
+                    }
+                }
             }
             events_processed += 1;
             // Snapshot all time integrals the first time simulated time
@@ -287,27 +437,59 @@ impl Simulator {
                         let done = now + queue.serialization_time(size);
                         self.events.schedule(done, Event::LinkDequeue);
                     }
+                    // Injected wire impairments act after the bottleneck:
+                    // forward loss drops the data packet, a delay spike
+                    // stretches the forward path, ACK loss drops the ACK.
+                    let (fwd_lost, spike) = match faults.as_mut() {
+                        Some(f) => (
+                            f.loss_fwd > 0.0 && f.rng.gen_bool(f.loss_fwd),
+                            f.extra_delay,
+                        ),
+                        None => (false, SimDuration::ZERO),
+                    };
                     let flow = &mut self.flows[finished.flow.index()];
-                    let delivery_time = now + flow.prop_fwd;
-                    // Receiver bookkeeping happens at delivery time.
-                    let new_bytes = flow.receiver_on_data(finished.seq, finished.size);
-                    flow.stats.goodput_bytes_total += new_bytes;
-                    if delivery_time >= self.config.measure_start && delivery_time <= end {
-                        flow.stats.goodput_bytes += new_bytes;
+                    if fwd_lost {
+                        flow.stats.wire_lost_fwd += 1;
+                    } else {
+                        let delivery_time = now + flow.prop_fwd + spike;
+                        // Receiver bookkeeping happens at delivery time.
+                        let new_bytes = flow.receiver_on_data(finished.seq, finished.size);
+                        flow.stats.goodput_bytes_total += new_bytes;
+                        if delivery_time >= self.config.measure_start && delivery_time <= end {
+                            flow.stats.goodput_bytes += new_bytes;
+                        }
+                        if let Some(aud) = auditor.as_mut() {
+                            aud.on_delivered(finished.flow);
+                        }
+                        let ack_lost = match faults.as_mut() {
+                            Some(f) => f.loss_ack > 0.0 && f.rng.gen_bool(f.loss_ack),
+                            None => false,
+                        };
+                        if ack_lost {
+                            flow.stats.wire_lost_ack += 1;
+                        } else {
+                            let mut ack_time = delivery_time + flow.prop_rev;
+                            if jitter_ns > 0 {
+                                ack_time +=
+                                    crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
+                            }
+                            if let Some(aud) = auditor.as_mut() {
+                                aud.on_ack_scheduled(finished.flow);
+                            }
+                            self.events.schedule(
+                                ack_time,
+                                Event::AckArrive {
+                                    flow: finished.flow,
+                                    seq: finished.seq,
+                                },
+                            );
+                        }
                     }
-                    let mut ack_time = delivery_time + flow.prop_rev;
-                    if jitter_ns > 0 {
-                        ack_time += crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
-                    }
-                    self.events.schedule(
-                        ack_time,
-                        Event::AckArrive {
-                            flow: finished.flow,
-                            seq: finished.seq,
-                        },
-                    );
                 }
                 Event::AckArrive { flow, seq } => {
+                    if let Some(aud) = auditor.as_mut() {
+                        aud.on_ack_fired(flow);
+                    }
                     self.flows[flow.index()].on_ack(now, seq, &mut queue, &mut self.events);
                 }
                 Event::RtoCheck(id) => {
@@ -332,6 +514,35 @@ impl Simulator {
                         }
                     }
                 }
+                Event::Fault(idx) => {
+                    if let Some(f) = faults.as_mut() {
+                        match f.timeline[idx as usize].1 {
+                            FaultAction::LinkDown => queue.pause(now),
+                            FaultAction::LinkUp => {
+                                // Resume pulls the head-of-line packet into
+                                // service if the link went fully up and idle.
+                                if let Some(size) = queue.resume(now) {
+                                    let done = now + queue.serialization_time(size);
+                                    self.events.schedule(done, Event::LinkDequeue);
+                                }
+                            }
+                            FaultAction::SetRate(rate) => queue.set_rate(rate),
+                            FaultAction::DelayStart(d) => {
+                                f.extra_delay = f.extra_delay + d;
+                            }
+                            FaultAction::DelayEnd(d) => {
+                                f.extra_delay = SimDuration(f.extra_delay.0.saturating_sub(d.0));
+                            }
+                        }
+                    }
+                }
+            }
+            #[cfg(test)]
+            if Some(events_processed) == self.corrupt_at_event {
+                queue.test_corrupt_serviced_counter(FlowId(0));
+            }
+            if let Some(aud) = auditor.as_mut() {
+                aud.after_event(now, &queue, &self.flows)?;
             }
         }
 
@@ -342,6 +553,11 @@ impl Simulator {
             for f in &mut self.flows {
                 f.mark_measure_start(measure_start);
             }
+        }
+        // Drain-time conservation sweep: every packet must be accounted
+        // for before the counters are folded into reports.
+        if let Some(aud) = auditor.as_ref() {
+            aud.deep_check(end, &queue, &self.flows)?;
         }
         queue.finalize(end);
         for f in &mut self.flows {
@@ -366,6 +582,8 @@ impl Simulator {
                 lost_packets: f.stats.lost_packets,
                 congestion_events: f.stats.congestion_events,
                 rtos: f.stats.rtos,
+                wire_lost_fwd: f.stats.wire_lost_fwd,
+                wire_lost_ack: f.stats.wire_lost_ack,
                 avg_queue_occupancy_bytes: queue.avg_occupancy_bytes_of(f.id, measure_secs),
                 min_rtt_secs: f.min_rtt().map(|d| d.as_secs_f64()),
                 mean_rtt_secs: f.mean_rtt_secs(),
@@ -411,14 +629,35 @@ impl Simulator {
         };
         self.queue = Some(queue);
 
-        SimReport {
+        if let Some(aud) = auditor.as_ref() {
+            aud.check_report(end, &flow_reports, &queue_report)?;
+        }
+
+        Ok(SimReport {
             flows: flow_reports,
             queue: queue_report,
             duration_secs: self.config.duration.as_secs_f64(),
             events_processed,
             trace,
-        }
+        })
     }
+
+    /// Deliberately corrupt a queue counter mid-run (test-only), proving
+    /// the auditor fails fast on a seeded conservation bug.
+    #[cfg(test)]
+    pub(crate) fn set_corrupt_at_event(&mut self, n: u64) {
+        self.corrupt_at_event = Some(n);
+    }
+}
+
+/// Live fault state during one run: the compiled action timeline, the
+/// loss-draw RNG, and the currently active extra forward delay.
+struct FaultRuntime {
+    timeline: Vec<(SimTime, FaultAction)>,
+    rng: StdRng,
+    loss_fwd: f64,
+    loss_ack: f64,
+    extra_delay: SimDuration,
 }
 
 #[cfg(test)]
@@ -579,6 +818,207 @@ mod tests {
         let tp = f.throughput_mbps();
         assert!((tp - 10.0).abs() < 0.5, "throughput={tp}");
         assert!(report.queue.utilization > 0.9);
+    }
+
+    #[test]
+    fn try_run_without_flows_returns_config_error() {
+        let (cfg, _) = base_config(10.0, 40, 2.0, 1.0);
+        let err = Simulator::try_new(cfg).unwrap().try_run().unwrap_err();
+        assert!(matches!(err, SimError::Config(ConfigError::NoFlows)));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_buffer() {
+        let cfg = SimConfig::new(Rate::from_mbps(10.0), 0, SimDuration::from_secs_f64(1.0));
+        let err = Simulator::try_new(cfg).err().expect("zero buffer rejected");
+        assert_eq!(err.to_string(), "buffer must be positive");
+    }
+
+    #[test]
+    fn try_add_flow_rejects_degenerate_flow_config() {
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 1.0);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        let zero_rtt = FlowConfig::new(Box::new(FixedWindow::new(1500)), SimDuration::ZERO);
+        let err = sim.try_add_flow(zero_rtt).unwrap_err();
+        assert_eq!(err.to_string(), "base RTT must be positive");
+        let mut zero_limit = FlowConfig::new(Box::new(FixedWindow::new(1500)), rtt);
+        zero_limit.byte_limit = Some(0);
+        let err = sim.try_add_flow(zero_limit).unwrap_err();
+        assert_eq!(err.to_string(), "byte limit must be positive");
+        assert_eq!(sim.flow_count(), 0);
+    }
+
+    #[test]
+    fn audited_clean_run_succeeds() {
+        let (cfg, rtt) = base_config(10.0, 40, 1.0, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::try_new(cfg.with_audit(true)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+        let report = sim.try_run().expect("audited run must pass");
+        assert!(report.queue.utilization > 0.9);
+    }
+
+    #[test]
+    fn auditor_catches_seeded_conservation_bug() {
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::try_new(cfg.with_audit(true)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        sim.set_corrupt_at_event(500);
+        match sim.try_run() {
+            Err(SimError::Audit(v)) => {
+                assert_eq!(v.check, "packet-conservation");
+                assert_eq!(v.flow, Some(FlowId(0)));
+            }
+            other => panic!("expected audit violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_budget_aborts_livelocked_run() {
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::try_new(cfg.with_event_budget(1_000)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        match sim.try_run() {
+            Err(SimError::EventBudgetExceeded { events, .. }) => assert_eq!(events, 1_000),
+            other => panic!("expected event budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_aborts_run() {
+        let (cfg, rtt) = base_config(1000.0, 40, 2.0, 3600.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim =
+            Simulator::try_new(cfg.with_wall_clock_budget(std::time::Duration::ZERO)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        assert!(matches!(
+            sim.try_run(),
+            Err(SimError::WallClockExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_wire_loss_is_counted_and_audited() {
+        use crate::fault::FaultSchedule;
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let cfg = cfg
+            .with_faults(FaultSchedule::none().with_loss(0.01).with_seed(7))
+            .with_audit(true);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim
+            .try_run()
+            .expect("lossy audited run must stay consistent");
+        let f = &report.flows[0];
+        assert!(f.wire_lost_fwd > 0, "1% loss over 20s must hit packets");
+        // Losses force retransmissions; goodput only counts unique bytes.
+        assert!(f.retransmits > 0);
+    }
+
+    #[test]
+    fn ack_wire_loss_is_counted_and_audited() {
+        use crate::fault::FaultSchedule;
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let cfg = cfg
+            .with_faults(FaultSchedule::none().with_ack_loss(0.01).with_seed(7))
+            .with_audit(true);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.try_run().expect("ACK-lossy audited run");
+        assert!(report.flows[0].wire_lost_ack > 0);
+        // Per-packet SACK-like ACKs tolerate sparse ACK loss well.
+        assert!(report.queue.utilization > 0.8);
+    }
+
+    #[test]
+    fn link_outage_stalls_then_recovers() {
+        use crate::fault::FaultSchedule;
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        // 2s outage in a 20s run: ~10% of capacity is lost while the
+        // flow's RTO keeps it alive across the gap.
+        let faults = FaultSchedule::none()
+            .with_outage(SimTime::from_secs_f64(5.0), SimDuration::from_secs_f64(2.0));
+        let clean = {
+            let (cfg, _) = base_config(10.0, 40, 2.0, 20.0);
+            let mut sim = Simulator::try_new(cfg.with_audit(true)).unwrap();
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+            sim.try_run().unwrap().flows[0].throughput_mbps()
+        };
+        let mut sim = Simulator::try_new(cfg.with_faults(faults).with_audit(true)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.try_run().expect("outage run must stay consistent");
+        let faulted = report.flows[0].throughput_mbps();
+        assert!(
+            faulted < clean - 0.5,
+            "outage must cost throughput: clean={clean} faulted={faulted}"
+        );
+        assert!(
+            faulted > clean * 0.5,
+            "flow must recover after the outage: clean={clean} faulted={faulted}"
+        );
+    }
+
+    #[test]
+    fn rate_step_halves_throughput() {
+        use crate::fault::FaultSchedule;
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        // Halve the link rate at t=0: reported throughput tracks the
+        // degraded capacity (the queue simply serializes slower).
+        let faults = FaultSchedule::none().with_rate_step(SimTime::ZERO, Rate::from_mbps(5.0));
+        let mut sim = Simulator::try_new(cfg.with_faults(faults).with_audit(true)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.try_run().expect("rate-step run");
+        let tp = report.flows[0].throughput_mbps();
+        assert!((tp - 5.0).abs() < 0.5, "throughput={tp}");
+    }
+
+    #[test]
+    fn delay_spike_is_survived() {
+        use crate::fault::FaultSchedule;
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let faults = FaultSchedule::none().with_delay_spike(
+            SimTime::from_secs_f64(5.0),
+            SimDuration::from_secs_f64(1.0),
+            SimDuration::from_millis(80),
+        );
+        let mut sim = Simulator::try_new(cfg.with_faults(faults).with_audit(true)).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.try_run().expect("delay-spike run must stay consistent");
+        assert!(report.queue.utilization > 0.7);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::fault::FaultSchedule;
+        let run_once = || {
+            let (cfg, rtt) = base_config(10.0, 40, 1.0, 10.0);
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let faults = FaultSchedule::none()
+                .with_loss(0.005)
+                .with_ack_loss(0.005)
+                .with_seed(42)
+                .with_outage(SimTime::from_secs_f64(3.0), SimDuration::from_secs_f64(0.5));
+            let mut sim = Simulator::try_new(cfg.with_faults(faults).with_audit(true)).unwrap();
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            let r = sim.try_run().unwrap();
+            (
+                r.flows[0].goodput_bytes,
+                r.flows[1].goodput_bytes,
+                r.flows[0].wire_lost_fwd,
+                r.flows[1].wire_lost_ack,
+                r.queue.dropped_packets,
+            )
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

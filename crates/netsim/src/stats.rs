@@ -26,6 +26,11 @@ pub struct FlowStats {
     pub congestion_events: u64,
     /// Retransmission timeouts fired.
     pub rtos: u64,
+    /// Packets lost to injected forward-path wire loss *after* the
+    /// bottleneck (fault injection; excludes queue drops).
+    pub wire_lost_fwd: u64,
+    /// ACKs lost to injected reverse-path wire loss (fault injection).
+    pub wire_lost_ack: u64,
     /// ACKs for sequence numbers with no outstanding scoreboard entry
     /// (spurious-RTO duplicates).
     pub spurious_acks: u64,
@@ -59,6 +64,10 @@ pub struct FlowReport {
     pub lost_packets: u64,
     pub congestion_events: u64,
     pub rtos: u64,
+    /// Data packets lost to injected wire loss after the bottleneck.
+    pub wire_lost_fwd: u64,
+    /// ACKs lost to injected reverse-path wire loss.
+    pub wire_lost_ack: u64,
     /// Time-weighted average of this flow's bottleneck-buffer occupancy,
     /// bytes (the model's `b_c` / `b_b`).
     pub avg_queue_occupancy_bytes: f64,
@@ -119,6 +128,8 @@ mod tests {
             lost_packets: 0,
             congestion_events: 0,
             rtos: 0,
+            wire_lost_fwd: 0,
+            wire_lost_ack: 0,
             avg_queue_occupancy_bytes: 0.0,
             min_rtt_secs: None,
             mean_rtt_secs: None,

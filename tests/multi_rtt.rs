@@ -47,6 +47,7 @@ fn rtt_fairness_direction_in_simulation() {
             duration_secs: 60.0,
             seed: 99,
             discipline: Default::default(),
+            faults: Default::default(),
         }
         .run()
     };

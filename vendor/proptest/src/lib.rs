@@ -102,6 +102,16 @@ pub mod prop {
             WeightedBool { p }
         }
     }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{OptionStrategy, Strategy};
+
+        /// An `Option` that is `Some(inner)` half the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
 }
 
 /// Length specification for [`prop::collection::vec`].
@@ -152,6 +162,23 @@ impl Strategy for WeightedBool {
     type Value = bool;
     fn sample(&self, rng: &mut StdRng) -> bool {
         rand::Rng::gen_bool(rng, self.p)
+    }
+}
+
+/// Strategy producing `Option`s (see [`prop::option::of`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        if rand::Rng::gen_bool(rng, 0.5) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
     }
 }
 
@@ -264,6 +291,23 @@ mod tests {
             prop_assert_eq!(fixed.len(), 7);
             prop_assert!((1..4).contains(&ranged.len()));
         }
+
+        /// Option strategies produce in-bounds inner values when `Some`.
+        #[test]
+        fn option_in_bounds(opt in prop::option::of(2u32..9)) {
+            if let Some(v) = opt {
+                prop_assert!((2..9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn option_hits_both_variants() {
+        use crate::Strategy;
+        let s = crate::prop::option::of(0u32..10);
+        let mut rng = crate::case_rng("option", 0);
+        let somes = (0..100).filter(|_| s.sample(&mut rng).is_some()).count();
+        assert!(somes > 20 && somes < 80, "somes={somes}");
     }
 
     #[test]
