@@ -27,6 +27,22 @@ echo "==> fault smoke sweep (repro ext-faults --smoke)"
 cargo run --release -p bbrdom-experiments --bin repro -- ext-faults --smoke \
     --out "${TMPDIR:-/tmp}/bbrdom-ci-faults"
 
+# Parallel-engine smoke: the NE pipeline (fig 9) run serial/uncached,
+# then parallel with a cold disk cache, then again warm. All three CSV
+# sets must be byte-identical — parallelism and caching are only
+# legitimate if they are invisible in the output.
+echo "==> parallel NE smoke (repro 9: serial vs --jobs 2 vs warm cache)"
+ne_out="${TMPDIR:-/tmp}/bbrdom-ci-ne"
+rm -rf "$ne_out"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 1 --no-cache --out "$ne_out/serial"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 2 --cache-dir "$ne_out/cache" --out "$ne_out/parallel"
+diff -r "$ne_out/serial" "$ne_out/parallel"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 2 --cache-dir "$ne_out/cache" --out "$ne_out/warm"
+diff -r "$ne_out/serial" "$ne_out/warm"
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
     # regressions and keep BENCH_netsim.json generation exercised. Not a
@@ -34,6 +50,13 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # across machines; compare BENCH_netsim.json runs by hand instead.
     echo "==> perf smoke (netsim_perf, BENCH_SAMPLES=5)"
     BENCH_SAMPLES=5 cargo bench -p bbrdom-bench --bench netsim_perf
+
+    # Payoff-engine smoke: serial vs parallel vs warm-cache timings for
+    # the payoff workload, recorded in BENCH_payoff.json (with the core
+    # count — speedup is machine-relative). Also asserts serial/parallel
+    # bit-identity internally.
+    echo "==> payoff engine smoke (payoff_perf)"
+    cargo bench -p bbrdom-bench --bench payoff_perf
 fi
 
 echo "==> CI OK"

@@ -4,9 +4,12 @@
 //! repro all                 # every figure, quick profile
 //! repro fig03 --full        # one figure at paper scale
 //! repro 9 --out results/    # figure 9, CSVs into results/
+//! repro 9 --jobs 4          # four simulation workers
+//! repro 9 --no-cache        # bypass the scenario result cache
 //! repro list                # what's available
 //! ```
 
+use bbrdom_experiments::engine::{jobs_from_env, Engine, EngineConfig};
 use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
 use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
 use bbrdom_experiments::Profile;
@@ -17,6 +20,9 @@ struct Args {
     targets: Vec<String>,
     profile: Profile,
     out_dir: PathBuf,
+    jobs: Option<usize>,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 /// Optional per-knob overrides applied on top of the chosen profile.
@@ -34,6 +40,9 @@ fn parse_args() -> Result<Args, String> {
     let mut targets = Vec::new();
     let mut profile = Profile::quick();
     let mut out_dir = PathBuf::from("results");
+    let mut jobs = None;
+    let mut no_cache = false;
+    let mut cache_dir = None;
     let mut overrides = Overrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,6 +55,21 @@ fn parse_args() -> Result<Args, String> {
                     args.next()
                         .ok_or_else(|| "--out needs a directory".to_string())?,
                 );
+            }
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--jobs needs a positive number".to_string())?,
+                );
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                cache_dir =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        "--cache-dir needs a directory".to_string()
+                    })?));
             }
             "--ne-flows" => {
                 overrides.ne_flows = Some(
@@ -126,6 +150,9 @@ fn parse_args() -> Result<Args, String> {
         targets,
         profile,
         out_dir,
+        jobs,
+        no_cache,
+        cache_dir,
     })
 }
 
@@ -137,7 +164,9 @@ fn usage() -> String {
          extensions: {}  (or 'ext' for all of them)\n\
          profiles: --quick (default, minutes), --full (paper scale), --smoke (seconds)\n\
          overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n\
-         impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n",
+         impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n\
+         engine: --jobs N (or BBRDOM_JOBS; default: all cores)\n\
+         \x20        --no-cache (always re-simulate)  --cache-dir DIR (default: <out>/cache)\n",
         ALL_FIGURES.join(" "),
         ALL_EXTENSIONS.join(" ")
     )
@@ -155,6 +184,27 @@ fn main() -> ExitCode {
         println!("{}", ALL_FIGURES.join("\n"));
         return ExitCode::SUCCESS;
     }
+    // Configure the scenario engine before anything simulates (the
+    // global engine is first-use-wins). Disk cache defaults to
+    // <out>/cache so warm reruns of the same figure skip the work.
+    let engine_config = EngineConfig {
+        jobs: args
+            .jobs
+            .or_else(jobs_from_env)
+            .unwrap_or_else(bbrdom_experiments::runner::default_workers),
+        disk_cache: if args.no_cache {
+            None
+        } else {
+            Some(
+                args.cache_dir
+                    .clone()
+                    .unwrap_or_else(|| args.out_dir.join("cache")),
+            )
+        },
+        memory_cache: !args.no_cache,
+    };
+    Engine::configure(engine_config);
+    eprintln!("engine: {} jobs", Engine::global().jobs());
     let mut targets: Vec<String> = Vec::new();
     for t in &args.targets {
         match t.as_str() {
@@ -173,6 +223,7 @@ fn main() -> ExitCode {
     for target in &targets {
         eprintln!("== running {target} ==");
         let started = std::time::Instant::now();
+        let stats_before = Engine::global().stats();
         let ran = std::panic::catch_unwind(|| {
             run_figure(target, &args.profile).or_else(|| run_extension(target, &args.profile))
         });
@@ -191,9 +242,11 @@ fn main() -> ExitCode {
                         continue;
                     }
                 }
+                let spent = Engine::global().stats().since(&stats_before);
                 eprintln!(
-                    "== {target} done in {:.1}s ==",
-                    started.elapsed().as_secs_f64()
+                    "== {target} done in {:.1}s ({}) ==",
+                    started.elapsed().as_secs_f64(),
+                    spent.summary()
                 );
             }
             Ok(None) => {

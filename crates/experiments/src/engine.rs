@@ -1,0 +1,612 @@
+//! The parallel payoff/sweep engine with a content-addressed scenario
+//! result cache.
+//!
+//! Every payoff matrix, NE search, and figure sweep in this crate is a
+//! batch of independent `Scenario → SimReport` runs. The engine executes
+//! such batches on a fixed-size pool of OS worker threads (std threads +
+//! channels; simulations are CPU-bound, so an async runtime buys
+//! nothing), sized by `--jobs N` / `BBRDOM_JOBS` / the machine's
+//! parallelism — while keeping the repo's central guarantee intact:
+//! **output is bit-identical to a serial run.** Three mechanisms deliver
+//! that:
+//!
+//! 1. results are gathered by *scenario index*, never by completion
+//!    order;
+//! 2. the JSONL sweep journal is written by a single writer (the thread
+//!    that owns the receive side of the results channel), strictly in
+//!    index order, so `--jobs 1` and `--jobs 8` produce byte-identical
+//!    journals and a crash can only truncate the journal at a line
+//!    boundary;
+//! 3. each simulation is a pure function of its [`Scenario`], so the
+//!    engine may memoize: a **content-addressed cache** keyed by a
+//!    stable 128-bit hash of the *full* scenario (link, buffer, flows,
+//!    CCAs, RTTs, seeds, discipline, fault schedule — see
+//!    [`scenario_hash`]) returns previous `SimReport`s instead of
+//!    re-simulating, in-process always and on disk (`results/cache/`)
+//!    when enabled. NE searches re-evaluate neighboring strategy
+//!    profiles constantly; warm reruns skip the work entirely.
+//!
+//! Fail-soft sweep semantics ([`crate::runner::run_sweep`]) ride on the
+//! same machinery: per-trial [`TrialOutcome`]s, event/wall-clock
+//! budgets, and journal resume. A cached success is only reused under an
+//! event budget when the recorded run fit that budget
+//! (`events_processed <= budget`), so caching never flips a
+//! budget-failure into a success or vice versa.
+
+use crate::runner::{payload_message, SweepConfig, TrialFailure, TrialOutcome};
+use crate::scenario::{Scenario, TrialResult};
+use bbrdom_netsim::hash::{StableHash, StableHasher};
+use bbrdom_netsim::json::{self, Value};
+use bbrdom_netsim::SimReport;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bumped whenever [`scenario_hash`] coverage or the on-disk entry
+/// layout changes, so stale cache files can never alias a new format.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Stable content hash of everything that determines a scenario's
+/// simulation output. Two scenarios hash alike iff a run of one is
+/// bit-identical to a run of the other; see the completeness test,
+/// which mutates every public field and asserts the hash moves.
+pub fn scenario_hash(s: &Scenario) -> u128 {
+    let mut h = StableHasher::new();
+    CACHE_FORMAT_VERSION.stable_hash(&mut h);
+    s.mbps.stable_hash(&mut h);
+    s.buffer_bdp.stable_hash(&mut h);
+    s.reference_rtt_ms.stable_hash(&mut h);
+    s.duration_secs.stable_hash(&mut h);
+    s.seed.stable_hash(&mut h);
+    s.discipline.name().stable_hash(&mut h);
+    (s.flows.len() as u64).stable_hash(&mut h);
+    for f in &s.flows {
+        f.cca.name().stable_hash(&mut h);
+        f.rtt_ms.stable_hash(&mut h);
+        f.start_s.stable_hash(&mut h);
+        f.byte_limit.stable_hash(&mut h);
+    }
+    // Hash the *compiled* netsim fault schedule: it already folds in the
+    // derived per-trial RNG stream seed, and reuses the same stable-hash
+    // implementation the simulator's own config hashing pins.
+    s.faults.to_schedule(s.seed).stable_hash(&mut h);
+    h.finish()
+}
+
+/// [`scenario_hash`] as the fixed-width hex string used for cache file
+/// names and journal keys.
+pub fn scenario_hash_hex(s: &Scenario) -> String {
+    format!("{:032x}", scenario_hash(s))
+}
+
+/// How many worker threads `BBRDOM_JOBS` requests, if set and valid.
+pub fn jobs_from_env() -> Option<usize> {
+    std::env::var("BBRDOM_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Engine configuration: pool size and cache policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for scenario batches.
+    pub jobs: usize,
+    /// Directory for the persistent result cache (`None` = memory only).
+    pub disk_cache: Option<PathBuf>,
+    /// Keep an in-process memo of completed reports (cheap; only worth
+    /// disabling for determinism tests that must re-simulate).
+    pub memory_cache: bool,
+}
+
+impl EngineConfig {
+    /// Environment defaults: `BBRDOM_JOBS` (else the machine's
+    /// parallelism), `BBRDOM_CACHE_DIR` (else no disk cache), memory
+    /// memo on.
+    pub fn from_env() -> Self {
+        EngineConfig {
+            jobs: jobs_from_env().unwrap_or_else(crate::runner::default_workers),
+            disk_cache: std::env::var("BBRDOM_CACHE_DIR")
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from),
+            memory_cache: true,
+        }
+    }
+
+    /// A hermetic single-threaded engine with caching off — every run
+    /// re-simulates. The baseline for determinism and perf comparisons.
+    pub fn serial_uncached() -> Self {
+        EngineConfig {
+            jobs: 1,
+            disk_cache: None,
+            memory_cache: false,
+        }
+    }
+}
+
+/// Cache/dedup counters for one engine, cumulative across batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Results served from the in-process memo.
+    pub memory_hits: u64,
+    /// Results served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Results copied from an identical scenario in the same batch.
+    pub deduped: u64,
+    /// Scenarios actually simulated.
+    pub simulated: u64,
+}
+
+impl CacheStats {
+    /// Counter movement since an earlier snapshot (per-target deltas).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits - earlier.memory_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            deduped: self.deduped - earlier.deduped,
+            simulated: self.simulated - earlier.simulated,
+        }
+    }
+
+    /// Simulations skipped thanks to the cache (all sources).
+    pub fn skipped(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.deduped
+    }
+
+    /// Total scenario slots served.
+    pub fn total(&self) -> u64 {
+        self.skipped() + self.simulated
+    }
+
+    /// One-line human summary (the sweep-summary cache counter).
+    pub fn summary(&self) -> String {
+        let total = self.total();
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * self.skipped() as f64 / total as f64
+        };
+        format!(
+            "{} simulated, {} cache hits ({} memory, {} disk, {} deduped) — {:.0}% skipped",
+            self.simulated,
+            self.skipped(),
+            self.memory_hits,
+            self.disk_hits,
+            self.deduped,
+            pct
+        )
+    }
+}
+
+/// One parsed sweep-journal record (see [`journal_line`]).
+pub(crate) struct JournalEntry {
+    pub index: usize,
+    pub key: String,
+    pub outcome: TrialOutcome,
+    pub event_budget: Option<u64>,
+    pub wall_budget_ns: Option<u64>,
+}
+
+/// Serialize one finished trial as a journal line. Every record carries
+/// the scenario's content hash (`key`), so resume can never reuse a
+/// trial whose scenario was edited between runs; failed records also
+/// carry the budgets they failed under, so raising a budget re-runs
+/// them instead of resuming a stale failure.
+pub(crate) fn journal_line(
+    index: usize,
+    key: &str,
+    outcome: &TrialOutcome,
+    event_budget: Option<u64>,
+    wall_budget_ns: Option<u64>,
+) -> String {
+    let mut v = Value::object();
+    v.set("index", Value::U64(index as u64))
+        .set("key", key.into());
+    match outcome {
+        TrialOutcome::Ok(r) => {
+            v.set("ok", true.into()).set("result", r.to_json_value());
+        }
+        TrialOutcome::Failed(f) => {
+            v.set("ok", false.into())
+                .set("error", Value::Str(f.error.clone()))
+                .set("context", Value::Str(f.context.clone()));
+            if let Some(b) = event_budget {
+                v.set("event_budget", Value::U64(b));
+            }
+            if let Some(b) = wall_budget_ns {
+                v.set("wall_budget_ns", Value::U64(b));
+            }
+        }
+    }
+    v.to_json()
+}
+
+/// Parse one journal line; `None` for malformed or truncated lines
+/// (e.g. a crash mid-write), which are simply re-run.
+pub(crate) fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let v = json::parse(line).ok()?;
+    let index = v.get("index")?.as_u64()? as usize;
+    let key = v.get("key")?.as_str()?.to_string();
+    let ok = match v.get("ok")? {
+        Value::Bool(b) => *b,
+        _ => return None,
+    };
+    let outcome = if ok {
+        TrialOutcome::Ok(TrialResult::from_json_value(v.get("result")?).ok()?)
+    } else {
+        TrialOutcome::Failed(TrialFailure {
+            index,
+            error: v.get("error")?.as_str()?.to_string(),
+            context: v
+                .get("context")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    };
+    Some(JournalEntry {
+        index,
+        key,
+        outcome,
+        event_budget: v.get("event_budget").and_then(Value::as_u64),
+        wall_budget_ns: v.get("wall_budget_ns").and_then(Value::as_u64),
+    })
+}
+
+/// One-line scenario summary used as failure context.
+fn scenario_context(s: &Scenario) -> String {
+    format!(
+        "{} flows, {} Mbps, buffer {} BDP, {} s, seed {}",
+        s.flows.len(),
+        s.mbps,
+        s.buffer_bdp,
+        s.duration_secs,
+        s.seed
+    )
+}
+
+/// The parallel scenario engine. One lives for the process
+/// ([`Engine::global`]); tests and benches build private ones.
+pub struct Engine {
+    config: EngineConfig,
+    memo: Mutex<HashMap<u128, Arc<SimReport>>>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    deduped: AtomicU64,
+    simulated: AtomicU64,
+}
+
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            memo: Mutex::new(HashMap::new()),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+        }
+    }
+
+    /// Install `config` as the process-wide engine. Returns `false` if
+    /// the global engine was already built (first use wins) — callers
+    /// that care (the `repro` binary) should configure before running
+    /// anything.
+    pub fn configure(config: EngineConfig) -> bool {
+        GLOBAL.set(Engine::new(config)).is_ok()
+    }
+
+    /// The process-wide engine, built from [`EngineConfig::from_env`] on
+    /// first use unless [`Engine::configure`] ran earlier.
+    pub fn global() -> &'static Engine {
+        GLOBAL.get_or_init(|| Engine::new(EngineConfig::from_env()))
+    }
+
+    /// The configured worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.config.jobs
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run all scenarios with the engine's pool, panicking on the first
+    /// (lowest-index) failure — the strict interface figure sweeps use.
+    /// Results come back in input order.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<TrialResult> {
+        self.run_all_jobs(scenarios, self.config.jobs)
+    }
+
+    /// [`Engine::run_all`] with an explicit pool size.
+    pub fn run_all_jobs(&self, scenarios: &[Scenario], jobs: usize) -> Vec<TrialResult> {
+        let outcomes = self.execute(scenarios, jobs, None, None, None);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                TrialOutcome::Ok(r) => results.push(r),
+                TrialOutcome::Failed(f) => {
+                    panic!("scenario {} failed: {}", f.index, f.error)
+                }
+            }
+        }
+        results
+    }
+
+    /// Run all scenarios fail-soft: one panicking, livelocked, or
+    /// invalid scenario becomes a structured [`TrialOutcome::Failed`]
+    /// while the rest of the sweep completes. Outcomes come back in
+    /// input order. See [`crate::runner::run_sweep`] for the journal
+    /// resume contract.
+    pub fn run_sweep(&self, scenarios: &[Scenario], config: &SweepConfig) -> Vec<TrialOutcome> {
+        self.execute(
+            scenarios,
+            config.jobs.unwrap_or(self.config.jobs),
+            config.event_budget,
+            config.wall_budget,
+            config.journal.as_deref(),
+        )
+    }
+
+    /// The shared batch executor. Deterministic contract: the returned
+    /// vector is indexed by scenario, and any journal is appended in
+    /// strict index order by the single thread that owns the channel's
+    /// receive side.
+    fn execute(
+        &self,
+        scenarios: &[Scenario],
+        jobs: usize,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+        journal: Option<&Path>,
+    ) -> Vec<TrialOutcome> {
+        let n = scenarios.len();
+        let hashes: Vec<u128> = scenarios.iter().map(scenario_hash).collect();
+        let keys: Vec<String> = hashes.iter().map(|h| format!("{h:032x}")).collect();
+        let wall_budget_ns = wall_budget.map(|d| d.as_nanos() as u64);
+        let mut done: Vec<Option<TrialOutcome>> = (0..n).map(|_| None).collect();
+
+        // Resume: pre-fill slots from the journal when the record's
+        // scenario hash (and, for failures, its budgets) still match.
+        if let Some(path) = journal {
+            if let Ok(file) = std::fs::File::open(path) {
+                for line in std::io::BufReader::new(file).lines() {
+                    let Ok(line) = line else { break };
+                    let Some(entry) = parse_journal_line(&line) else {
+                        continue;
+                    };
+                    if entry.index >= n || entry.key != keys[entry.index] {
+                        continue;
+                    }
+                    if entry.outcome.failure().is_some()
+                        && (entry.event_budget != event_budget
+                            || entry.wall_budget_ns != wall_budget_ns)
+                    {
+                        continue;
+                    }
+                    done[entry.index] = Some(entry.outcome);
+                }
+            }
+        }
+
+        // Intra-batch dedup: identical scenarios (payoff matrices share
+        // cells) are simulated once; duplicates copy the representative.
+        let mut rep_of_hash: HashMap<u128, usize> = HashMap::new();
+        let mut aliases: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if done[i].is_some() {
+                continue;
+            }
+            match rep_of_hash.entry(hashes[i]) {
+                Entry::Vacant(slot) => {
+                    slot.insert(i);
+                    pending.push(i);
+                }
+                Entry::Occupied(slot) => {
+                    aliases.entry(*slot.get()).or_default().push(i);
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // All indices that will gain a journal line this run, ascending
+        // — the writer flushes them in exactly this order.
+        let to_journal: Vec<usize> = (0..n).filter(|&i| done[i].is_none()).collect();
+
+        let mut journal_file = journal.map(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open sweep journal {}: {e}", path.display()))
+        });
+
+        let jobs = jobs.max(1).min(pending.len().max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let pending = &pending;
+                let next = &next;
+                let hashes = &hashes;
+                scope.spawn(move || loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= pending.len() {
+                        break;
+                    }
+                    let i = pending[slot];
+                    let outcome =
+                        self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Single writer: results arrive in completion order, are
+            // slotted by index, and the journal advances only over the
+            // contiguous prefix of finished indices.
+            let mut cursor = 0usize;
+            for (i, outcome) in rx {
+                for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                    done[alias] = Some(retarget(&outcome, alias));
+                }
+                done[i] = Some(outcome);
+                if let Some(file) = journal_file.as_mut() {
+                    while cursor < to_journal.len() {
+                        let idx = to_journal[cursor];
+                        let Some(outcome) = &done[idx] else { break };
+                        let line =
+                            journal_line(idx, &keys[idx], outcome, event_budget, wall_budget_ns);
+                        // A failed write is not fatal: the sweep still
+                        // completes, the trial just won't resume for free.
+                        let _ = writeln!(file, "{line}");
+                        let _ = file.flush();
+                        cursor += 1;
+                    }
+                }
+            }
+        });
+
+        done.into_iter()
+            .map(|slot| slot.expect("scenario not executed"))
+            .collect()
+    }
+
+    /// Run (or fetch) one scenario. Cache policy: only successful
+    /// reports are cached; under an event budget a cached report is
+    /// reused only if its recorded event count fits the budget, which
+    /// keeps cached and fresh outcomes identical.
+    fn run_one(
+        &self,
+        scenario: &Scenario,
+        hash: u128,
+        index: usize,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> TrialOutcome {
+        let admits = |report: &SimReport| {
+            event_budget.is_none_or(|budget| report.events_processed <= budget)
+        };
+
+        if self.config.memory_cache {
+            let memo = self.memo.lock().expect("engine memo poisoned");
+            if let Some(report) = memo.get(&hash) {
+                if admits(report) {
+                    self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    return TrialOutcome::Ok(TrialResult::from_report(report));
+                }
+            }
+        }
+
+        if let Some(dir) = &self.config.disk_cache {
+            if let Some(report) = load_cache_entry(dir, hash) {
+                if admits(&report) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let result = TrialResult::from_report(&report);
+                    if self.config.memory_cache {
+                        self.memo
+                            .lock()
+                            .expect("engine memo poisoned")
+                            .insert(hash, Arc::new(report));
+                    }
+                    return TrialOutcome::Ok(result);
+                }
+            }
+        }
+
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        match catch_unwind(AssertUnwindSafe(|| {
+            scenario.try_report_with(event_budget, wall_budget)
+        })) {
+            Ok(Ok(report)) => {
+                let result = TrialResult::from_report(&report);
+                if let Some(dir) = &self.config.disk_cache {
+                    store_cache_entry(dir, hash, &report);
+                }
+                if self.config.memory_cache {
+                    self.memo
+                        .lock()
+                        .expect("engine memo poisoned")
+                        .insert(hash, Arc::new(report));
+                }
+                TrialOutcome::Ok(result)
+            }
+            Ok(Err(err)) => TrialOutcome::Failed(TrialFailure {
+                index,
+                error: err.to_string(),
+                context: scenario_context(scenario),
+            }),
+            Err(payload) => TrialOutcome::Failed(TrialFailure {
+                index,
+                error: format!("panic: {}", payload_message(&*payload)),
+                context: scenario_context(scenario),
+            }),
+        }
+    }
+}
+
+/// Copy a representative's outcome onto a duplicate scenario's slot.
+fn retarget(outcome: &TrialOutcome, index: usize) -> TrialOutcome {
+    match outcome {
+        TrialOutcome::Ok(r) => TrialOutcome::Ok(r.clone()),
+        TrialOutcome::Failed(f) => TrialOutcome::Failed(TrialFailure {
+            index,
+            error: f.error.clone(),
+            context: f.context.clone(),
+        }),
+    }
+}
+
+fn cache_entry_path(dir: &Path, hash: u128) -> PathBuf {
+    dir.join(format!("{hash:032x}.json"))
+}
+
+/// Load a disk cache entry. Any failure — missing file, truncation,
+/// garbled JSON, version or key mismatch — is a miss, never a panic:
+/// the scenario is simply re-simulated (and the entry rewritten).
+fn load_cache_entry(dir: &Path, hash: u128) -> Option<SimReport> {
+    let text = std::fs::read_to_string(cache_entry_path(dir, hash)).ok()?;
+    let v = json::parse(&text).ok()?;
+    if v.get("version").and_then(Value::as_u64) != Some(CACHE_FORMAT_VERSION as u64) {
+        return None;
+    }
+    if v.get("key").and_then(Value::as_str) != Some(format!("{hash:032x}").as_str()) {
+        return None;
+    }
+    SimReport::from_json_value(v.get("report")?).ok()
+}
+
+/// Persist a report. Written to a temp file then renamed, so concurrent
+/// readers never observe a torn entry; I/O errors are ignored (the
+/// cache is an accelerator, not a store of record).
+fn store_cache_entry(dir: &Path, hash: u128, report: &SimReport) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut v = Value::object();
+    v.set("version", Value::U64(CACHE_FORMAT_VERSION as u64))
+        .set("key", format!("{hash:032x}").as_str().into())
+        .set("report", report.to_json_value());
+    let tmp = dir.join(format!(".{hash:032x}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, v.to_json()).is_ok() {
+        let _ = std::fs::rename(&tmp, cache_entry_path(dir, hash));
+    }
+}

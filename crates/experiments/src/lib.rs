@@ -4,7 +4,9 @@
 //! Internet?"* (IMC '22), plus the shared machinery:
 //!
 //! * [`scenario`] — declarative experiment specs → simulator runs;
-//! * [`runner`] — parallel fan-out over trials (crossbeam scoped threads);
+//! * [`engine`] — the parallel worker-pool engine with a
+//!   content-addressed scenario result cache (`--jobs` / `BBRDOM_JOBS`);
+//! * [`runner`] — the batch-execution façade over the engine;
 //! * [`payoff`] — empirical payoff curves over all `n + 1` CUBIC/X splits
 //!   and the §4.4 Nash-equilibrium search;
 //! * [`sync`] — CUBIC loss-synchronization measurement (used to decide
@@ -26,6 +28,7 @@
 //! evaluation reruns in minutes on a laptop. EXPERIMENTS.md records the
 //! profile used for the committed numbers.
 
+pub mod engine;
 pub mod ext;
 pub mod figs;
 pub mod output;
@@ -35,5 +38,6 @@ pub mod runner;
 pub mod scenario;
 pub mod sync;
 
+pub use engine::{scenario_hash, scenario_hash_hex, CacheStats, Engine, EngineConfig};
 pub use profile::Profile;
 pub use scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario, TrialResult};

@@ -1,26 +1,30 @@
-//! Parallel scenario execution.
+//! Parallel scenario execution — the public façade over the
+//! [`crate::engine`] worker-pool/cache engine.
 //!
-//! Simulations are CPU-bound and independent, so we fan out over OS
-//! threads with `std::thread::scope` (per the networking guides: an
-//! async runtime buys nothing for compute-bound work). Results come
-//! back in input order regardless of completion order.
+//! Simulations are CPU-bound and independent, so batches fan out over a
+//! fixed pool of OS threads (per the networking guides: an async runtime
+//! buys nothing for compute-bound work). Results come back in input
+//! order regardless of completion order, and — because every simulation
+//! is a pure function of its [`Scenario`] — a parallel run is
+//! bit-identical to a serial one. Pool size comes from `--jobs` /
+//! `BBRDOM_JOBS` / the machine's parallelism; identical and previously
+//! seen scenarios are served from the engine's content-addressed result
+//! cache instead of being re-simulated.
 //!
-//! A panic inside one `Scenario::run` does not take down the whole
-//! sweep opaquely: the payload is caught on the worker, tagged with the
-//! scenario index, and re-raised from the calling thread once all other
-//! scenarios have finished — so a 500-point sweep failure names the one
-//! point that died.
+//! Two interfaces:
+//!
+//! * [`run_all`] — strict: a failing scenario panics, naming the lowest
+//!   failing index (figure sweeps, where any failure is a bug);
+//! * [`run_sweep`] — fail-soft and resumable: failures become structured
+//!   [`TrialOutcome::Failed`] records, budgets guard against livelock,
+//!   and a JSONL journal checkpoints finished trials for resume.
 
+use crate::engine::Engine;
 use crate::scenario::{Scenario, TrialResult};
-use bbrdom_netsim::json::{self, Value};
 use std::any::Any;
-use std::io::{BufRead, Write};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-/// Number of worker threads to use.
+/// Number of worker threads to use by default.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -28,7 +32,7 @@ pub fn default_workers() -> usize {
 }
 
 /// Render a caught panic payload the way `panic!` would display it.
-fn payload_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -42,54 +46,16 @@ fn payload_message(payload: &(dyn Any + Send)) -> String {
 ///
 /// # Panics
 ///
-/// If any scenario panics, re-raises the first (lowest-index) panic as
-/// `"scenario <i> panicked: <original message>"`.
+/// If any scenario fails, re-raises the first (lowest-index) failure as
+/// `"scenario <i> failed: <error>"`.
 pub fn run_all(scenarios: &[Scenario]) -> Vec<TrialResult> {
-    run_all_with_workers(scenarios, default_workers())
+    Engine::global().run_all(scenarios)
 }
 
-/// Run with an explicit worker count (tests use 2 for determinism of
-/// resource use; results are order-stable regardless).
+/// Run with an explicit worker count (tests use specific counts to pin
+/// determinism; results are order-stable and bit-identical regardless).
 pub fn run_all_with_workers(scenarios: &[Scenario], workers: usize) -> Vec<TrialResult> {
-    let workers = workers.max(1).min(scenarios.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<TrialResult>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
-    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| scenarios[i].run())) {
-                    Ok(result) => *results[i].lock().expect("result slot poisoned") = Some(result),
-                    Err(payload) => panics
-                        .lock()
-                        .expect("panic log poisoned")
-                        .push((i, payload)),
-                }
-            });
-        }
-    });
-
-    let mut panics = panics.into_inner().expect("panic log poisoned");
-    if !panics.is_empty() {
-        panics.sort_by_key(|(i, _)| *i);
-        let (index, payload) = panics.swap_remove(0);
-        panic!("scenario {index} panicked: {}", payload_message(&*payload));
-    }
-
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("scenario not executed")
-        })
-        .collect()
+    Engine::global().run_all_jobs(scenarios, workers)
 }
 
 /// Convenience: run `trials` seeds of a scenario template and return the
@@ -140,87 +106,20 @@ impl TrialOutcome {
 }
 
 /// Configuration for a fail-soft, resumable sweep ([`run_sweep`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepConfig {
-    /// Worker threads (defaults to the machine's parallelism).
-    pub workers: usize,
+    /// Worker threads (`None` = the engine's configured `--jobs`).
+    pub jobs: Option<usize>,
     /// Per-scenario event budget (livelock guard; `None` = unlimited).
     pub event_budget: Option<u64>,
     /// Per-scenario wall-clock budget (`None` = unlimited).
     pub wall_budget: Option<std::time::Duration>,
     /// JSONL journal path. Completed trials (successes *and* structured
-    /// failures) are appended as they finish; a rerun with the same
-    /// journal reuses entries whose scenario still matches instead of
-    /// re-running them.
+    /// failures) are appended in scenario-index order as they finish; a
+    /// rerun with the same journal reuses entries whose scenario hash
+    /// (and, for failures, budgets) still match instead of re-running
+    /// them.
     pub journal: Option<PathBuf>,
-}
-
-impl Default for SweepConfig {
-    fn default() -> Self {
-        SweepConfig {
-            workers: default_workers(),
-            event_budget: None,
-            wall_budget: None,
-            journal: None,
-        }
-    }
-}
-
-/// One-line scenario summary used as failure context.
-fn scenario_context(s: &Scenario) -> String {
-    format!(
-        "{} flows, {} Mbps, buffer {} BDP, {} s, seed {}",
-        s.flows.len(),
-        s.mbps,
-        s.buffer_bdp,
-        s.duration_secs,
-        s.seed
-    )
-}
-
-/// Serialize one finished trial as a journal line.
-fn journal_line(index: usize, scenario_json: &str, outcome: &TrialOutcome) -> String {
-    let mut v = Value::object();
-    v.set("index", Value::U64(index as u64))
-        .set("scenario", Value::Str(scenario_json.to_string()));
-    match outcome {
-        TrialOutcome::Ok(r) => {
-            v.set("ok", true.into()).set("result", r.to_json_value());
-        }
-        TrialOutcome::Failed(f) => {
-            v.set("ok", false.into())
-                .set("error", Value::Str(f.error.clone()))
-                .set("context", Value::Str(f.context.clone()));
-        }
-    }
-    v.to_json()
-}
-
-/// Parse one journal line back into `(index, scenario_json, outcome)`.
-/// Returns `None` for malformed or truncated lines (e.g. a crash mid-write),
-/// which are simply re-run.
-fn parse_journal_line(line: &str) -> Option<(usize, String, TrialOutcome)> {
-    let v = json::parse(line).ok()?;
-    let index = v.get("index")?.as_u64()? as usize;
-    let scenario_json = v.get("scenario")?.as_str()?.to_string();
-    let ok = match v.get("ok")? {
-        Value::Bool(b) => *b,
-        _ => return None,
-    };
-    let outcome = if ok {
-        TrialOutcome::Ok(TrialResult::from_json_value(v.get("result")?).ok()?)
-    } else {
-        TrialOutcome::Failed(TrialFailure {
-            index,
-            error: v.get("error")?.as_str()?.to_string(),
-            context: v
-                .get("context")
-                .and_then(Value::as_str)
-                .unwrap_or("")
-                .to_string(),
-        })
-    };
-    Some((index, scenario_json, outcome))
 }
 
 /// Run all scenarios fail-soft: one panicking, livelocked, or invalid
@@ -228,95 +127,20 @@ fn parse_journal_line(line: &str) -> Option<(usize, String, TrialOutcome)> {
 /// of the sweep completes. Outcomes come back in input order.
 ///
 /// With [`SweepConfig::journal`] set, finished trials are checkpointed as
-/// JSONL; rerunning the same sweep resumes, re-using every journal entry
-/// whose `(index, scenario)` still matches and re-running only the rest.
+/// JSONL by a single writer in strict index order (so `--jobs 1` and
+/// `--jobs 8` journals are byte-identical); rerunning the same sweep
+/// resumes, re-using every journal entry whose scenario hash still
+/// matches and re-running only the rest.
 pub fn run_sweep(scenarios: &[Scenario], config: &SweepConfig) -> Vec<TrialOutcome> {
-    let scenario_jsons: Vec<String> = scenarios.iter().map(|s| s.to_json()).collect();
-    let outcomes: Vec<Mutex<Option<TrialOutcome>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
-
-    // Resume: pre-fill slots from the journal when the stored scenario
-    // still matches the one we were asked to run.
-    if let Some(path) = &config.journal {
-        if let Ok(file) = std::fs::File::open(path) {
-            for line in std::io::BufReader::new(file).lines() {
-                let Ok(line) = line else { break };
-                let Some((index, stored, outcome)) = parse_journal_line(&line) else {
-                    continue;
-                };
-                if index < scenarios.len() && stored == scenario_jsons[index] {
-                    *outcomes[index].lock().expect("outcome slot poisoned") = Some(outcome);
-                }
-            }
-        }
-    }
-
-    let pending: Vec<usize> = (0..scenarios.len())
-        .filter(|&i| outcomes[i].lock().expect("outcome slot poisoned").is_none())
-        .collect();
-
-    let journal: Option<Mutex<std::fs::File>> = config.journal.as_ref().map(|path| {
-        Mutex::new(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .unwrap_or_else(|e| panic!("cannot open sweep journal {}: {e}", path.display())),
-        )
-    });
-
-    let workers = config.workers.max(1).min(pending.len().max(1));
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let slot = next.fetch_add(1, Ordering::Relaxed);
-                if slot >= pending.len() {
-                    break;
-                }
-                let i = pending[slot];
-                let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                    scenarios[i].try_run_with(config.event_budget, config.wall_budget)
-                })) {
-                    Ok(Ok(result)) => TrialOutcome::Ok(result),
-                    Ok(Err(err)) => TrialOutcome::Failed(TrialFailure {
-                        index: i,
-                        error: err.to_string(),
-                        context: scenario_context(&scenarios[i]),
-                    }),
-                    Err(payload) => TrialOutcome::Failed(TrialFailure {
-                        index: i,
-                        error: format!("panic: {}", payload_message(&*payload)),
-                        context: scenario_context(&scenarios[i]),
-                    }),
-                };
-                if let Some(journal) = &journal {
-                    let line = journal_line(i, &scenario_jsons[i], &outcome);
-                    let mut file = journal.lock().expect("journal poisoned");
-                    // A failed write is not fatal: the sweep still
-                    // completes, the trial just won't resume for free.
-                    let _ = writeln!(file, "{line}");
-                    let _ = file.flush();
-                }
-                *outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
-            });
-        }
-    });
-
-    outcomes
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("outcome slot poisoned")
-                .expect("scenario not executed")
-        })
-        .collect()
+    Engine::global().run_sweep(scenarios, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{journal_line, parse_journal_line, scenario_hash_hex};
     use bbrdom_cca::CcaKind;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn tiny(seed: u64) -> Scenario {
         Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 3.0, seed)
@@ -353,21 +177,22 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_reports_scenario_index_and_message() {
-        // Scenario 1 has no flows: `run` panics with "scenario needs flows".
+    fn worker_failure_reports_scenario_index_and_message() {
+        // Scenario 1 has no flows: the engine surfaces the validation
+        // error, tagged with the failing index.
         let mut scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
         scenarios[1].flows.clear();
         let caught = catch_unwind(AssertUnwindSafe(|| run_all_with_workers(&scenarios, 2)))
-            .expect_err("sweep with a panicking scenario must panic");
+            .expect_err("sweep with a failing scenario must panic");
         let msg = payload_message(&*caught);
         assert!(
-            msg.contains("scenario 1") && msg.contains("needs flows"),
+            msg.contains("scenario 1") && msg.contains("no flows"),
             "unhelpful panic message: {msg}"
         );
     }
 
     #[test]
-    fn earliest_panicking_scenario_wins() {
+    fn earliest_failing_scenario_wins() {
         let mut scenarios: Vec<Scenario> = (0..4).map(tiny).collect();
         scenarios[0].flows.clear();
         scenarios[2].flows.clear();
@@ -393,7 +218,7 @@ mod tests {
         let mut scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
         scenarios[1].flows.clear();
         let cfg = SweepConfig {
-            workers: 2,
+            jobs: Some(2),
             ..SweepConfig::default()
         };
         let outcomes = run_sweep(&scenarios, &cfg);
@@ -416,7 +241,7 @@ mod tests {
         // trips and is reported as a structured failure, not a panic.
         let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
         let cfg = SweepConfig {
-            workers: 2,
+            jobs: Some(2),
             event_budget: Some(1_000),
             ..SweepConfig::default()
         };
@@ -437,7 +262,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
         let cfg = SweepConfig {
-            workers: 2,
+            jobs: Some(2),
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
@@ -451,11 +276,17 @@ mod tests {
         let tampered: String = text
             .lines()
             .map(|line| {
-                let (index, _, outcome) = parse_journal_line(line).expect("valid journal line");
-                if index == 0 {
-                    let mut r = outcome.ok().unwrap().clone();
+                let entry = parse_journal_line(line).expect("valid journal line");
+                if entry.index == 0 {
+                    let mut r = entry.outcome.ok().unwrap().clone();
                     r.throughput_mbps[0] = 999.0;
-                    let mut out = journal_line(0, &scenarios[0].to_json(), &TrialOutcome::Ok(r));
+                    let mut out = journal_line(
+                        0,
+                        &scenario_hash_hex(&scenarios[0]),
+                        &TrialOutcome::Ok(r),
+                        None,
+                        None,
+                    );
                     out.push('\n');
                     out
                 } else {
@@ -481,14 +312,15 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
         let cfg = SweepConfig {
-            workers: 1,
+            jobs: Some(1),
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
         let first = run_sweep(&scenarios, &cfg);
 
-        // Change scenario 1 (different seed): its journal entry is stale
-        // and must be re-run; scenario 0 still resumes from the journal.
+        // Change scenario 1 (different seed): its journal entry's hash
+        // no longer matches and must be re-run; scenario 0 still resumes
+        // from the journal.
         let mut changed = scenarios.clone();
         changed[1] = tiny(77);
         let resumed = run_sweep(&changed, &cfg);
@@ -509,7 +341,7 @@ mod tests {
         std::fs::write(&path, "{truncated\nnot json at all\n").unwrap();
         let scenarios: Vec<Scenario> = vec![tiny(3)];
         let cfg = SweepConfig {
-            workers: 1,
+            jobs: Some(1),
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
@@ -528,7 +360,7 @@ mod tests {
         let mut scenarios: Vec<Scenario> = (0..2).map(tiny).collect();
         scenarios[0].flows.clear();
         let cfg = SweepConfig {
-            workers: 1,
+            jobs: Some(1),
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };

@@ -474,32 +474,21 @@ impl Scenario {
         event_budget: Option<u64>,
         wall_budget: Option<std::time::Duration>,
     ) -> Result<TrialResult, SimError> {
-        let report = self
-            .try_build_simulator(event_budget, wall_budget)?
-            .try_run()?;
-        Ok(TrialResult {
-            throughput_mbps: report.flows.iter().map(|f| f.throughput_mbps()).collect(),
-            cc_names: report.flows.iter().map(|f| f.cc_name.clone()).collect(),
-            avg_queue_occupancy_bytes: report
-                .flows
-                .iter()
-                .map(|f| f.avg_queue_occupancy_bytes)
-                .collect(),
-            backoff_times_secs: report
-                .flows
-                .iter()
-                .map(|f| f.backoff_times_secs.clone())
-                .collect(),
-            avg_queuing_delay_ms: report.queue.avg_queuing_delay_secs * 1e3,
-            utilization: report.queue.utilization,
-            dropped_packets: report.queue.dropped_packets,
-            aqm_drops: report.queue.aqm_drops,
-            completion_times_secs: report
-                .flows
-                .iter()
-                .map(|f| f.completion_time_secs)
-                .collect(),
-        })
+        Ok(TrialResult::from_report(
+            &self.try_report_with(event_budget, wall_budget)?,
+        ))
+    }
+
+    /// Like [`Scenario::try_run_with`], but returns the raw simulator
+    /// report — the form the scenario result cache persists
+    /// ([`crate::engine`]), from which [`TrialResult`]s are derived.
+    pub fn try_report_with(
+        &self,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> Result<bbrdom_netsim::SimReport, SimError> {
+        self.try_build_simulator(event_budget, wall_budget)?
+            .try_run()
     }
 }
 
@@ -601,6 +590,34 @@ impl Scenario {
 }
 
 impl TrialResult {
+    /// The measurements a figure consumes, extracted from a raw
+    /// simulator report (live or cached).
+    pub fn from_report(report: &bbrdom_netsim::SimReport) -> Self {
+        TrialResult {
+            throughput_mbps: report.flows.iter().map(|f| f.throughput_mbps()).collect(),
+            cc_names: report.flows.iter().map(|f| f.cc_name.clone()).collect(),
+            avg_queue_occupancy_bytes: report
+                .flows
+                .iter()
+                .map(|f| f.avg_queue_occupancy_bytes)
+                .collect(),
+            backoff_times_secs: report
+                .flows
+                .iter()
+                .map(|f| f.backoff_times_secs.clone())
+                .collect(),
+            avg_queuing_delay_ms: report.queue.avg_queuing_delay_secs * 1e3,
+            utilization: report.queue.utilization,
+            dropped_packets: report.queue.dropped_packets,
+            aqm_drops: report.queue.aqm_drops,
+            completion_times_secs: report
+                .flows
+                .iter()
+                .map(|f| f.completion_time_secs)
+                .collect(),
+        }
+    }
+
     /// Mean throughput (Mbps) over flows whose CC name matches.
     pub fn mean_throughput_of(&self, cc_name: &str) -> Option<f64> {
         let v: Vec<f64> = self

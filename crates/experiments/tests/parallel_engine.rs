@@ -1,0 +1,426 @@
+//! The determinism test layer for the parallel scenario engine.
+//!
+//! The engine's contract is that parallelism and caching are *invisible*:
+//! `--jobs 1` and `--jobs 8` produce byte-identical journals and
+//! bit-identical result vectors, every scenario field is part of the
+//! cache key, and a damaged cache entry degrades to re-simulation, never
+//! to a wrong or missing result. These tests pin each clause.
+
+use bbrdom_cca::CcaKind;
+use bbrdom_experiments::engine::{scenario_hash, Engine, EngineConfig};
+use bbrdom_experiments::runner::SweepConfig;
+use bbrdom_experiments::{FaultSpec, FlowSpec, Scenario};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A hermetic engine: no memo, no disk — every run truly simulates.
+fn uncached() -> Engine {
+    Engine::new(EngineConfig {
+        jobs: 1,
+        disk_cache: None,
+        memory_cache: false,
+    })
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bbrdom-engine-{name}-{}", std::process::id()));
+    p
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let p = temp_path(name);
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Short scenarios (fractions of a simulated second) so the property
+/// test stays fast while still exercising multi-flow contention.
+fn short_scenario(mbps: f64, buffer_bdp: f64, n_cubic: u32, n_bbr: u32, seed: u64) -> Scenario {
+    Scenario::versus(
+        mbps,
+        20.0,
+        buffer_bdp,
+        n_cubic,
+        CcaKind::Bbr,
+        n_bbr,
+        0.5,
+        seed,
+    )
+}
+
+/// Decode one random draw into a scenario: `shape` packs the discrete
+/// choices (link rate, buffer depth, flow mix), `lossy` flips seeded
+/// wire loss on — the fault RNG stream must also be independent of
+/// worker scheduling.
+fn decode_scenario(shape: u32, seed: u64, lossy: f64) -> Scenario {
+    let mbps = if shape & 1 == 0 { 10.0 } else { 20.0 };
+    let buf = if shape & 2 == 0 { 0.5 } else { 2.0 };
+    let n_cubic = 1 + ((shape >> 2) & 1);
+    let n_bbr = (shape >> 3) & 1;
+    let s = short_scenario(mbps, buf, n_cubic, n_bbr, seed);
+    if lossy < 0.5 {
+        s
+    } else {
+        s.with_faults(FaultSpec {
+            loss_fwd: 0.02,
+            ..FaultSpec::default()
+        })
+    }
+}
+
+proptest! {
+    // Simulations are costly; a handful of random batches is plenty to
+    // catch a scheduling-dependent result or journal interleaving.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `--jobs 1` and `--jobs 8` must produce bit-identical result
+    /// vectors and byte-identical JSONL journals, faults included.
+    #[test]
+    fn parallelism_is_invisible(
+        draws in prop::collection::vec((0u32..16, 0u64..u64::MAX, 0.0f64..1.0), 2..5),
+        case in 0u32..1_000_000,
+    ) {
+        let scenarios: Vec<Scenario> = draws
+            .iter()
+            .map(|&(shape, seed, lossy)| decode_scenario(shape, seed, lossy))
+            .collect();
+        let serial_journal = temp_path(&format!("det-serial-{case}"));
+        let parallel_journal = temp_path(&format!("det-parallel-{case}"));
+        let _ = std::fs::remove_file(&serial_journal);
+        let _ = std::fs::remove_file(&parallel_journal);
+
+        let serial = uncached().run_sweep(&scenarios, &SweepConfig {
+            jobs: Some(1),
+            journal: Some(serial_journal.clone()),
+            ..SweepConfig::default()
+        });
+        let parallel = uncached().run_sweep(&scenarios, &SweepConfig {
+            jobs: Some(8),
+            journal: Some(parallel_journal.clone()),
+            ..SweepConfig::default()
+        });
+
+        // Byte-identical journals: same lines, same order, same floats.
+        let serial_bytes = std::fs::read(&serial_journal).unwrap();
+        let parallel_bytes = std::fs::read(&parallel_journal).unwrap();
+        prop_assert_eq!(serial_bytes, parallel_bytes);
+
+        // Bit-identical result vectors (JSON text pins every float bit
+        // thanks to shortest-round-trip formatting).
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(
+                s.ok().unwrap().to_json_value().to_json(),
+                p.ok().unwrap().to_json_value().to_json()
+            );
+        }
+        let _ = std::fs::remove_file(&serial_journal);
+        let _ = std::fs::remove_file(&parallel_journal);
+    }
+}
+
+/// A scenario with every field set to something non-default, so each
+/// single-field mutation below is visible if (and only if) the field is
+/// hashed.
+fn rich_scenario() -> Scenario {
+    let mut s = Scenario::versus(25.0, 30.0, 1.5, 2, CcaKind::Bbr, 1, 4.0, 42);
+    s.flows[0].start_s = 0.25;
+    s.flows[1].byte_limit = Some(500_000);
+    s.faults = FaultSpec {
+        loss_fwd: 0.01,
+        loss_ack: 0.005,
+        outages: vec![(1.0, 0.2)],
+        rate_steps: vec![(2.0, 10.0)],
+        delay_spikes: vec![(3.0, 0.5, 40.0)],
+    };
+    s
+}
+
+/// Cache-key completeness: mutating any public field of `Scenario` —
+/// including per-flow and per-fault entries — must change the hash.
+/// A field this test misses is a field the cache would silently alias.
+type Mutation = (&'static str, Box<dyn Fn(&mut Scenario)>);
+
+#[test]
+fn every_scenario_field_changes_the_hash() {
+    let base = scenario_hash(&rich_scenario());
+    let mutations: Vec<Mutation> = vec![
+        ("mbps", Box::new(|s| s.mbps = 26.0)),
+        ("buffer_bdp", Box::new(|s| s.buffer_bdp = 2.5)),
+        ("reference_rtt_ms", Box::new(|s| s.reference_rtt_ms = 35.0)),
+        ("duration_secs", Box::new(|s| s.duration_secs = 5.0)),
+        ("seed", Box::new(|s| s.seed = 43)),
+        (
+            "discipline",
+            Box::new(|s| s.discipline = bbrdom_experiments::DisciplineSpec::Red),
+        ),
+        (
+            "flows: added",
+            Box::new(|s| s.flows.push(FlowSpec::long(CcaKind::Cubic, 30.0))),
+        ),
+        ("flows: removed", Box::new(|s| s.flows.truncate(2))),
+        (
+            "flow cca",
+            Box::new(|s| s.flows[0].cca = CcaKind::NewReno.into()),
+        ),
+        ("flow rtt_ms", Box::new(|s| s.flows[0].rtt_ms = 31.0)),
+        ("flow start_s", Box::new(|s| s.flows[0].start_s = 0.5)),
+        (
+            "flow byte_limit value",
+            Box::new(|s| s.flows[1].byte_limit = Some(600_000)),
+        ),
+        (
+            "flow byte_limit presence",
+            Box::new(|s| s.flows[1].byte_limit = None),
+        ),
+        ("fault loss_fwd", Box::new(|s| s.faults.loss_fwd = 0.02)),
+        ("fault loss_ack", Box::new(|s| s.faults.loss_ack = 0.01)),
+        (
+            "fault outage time",
+            Box::new(|s| s.faults.outages[0].0 = 1.5),
+        ),
+        (
+            "fault outage length",
+            Box::new(|s| s.faults.outages[0].1 = 0.3),
+        ),
+        (
+            "fault outage added",
+            Box::new(|s| s.faults.outages.push((3.5, 0.1))),
+        ),
+        (
+            "fault rate step",
+            Box::new(|s| s.faults.rate_steps[0].1 = 12.0),
+        ),
+        (
+            "fault delay spike",
+            Box::new(|s| s.faults.delay_spikes[0].2 = 50.0),
+        ),
+    ];
+    for (field, mutate) in mutations {
+        let mut s = rich_scenario();
+        mutate(&mut s);
+        assert_ne!(
+            scenario_hash(&s),
+            base,
+            "mutating {field} must change the scenario hash"
+        );
+    }
+    // Sanity: the hash is a pure function of the scenario.
+    assert_eq!(scenario_hash(&rich_scenario()), base);
+}
+
+/// Flow-order matters for results (flow ids, jitter draws), so it must
+/// matter for the hash too.
+#[test]
+fn flow_order_changes_the_hash() {
+    let mut swapped = rich_scenario();
+    swapped.flows.swap(0, 2);
+    assert_ne!(scenario_hash(&swapped), scenario_hash(&rich_scenario()));
+}
+
+fn engine_with_disk(dir: &std::path::Path) -> Engine {
+    Engine::new(EngineConfig {
+        jobs: 1,
+        disk_cache: Some(dir.to_path_buf()),
+        memory_cache: false,
+    })
+}
+
+/// A corrupted, truncated, or wrong-format disk cache entry is a miss —
+/// the engine re-simulates and still returns the right answer.
+#[test]
+fn corrupted_cache_entry_falls_back_to_simulation() {
+    let dir = temp_dir("corrupt-cache");
+    let scenario = short_scenario(10.0, 1.0, 1, 1, 9);
+    let fresh = uncached().run_all(std::slice::from_ref(&scenario));
+
+    // Seed the cache, then verify it actually hits.
+    let writer = engine_with_disk(&dir);
+    writer.run_all(std::slice::from_ref(&scenario));
+    assert_eq!(writer.stats().simulated, 1);
+    let reader = engine_with_disk(&dir);
+    reader.run_all(std::slice::from_ref(&scenario));
+    assert_eq!(reader.stats().disk_hits, 1, "want a warm disk hit");
+
+    let entry = dir.join(format!("{:032x}.json", scenario_hash(&scenario)));
+    for garbage in ["", "{", "not json", "{\"version\":999}", "[1,2,3]"] {
+        std::fs::write(&entry, garbage).unwrap();
+        let engine = engine_with_disk(&dir);
+        let results = engine.run_all(std::slice::from_ref(&scenario));
+        assert_eq!(engine.stats().disk_hits, 0, "corrupt entry must miss");
+        assert_eq!(engine.stats().simulated, 1);
+        assert_eq!(
+            results[0].to_json_value().to_json(),
+            fresh[0].to_json_value().to_json(),
+            "fallback result must be bit-identical to a fresh run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cached success recorded without budgets must not flip a budgeted
+/// rerun: the entry is only admitted when its event count fits.
+#[test]
+fn cache_respects_event_budgets() {
+    let dir = temp_dir("budget-cache");
+    let scenario = short_scenario(10.0, 1.0, 1, 1, 11);
+    let warm = engine_with_disk(&dir);
+    warm.run_all(std::slice::from_ref(&scenario));
+
+    let budgeted = engine_with_disk(&dir);
+    let outcomes = budgeted.run_sweep(
+        std::slice::from_ref(&scenario),
+        &SweepConfig {
+            jobs: Some(1),
+            event_budget: Some(100),
+            ..SweepConfig::default()
+        },
+    );
+    assert_eq!(budgeted.stats().disk_hits, 0, "over-budget entry admitted");
+    let failure = outcomes[0].failure().expect("tiny budget must still trip");
+    assert!(failure.error.contains("event budget"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression (the journal staleness bug this PR fixes): a failure
+/// recorded under one budget must be re-run — not resumed — when the
+/// budget changes. Before hash+budget keying, raising the budget
+/// resurrected the stale failure forever.
+#[test]
+fn journal_failures_rerun_when_budget_changes() {
+    let path = temp_path("budget-rekey");
+    let _ = std::fs::remove_file(&path);
+    let scenario = short_scenario(10.0, 1.0, 1, 0, 5);
+
+    let strangled = uncached().run_sweep(
+        std::slice::from_ref(&scenario),
+        &SweepConfig {
+            jobs: Some(1),
+            event_budget: Some(100),
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        },
+    );
+    assert!(strangled[0].failure().is_some(), "tiny budget must trip");
+
+    // Same journal, generous budget: the journaled failure no longer
+    // matches (different budget) and the trial re-runs to success.
+    let engine = uncached();
+    let recovered = engine.run_sweep(
+        std::slice::from_ref(&scenario),
+        &SweepConfig {
+            jobs: Some(1),
+            event_budget: Some(10_000_000),
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        },
+    );
+    assert!(
+        recovered[0].ok().is_some(),
+        "raised budget must re-run the journaled failure, got {:?}",
+        recovered[0].failure()
+    );
+    assert_eq!(engine.stats().simulated, 1);
+
+    // And an identical rerun resumes the success without simulating.
+    let resumed_engine = uncached();
+    let resumed = resumed_engine.run_sweep(
+        std::slice::from_ref(&scenario),
+        &SweepConfig {
+            jobs: Some(1),
+            event_budget: Some(10_000_000),
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        },
+    );
+    assert!(resumed[0].ok().is_some());
+    assert_eq!(resumed_engine.stats().simulated, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Fail-soft under parallelism: with `jobs = 4` and an event budget that
+/// only the long scenarios exceed, exactly those trials fail, and the
+/// journal holds exactly one line per scenario — none lost to a race,
+/// none duplicated.
+#[test]
+fn concurrent_budget_failures_are_exact() {
+    let short = |seed| short_scenario(10.0, 1.0, 1, 1, seed);
+    let long = |seed| {
+        let mut s = short_scenario(10.0, 1.0, 1, 1, seed);
+        s.duration_secs = 8.0;
+        s
+    };
+    // Budget: double a short run's cost — plenty for 0.5 s, hopeless
+    // for 8 s (event count scales with simulated time).
+    let probe = short(0).try_report_with(None, None).unwrap();
+    let budget = probe.events_processed * 2;
+
+    let scenarios = vec![short(1), long(2), short(3), long(4), short(5), long(6)];
+    let expect_failed = [1usize, 3, 5];
+
+    let path = temp_path("concurrent-budget");
+    let _ = std::fs::remove_file(&path);
+    let outcomes = uncached().run_sweep(
+        &scenarios,
+        &SweepConfig {
+            jobs: Some(4),
+            event_budget: Some(budget),
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        },
+    );
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if expect_failed.contains(&i) {
+            let f = outcome
+                .failure()
+                .unwrap_or_else(|| panic!("scenario {i} should have tripped the event budget"));
+            assert_eq!(f.index, i);
+            assert!(f.error.contains("event budget"), "index {i}: {}", f.error);
+        } else {
+            assert!(outcome.ok().is_some(), "scenario {i} should have passed");
+        }
+    }
+
+    // Exactly one journal line per scenario, indices 0..n in order.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let indices: Vec<u64> = text
+        .lines()
+        .map(|l| {
+            bbrdom_netsim::json::parse(l)
+                .unwrap()
+                .get("index")
+                .and_then(bbrdom_netsim::json::Value::as_u64)
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(indices, (0..scenarios.len() as u64).collect::<Vec<_>>());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Intra-batch dedup: a payoff matrix evaluates identical cells; the
+/// engine must simulate each distinct scenario once and fan the result
+/// out bit-identically.
+#[test]
+fn identical_scenarios_simulate_once() {
+    let s = short_scenario(10.0, 1.0, 1, 1, 21);
+    let batch = vec![
+        s.clone(),
+        s.clone(),
+        s.clone(),
+        short_scenario(10.0, 1.0, 1, 1, 22),
+    ];
+    let engine = uncached();
+    let results = engine.run_all_jobs(&batch, 4);
+    assert_eq!(engine.stats().simulated, 2);
+    assert_eq!(engine.stats().deduped, 2);
+    assert_eq!(
+        results[0].to_json_value().to_json(),
+        results[2].to_json_value().to_json()
+    );
+    assert_ne!(
+        results[0].to_json_value().to_json(),
+        results[3].to_json_value().to_json()
+    );
+}

@@ -1,0 +1,405 @@
+//! Stable, process-independent hashing for simulation configurations.
+//!
+//! The scenario result cache (`bbrdom-experiments`) and the sweep
+//! journal key cached/resumable results by the *content* of a run's
+//! configuration. `std::hash` is unsuitable for that: `Hasher` output
+//! is only guaranteed stable within one process and one std version.
+//! This module provides a fixed algorithm — FNV-1a with a 128-bit state
+//! — whose output is pinned by golden tests, so an on-disk cache entry
+//! written today is still addressable by a build from next year.
+//!
+//! Composite values hash their fields in declared order; enums hash a
+//! discriminant byte before their payload; sequences and strings are
+//! length-prefixed. `f64` hashes its raw bit pattern, so two configs
+//! hash alike exactly when their floats are bit-identical — the same
+//! criterion the simulator's determinism guarantee uses.
+
+use crate::aqm::{CodelConfig, QueueDiscipline, RedConfig};
+use crate::fault::FaultSchedule;
+use crate::sim::SimConfig;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit FNV-1a hasher with process-independent output.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    pub fn new() -> Self {
+        StableHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The 128-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest as a fixed-width lowercase hex string (32 chars) —
+    /// the format cache filenames and journal keys use.
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+/// Values that contribute to a stable configuration digest.
+pub trait StableHash {
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+macro_rules! int_stable_hash {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_bytes(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+int_stable_hash!(u8, u16, u32, u64, u128, i8, i16, i32, i64);
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bytes(&[*self as u8]);
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bytes(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (self.len() as u64).stable_hash(h);
+        h.write_bytes(self.as_bytes());
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_str().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_bytes(&[0]),
+            Some(v) => {
+                h.write_bytes(&[1]);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (self.len() as u64).stable_hash(h);
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash> StableHash for (A, B, C) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+        self.2.stable_hash(h);
+    }
+}
+
+impl StableHash for SimTime {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+    }
+}
+
+impl StableHash for SimDuration {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+    }
+}
+
+impl StableHash for Rate {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.bytes_per_sec().stable_hash(h);
+    }
+}
+
+impl StableHash for std::time::Duration {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_nanos().stable_hash(h);
+    }
+}
+
+impl StableHash for RedConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.min_thresh_bytes.stable_hash(h);
+        self.max_thresh_bytes.stable_hash(h);
+        self.max_p.stable_hash(h);
+        self.weight.stable_hash(h);
+    }
+}
+
+impl StableHash for CodelConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.target.stable_hash(h);
+        self.interval.stable_hash(h);
+    }
+}
+
+impl StableHash for QueueDiscipline {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            QueueDiscipline::DropTail => h.write_bytes(&[0]),
+            QueueDiscipline::Red(cfg) => {
+                h.write_bytes(&[1]);
+                cfg.stable_hash(h);
+            }
+            QueueDiscipline::Codel(cfg) => {
+                h.write_bytes(&[2]);
+                cfg.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for FaultSchedule {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.loss_fwd.stable_hash(h);
+        self.loss_ack.stable_hash(h);
+        self.seed.stable_hash(h);
+        self.outages.stable_hash(h);
+        self.rate_changes.stable_hash(h);
+        self.delay_spikes.stable_hash(h);
+    }
+}
+
+impl StableHash for SimConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.rate.stable_hash(h);
+        self.buffer_bytes.stable_hash(h);
+        self.duration.stable_hash(h);
+        self.measure_start.stable_hash(h);
+        self.mss.stable_hash(h);
+        self.sample_interval.stable_hash(h);
+        self.discipline.stable_hash(h);
+        self.ack_jitter.stable_hash(h);
+        self.seed.stable_hash(h);
+        self.faults.stable_hash(h);
+        self.audit.stable_hash(h);
+        self.max_events.stable_hash(h);
+        self.max_wall_clock.stable_hash(h);
+    }
+}
+
+/// Digest a single value with a fresh hasher.
+pub fn stable_digest<T: StableHash + ?Sized>(value: &T) -> u128 {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FNV-1a 128 test vectors (empty input = offset basis; "a" is the
+    /// classic reference vector). Pins the algorithm across versions.
+    #[test]
+    fn fnv128_reference_vectors() {
+        assert_eq!(StableHasher::new().finish(), FNV128_OFFSET);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    fn base_config() -> SimConfig {
+        SimConfig::new(
+            Rate::from_mbps(10.0),
+            64_000,
+            SimDuration::from_secs_f64(5.0),
+        )
+    }
+
+    /// Every public `SimConfig` field must feed the digest: a config
+    /// differing in any one field must hash differently, or the result
+    /// cache could alias two distinct simulations.
+    #[test]
+    fn every_sim_config_field_changes_the_hash() {
+        let base = stable_digest(&base_config());
+        let mutations: Vec<(&str, SimConfig)> = vec![
+            ("rate", {
+                let mut c = base_config();
+                c.rate = Rate::from_mbps(11.0);
+                c
+            }),
+            ("buffer_bytes", {
+                let mut c = base_config();
+                c.buffer_bytes += 1;
+                c
+            }),
+            ("duration", {
+                let mut c = base_config();
+                c.duration = SimDuration::from_secs_f64(6.0);
+                c
+            }),
+            ("measure_start", {
+                let mut c = base_config();
+                c.measure_start = SimTime::from_secs_f64(1.0);
+                c
+            }),
+            ("mss", {
+                let mut c = base_config();
+                c.mss += 8;
+                c
+            }),
+            ("sample_interval", {
+                let mut c = base_config();
+                c.sample_interval = Some(SimDuration::from_millis(100));
+                c
+            }),
+            ("discipline", {
+                let mut c = base_config();
+                c.discipline = QueueDiscipline::Codel(CodelConfig::default());
+                c
+            }),
+            ("ack_jitter", {
+                let mut c = base_config();
+                c.ack_jitter = SimDuration::from_micros(100);
+                c
+            }),
+            ("seed", {
+                let mut c = base_config();
+                c.seed = 7;
+                c
+            }),
+            ("faults", {
+                let mut c = base_config();
+                c.faults = FaultSchedule::none().with_loss(0.01);
+                c
+            }),
+            ("audit", {
+                let mut c = base_config();
+                c.audit = true;
+                c
+            }),
+            ("max_events", {
+                let mut c = base_config();
+                c.max_events = Some(1_000_000);
+                c
+            }),
+            ("max_wall_clock", {
+                let mut c = base_config();
+                c.max_wall_clock = Some(std::time::Duration::from_secs(60));
+                c
+            }),
+        ];
+        for (field, mutated) in mutations {
+            assert_ne!(
+                stable_digest(&mutated),
+                base,
+                "mutating SimConfig::{field} did not change the stable hash"
+            );
+        }
+    }
+
+    /// Every `FaultSchedule` field feeds the digest too (the schedule is
+    /// a nested struct of `SimConfig`, so aliasing here would also alias
+    /// whole configs).
+    #[test]
+    fn every_fault_schedule_field_changes_the_hash() {
+        let base = stable_digest(&FaultSchedule::none());
+        let muts: Vec<(&str, FaultSchedule)> = vec![
+            ("loss_fwd", FaultSchedule::none().with_loss(0.01)),
+            ("loss_ack", FaultSchedule::none().with_ack_loss(0.01)),
+            ("seed", FaultSchedule::none().with_seed(3)),
+            (
+                "outages",
+                FaultSchedule::none()
+                    .with_outage(SimTime::from_secs_f64(1.0), SimDuration::from_millis(100)),
+            ),
+            (
+                "rate_changes",
+                FaultSchedule::none()
+                    .with_rate_step(SimTime::from_secs_f64(1.0), Rate::from_mbps(5.0)),
+            ),
+            (
+                "delay_spikes",
+                FaultSchedule::none().with_delay_spike(
+                    SimTime::from_secs_f64(1.0),
+                    SimDuration::from_millis(100),
+                    SimDuration::from_millis(10),
+                ),
+            ),
+        ];
+        for (field, mutated) in muts {
+            assert_ne!(
+                stable_digest(&mutated),
+                base,
+                "mutating FaultSchedule::{field} did not change the stable hash"
+            );
+        }
+    }
+
+    /// Sequences are length-prefixed: `["ab"]` and `["a", "b"]` (and
+    /// nested splits generally) must not collide.
+    #[test]
+    fn length_prefixing_separates_sequence_splits() {
+        let one: Vec<String> = vec!["ab".into()];
+        let two: Vec<String> = vec!["a".into(), "b".into()];
+        assert_ne!(stable_digest(&one), stable_digest(&two));
+        assert_ne!(stable_digest(&Some(0u64)), stable_digest(&None::<u64>));
+    }
+
+    /// The digest of a fixed config is pinned — if this test ever fails,
+    /// the on-disk cache format version must be bumped (see
+    /// `bbrdom-experiments::engine`).
+    #[test]
+    fn golden_config_digest_is_stable() {
+        let digest = stable_digest(&base_config());
+        assert_eq!(
+            format!("{digest:032x}"),
+            "43bc15c273a02e3455f28c347ec1f4b6",
+            "stable hash of the golden SimConfig changed — bump the cache \
+             format version before shipping this"
+        );
+    }
+}

@@ -207,6 +207,77 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
     }
 }
 
+/// Serialize a slice of floats as a JSON array.
+pub fn f64_array(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::F64(x)).collect())
+}
+
+/// Serialize a slice of unsigned integers as a JSON array.
+pub fn u64_array(xs: &[u64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::U64(x)).collect())
+}
+
+/// Serialize an optional float (`None` → `null`).
+pub fn opt_f64(x: Option<f64>) -> Value {
+    match x {
+        Some(v) => Value::F64(v),
+        None => Value::Null,
+    }
+}
+
+/// Required object member, with a useful error.
+pub fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing '{key}'"))
+}
+
+/// Required numeric member.
+pub fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("non-numeric '{key}'"))
+}
+
+/// Required unsigned-integer member.
+pub fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("non-integer '{key}'"))
+}
+
+/// Required array-of-floats member.
+pub fn req_f64s(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("'{key}' must be an array"))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric '{key}'")))
+        .collect()
+}
+
+/// Required array-of-unsigned-integers member.
+pub fn req_u64s(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("'{key}' must be an array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("non-integer '{key}'")))
+        .collect()
+}
+
+/// Optional numeric member: absent or `null` parses as `None` (the
+/// writer side emits `null` for NaN/Inf too, so this is also the
+/// tolerant reader for float fields).
+pub fn opt_f64_member(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("non-numeric '{key}'")),
+    }
+}
+
 /// A parse failure: byte offset plus message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {

@@ -39,6 +39,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod flow;
+pub mod hash;
 pub mod json;
 pub mod packet;
 pub mod queue;
@@ -52,6 +53,7 @@ pub use aqm::{CodelConfig, QueueDiscipline, RedConfig};
 pub use cc::{AckSample, CongestionControl, FlowView};
 pub use error::{AuditViolation, ConfigError, SimError};
 pub use fault::{FaultAction, FaultSchedule};
+pub use hash::{stable_digest, StableHash, StableHasher};
 pub use packet::FlowId;
 pub use sim::{FlowConfig, SimConfig, SimReport, Simulator};
 pub use stats::{FlowReport, QueueReport};

@@ -238,6 +238,47 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Serialize the full report (inverse of
+    /// [`SimReport::from_json_value`]). Floats round-trip bit-exactly,
+    /// so a cached report reproduces a live run's numbers verbatim —
+    /// the property the scenario result cache in `bbrdom-experiments`
+    /// depends on.
+    pub fn to_json_value(&self) -> crate::json::Value {
+        use crate::json::Value;
+        let mut v = Value::object();
+        v.set(
+            "flows",
+            Value::Array(self.flows.iter().map(|f| f.to_json_value()).collect()),
+        )
+        .set("queue", self.queue.to_json_value())
+        .set("duration_secs", self.duration_secs.into())
+        .set("events_processed", Value::U64(self.events_processed));
+        if !self.trace.is_empty() {
+            v.set("trace", self.trace.to_json_value());
+        }
+        v
+    }
+
+    /// Parse a report serialized with [`SimReport::to_json_value`].
+    pub fn from_json_value(v: &crate::json::Value) -> Result<Self, String> {
+        use crate::json;
+        Ok(SimReport {
+            flows: json::req(v, "flows")?
+                .as_array()
+                .ok_or("'flows' must be an array")?
+                .iter()
+                .map(crate::stats::FlowReport::from_json_value)
+                .collect::<Result<_, _>>()?,
+            queue: crate::stats::QueueReport::from_json_value(json::req(v, "queue")?)?,
+            duration_secs: json::req_f64(v, "duration_secs")?,
+            events_processed: json::req_u64(v, "events_processed")?,
+            trace: match v.get("trace") {
+                None => Trace::default(),
+                Some(t) => Trace::from_json_value(t)?,
+            },
+        })
+    }
+
     /// Sum of per-flow throughputs (bytes/sec).
     pub fn total_throughput_bytes_per_sec(&self) -> f64 {
         self.flows.iter().map(|f| f.throughput_bytes_per_sec).sum()

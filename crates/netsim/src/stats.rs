@@ -5,6 +5,7 @@
 //! model), loss/back-off timing (for CUBIC synchronization analysis), and
 //! link utilization.
 
+use crate::json::{self, Value};
 use crate::packet::FlowId;
 use crate::time::SimTime;
 
@@ -110,6 +111,135 @@ pub struct QueueReport {
     pub utilization: f64,
     /// (time s, flow) for every tail drop.
     pub drops: Vec<(f64, FlowId)>,
+}
+
+impl FlowReport {
+    /// Serialize for the on-disk scenario result cache (inverse of
+    /// [`FlowReport::from_json_value`]). Floats round-trip bit-exactly.
+    pub fn to_json_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("flow", Value::U64(self.flow.0 as u64))
+            .set("cc_name", self.cc_name.as_str().into())
+            .set(
+                "throughput_bytes_per_sec",
+                self.throughput_bytes_per_sec.into(),
+            )
+            .set("goodput_bytes", Value::U64(self.goodput_bytes))
+            .set("sent_bytes", Value::U64(self.sent_bytes))
+            .set("retransmits", Value::U64(self.retransmits))
+            .set("lost_packets", Value::U64(self.lost_packets))
+            .set("congestion_events", Value::U64(self.congestion_events))
+            .set("rtos", Value::U64(self.rtos))
+            .set("wire_lost_fwd", Value::U64(self.wire_lost_fwd))
+            .set("wire_lost_ack", Value::U64(self.wire_lost_ack))
+            .set(
+                "avg_queue_occupancy_bytes",
+                self.avg_queue_occupancy_bytes.into(),
+            )
+            .set("min_rtt_secs", json::opt_f64(self.min_rtt_secs))
+            .set("mean_rtt_secs", json::opt_f64(self.mean_rtt_secs))
+            .set("avg_cwnd_bytes", self.avg_cwnd_bytes.into())
+            .set("max_cwnd_bytes", Value::U64(self.max_cwnd_bytes))
+            .set(
+                "completion_time_secs",
+                json::opt_f64(self.completion_time_secs),
+            )
+            .set(
+                "backoff_times_secs",
+                json::f64_array(&self.backoff_times_secs),
+            );
+        v
+    }
+
+    /// Parse a report serialized with [`FlowReport::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(FlowReport {
+            flow: FlowId(u32::try_from(json::req_u64(v, "flow")?).map_err(|_| "flow id overflow")?),
+            cc_name: json::req(v, "cc_name")?
+                .as_str()
+                .ok_or("non-string 'cc_name'")?
+                .to_string(),
+            throughput_bytes_per_sec: json::req_f64(v, "throughput_bytes_per_sec")?,
+            goodput_bytes: json::req_u64(v, "goodput_bytes")?,
+            sent_bytes: json::req_u64(v, "sent_bytes")?,
+            retransmits: json::req_u64(v, "retransmits")?,
+            lost_packets: json::req_u64(v, "lost_packets")?,
+            congestion_events: json::req_u64(v, "congestion_events")?,
+            rtos: json::req_u64(v, "rtos")?,
+            wire_lost_fwd: json::req_u64(v, "wire_lost_fwd")?,
+            wire_lost_ack: json::req_u64(v, "wire_lost_ack")?,
+            avg_queue_occupancy_bytes: json::req_f64(v, "avg_queue_occupancy_bytes")?,
+            min_rtt_secs: json::opt_f64_member(v, "min_rtt_secs")?,
+            mean_rtt_secs: json::opt_f64_member(v, "mean_rtt_secs")?,
+            avg_cwnd_bytes: json::req_f64(v, "avg_cwnd_bytes")?,
+            max_cwnd_bytes: json::req_u64(v, "max_cwnd_bytes")?,
+            completion_time_secs: json::opt_f64_member(v, "completion_time_secs")?,
+            backoff_times_secs: json::req_f64s(v, "backoff_times_secs")?,
+        })
+    }
+}
+
+impl QueueReport {
+    /// Serialize for the on-disk scenario result cache (inverse of
+    /// [`QueueReport::from_json_value`]).
+    pub fn to_json_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("avg_occupancy_bytes", self.avg_occupancy_bytes.into())
+            .set("avg_queuing_delay_secs", self.avg_queuing_delay_secs.into())
+            .set(
+                "peak_occupancy_bytes",
+                Value::U64(self.peak_occupancy_bytes),
+            )
+            .set("capacity_bytes", Value::U64(self.capacity_bytes))
+            .set("dropped_packets", Value::U64(self.dropped_packets))
+            .set("aqm_drops", Value::U64(self.aqm_drops))
+            .set("enqueued_packets", Value::U64(self.enqueued_packets))
+            .set("utilization", self.utilization.into())
+            .set(
+                "drops",
+                Value::Array(
+                    self.drops
+                        .iter()
+                        .map(|&(t, flow)| {
+                            Value::Array(vec![Value::F64(t), Value::U64(flow.0 as u64)])
+                        })
+                        .collect(),
+                ),
+            );
+        v
+    }
+
+    /// Parse a report serialized with [`QueueReport::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        let drops = json::req(v, "drops")?
+            .as_array()
+            .ok_or("'drops' must be an array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("each drop must be a [time, flow] pair")?;
+                let t = pair[0].as_f64().ok_or("non-numeric drop time")?;
+                let id = pair[1].as_u64().ok_or("non-integer drop flow")?;
+                Ok((
+                    t,
+                    FlowId(u32::try_from(id).map_err(|_| "drop flow id overflow")?),
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(QueueReport {
+            avg_occupancy_bytes: json::req_f64(v, "avg_occupancy_bytes")?,
+            avg_queuing_delay_secs: json::req_f64(v, "avg_queuing_delay_secs")?,
+            peak_occupancy_bytes: json::req_u64(v, "peak_occupancy_bytes")?,
+            capacity_bytes: json::req_u64(v, "capacity_bytes")?,
+            dropped_packets: json::req_u64(v, "dropped_packets")?,
+            aqm_drops: json::req_u64(v, "aqm_drops")?,
+            enqueued_packets: json::req_u64(v, "enqueued_packets")?,
+            utilization: json::req_f64(v, "utilization")?,
+            drops,
+        })
+    }
 }
 
 #[cfg(test)]

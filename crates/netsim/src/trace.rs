@@ -8,6 +8,7 @@
 //! evidence here: per-interval throughput, cwnd sawtooths, and queue
 //! dynamics, cheap enough to keep on for every experiment.
 
+use crate::json::{self, Value};
 use crate::time::SimTime;
 
 /// One periodic sample of global and per-flow state.
@@ -92,6 +93,50 @@ impl Trace {
             .filter(|s| s.inflight_bytes[flow] + mss >= s.cwnd_bytes[flow])
             .count();
         Some(limited as f64 / self.samples.len() as f64)
+    }
+}
+
+impl Sample {
+    /// Serialize for the on-disk scenario result cache (inverse of
+    /// [`Sample::from_json_value`]).
+    pub fn to_json_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("time_ns", Value::U64(self.time.as_nanos()))
+            .set("queue_bytes", Value::U64(self.queue_bytes))
+            .set("cwnd_bytes", json::u64_array(&self.cwnd_bytes))
+            .set("inflight_bytes", json::u64_array(&self.inflight_bytes))
+            .set("delivered_bytes", json::u64_array(&self.delivered_bytes));
+        v
+    }
+
+    /// Parse a sample serialized with [`Sample::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(Sample {
+            time: SimTime(json::req_u64(v, "time_ns")?),
+            queue_bytes: json::req_u64(v, "queue_bytes")?,
+            cwnd_bytes: json::req_u64s(v, "cwnd_bytes")?,
+            inflight_bytes: json::req_u64s(v, "inflight_bytes")?,
+            delivered_bytes: json::req_u64s(v, "delivered_bytes")?,
+        })
+    }
+}
+
+impl Trace {
+    /// Serialize the whole trace as a JSON array of samples.
+    pub fn to_json_value(&self) -> Value {
+        Value::Array(self.samples.iter().map(Sample::to_json_value).collect())
+    }
+
+    /// Parse a trace serialized with [`Trace::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(Trace {
+            samples: v
+                .as_array()
+                .ok_or("trace must be an array")?
+                .iter()
+                .map(Sample::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
