@@ -43,6 +43,35 @@ cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
     --jobs 2 --cache-dir "$ne_out/cache" --out "$ne_out/warm"
 diff -r "$ne_out/serial" "$ne_out/warm"
 
+# Adaptive NE smoke: the model-guided search with early termination must
+# land every observed NE within one grid step of the dense grid's, per
+# row of every fig 9 panel (an empty adaptive set against a non-empty
+# dense set also fails).
+echo "==> adaptive NE smoke (repro 9 --adaptive --early-stop vs dense)"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 1 --no-cache --adaptive --early-stop --out "$ne_out/adaptive"
+for f in "$ne_out/serial"/fig09_*.csv; do
+    base="$(basename "$f")"
+    paste -d, "$f" "$ne_out/adaptive/$base" | awk -F, 'NR > 1 {
+        nd = split($4, dense, ";"); na = split($8, adaptive, ";");
+        if ((na == 0) != (nd == 0)) {
+            print "row " NR ": NE sets disagree (dense \"" $4 "\" vs adaptive \"" $8 "\")"
+            exit 1
+        }
+        for (i = 1; i <= na; i++) {
+            best = 1e9
+            for (j = 1; j <= nd; j++) {
+                d = adaptive[i] - dense[j]; if (d < 0) d = -d
+                if (d < best) best = d
+            }
+            if (best > 1) {
+                print "row " NR ": adaptive NE " adaptive[i] " not within 1 of dense (" $4 ")"
+                exit 1
+            }
+        }
+    }' || { echo "adaptive-vs-dense NE mismatch in $base"; exit 1; }
+done
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
     # regressions and keep BENCH_netsim.json generation exercised. Not a
@@ -57,6 +86,13 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # bit-identity internally.
     echo "==> payoff engine smoke (payoff_perf)"
     cargo bench -p bbrdom-bench --bench payoff_perf
+
+    # Sweep-scale smoke: adaptive + early-stop must simulate >= 3x fewer
+    # events than the dense grid and land within one NE grid step on the
+    # pinned case (asserted inside the bench; BENCH_sweep.json records
+    # the numbers).
+    echo "==> sweep perf smoke (sweep_perf)"
+    cargo bench -p bbrdom-bench --bench sweep_perf
 fi
 
 echo "==> CI OK"

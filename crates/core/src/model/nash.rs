@@ -182,6 +182,28 @@ impl NashPredictor {
         ))
     }
 
+    /// Inclusive integer bracket `[lo, hi]` (in BBR-flow counts) that
+    /// covers every integer NE candidate Eq. (25) admits under either
+    /// synchronization bound — the seed bracket a model-guided empirical
+    /// NE search refines with simulations.
+    pub fn ne_band(&self) -> Result<(u32, u32), ModelError> {
+        let (sync, desync) = self.predict_region()?;
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for p in [sync, desync] {
+            for n_cubic in p.integer_candidates(self.n_total) {
+                let k = self.n_total - n_cubic;
+                lo = lo.min(k);
+                hi = hi.max(k);
+            }
+        }
+        if lo > hi {
+            // Both predictions carried non-finite crossings.
+            return Err(ModelError::NoSolution);
+        }
+        Ok((lo, hi))
+    }
+
     /// The full per-distribution curve (Fig. 6): BBR per-flow bandwidth
     /// for every integer `N_b ∈ [1, N]`, plus the fair-share line.
     pub fn distribution_curve(&self, mode: SyncMode) -> Result<Vec<(u32, f64)>, ModelError> {
@@ -379,6 +401,23 @@ mod tests {
                 ne.integer_candidates(50).is_empty(),
                 "n_cubic={bad} must yield no candidates"
             );
+        }
+    }
+
+    #[test]
+    fn ne_band_brackets_both_bounds_crossings() {
+        for bdp in [2.0, 5.0, 10.0, 25.0] {
+            let p = predictor(bdp, 50);
+            let (lo, hi) = p.ne_band().unwrap();
+            assert!(lo <= hi && hi <= 50, "bdp={bdp}: band ({lo}, {hi})");
+            let (sync, desync) = p.predict_region().unwrap();
+            for ne in [sync, desync] {
+                let k_bbr = 50.0 - ne.n_cubic;
+                assert!(
+                    lo as f64 <= k_bbr + 1.0 + 1e-9 && k_bbr - 1.0 - 1e-9 <= hi as f64,
+                    "bdp={bdp}: crossing k_bbr={k_bbr} outside band ({lo}, {hi})"
+                );
+            }
         }
     }
 

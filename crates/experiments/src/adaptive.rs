@@ -1,0 +1,435 @@
+//! Model-guided adaptive Nash-equilibrium search.
+//!
+//! The dense §4.4 search simulates every distribution `k = 0..=n` of a
+//! payoff grid — `(n + 1) × trials` full simulations per network
+//! setting — even though the analytical model (Eq. (25)) already
+//! brackets where the equilibrium must lie. This module uses the
+//! model's crossing as a *seed bracket* and simulates only the
+//! distributions needed to certify equilibria inside it:
+//!
+//! 1. query [`NashPredictor::ne_band`] for the integer bracket covering
+//!    both synchronization bounds, widen it by a guard band of
+//!    [`GUARD`] cells, and simulate the bracket plus one neighbour on
+//!    each side (certifying state `k` needs payoffs at `k − 1`, `k`,
+//!    and `k + 1`);
+//! 2. certify each in-bracket state with exactly the dense search's NE
+//!    test (no flow gains more than ε by switching);
+//! 3. if an equilibrium sits on the bracket edge, widen and re-check,
+//!    so a contiguous equilibrium run is never truncated;
+//! 4. if *no* equilibrium is certified inside the guarded bracket — the
+//!    model and the simulation disagree beyond the guard band — fall
+//!    back to the dense grid, so the adaptive path can narrow the
+//!    search but never change its answer class.
+//!
+//! Every simulated cell is built by
+//! [`crate::payoff::distribution_scenario`] — the same scenario (same
+//! seed, same content hash) the dense grid would run — so the engine's
+//! cache makes widening rounds and adaptive-vs-dense comparisons
+//! cheap, and the adaptive answer is drawn from the same sample space
+//! as the dense one.
+
+use crate::engine::Engine;
+use crate::payoff::{default_epsilon_mbps, measure_payoffs_at_on, PayoffCurves};
+use crate::profile::Profile;
+use crate::scenario::{DisciplineSpec, FaultSpec};
+use bbrdom_cca::CcaKind;
+use bbrdom_core::model::nash::NashPredictor;
+
+/// Extra cells simulated on each side of the model's integer bracket.
+/// Within the guard band, model error is absorbed silently; beyond it,
+/// the search falls back to the dense grid.
+pub const GUARD: u32 = 1;
+
+/// The result of one adaptive NE search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveNe {
+    /// Observed NE states as CUBIC-flow counts (union across trials,
+    /// sorted, deduplicated) — the same quantity
+    /// [`crate::payoff::PayoffMeasurement::observed_ne_cubic_counts`]
+    /// reports for the dense grid.
+    pub ne_cubic: Vec<u32>,
+    /// Distinct distributions (BBR-flow counts `k`) that were simulated.
+    pub evaluated: Vec<u32>,
+    /// The model's seed bracket in BBR-flow counts, when it solved.
+    pub model_band: Option<(u32, u32)>,
+    /// True when the search widened to the full grid — either the model
+    /// could not bracket the crossing, or nothing inside the guarded
+    /// bracket certified as an equilibrium.
+    pub dense_fallback: bool,
+}
+
+/// Is state `k` an NE of this trial's (possibly partial) curves?
+/// Mirrors `SymmetricGame::is_nash`, reading only the cells the search
+/// simulated; a `NaN` read means the caller's bracket bookkeeping is
+/// wrong, and the `debug_assert` makes that loud.
+fn is_nash_partial(t: &PayoffCurves, k: u32, n: u32, eps: f64) -> bool {
+    if k < n {
+        let stay = t.cubic_per_flow[k as usize];
+        let switch = t.x_per_flow[(k + 1) as usize];
+        debug_assert!(
+            stay.is_finite() && switch.is_finite(),
+            "certifying k={k} reads an unevaluated cell"
+        );
+        if switch > stay + eps {
+            return false;
+        }
+    }
+    if k > 0 {
+        let stay = t.x_per_flow[k as usize];
+        let switch = t.cubic_per_flow[(k - 1) as usize];
+        debug_assert!(
+            stay.is_finite() && switch.is_finite(),
+            "certifying k={k} reads an unevaluated cell"
+        );
+        if switch > stay + eps {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`find_ne_adaptive_on`] on the process-wide engine.
+#[allow(clippy::too_many_arguments)]
+pub fn find_ne_adaptive(
+    mbps: f64,
+    rtt_ms: f64,
+    buffer_bdp: f64,
+    n: u32,
+    challenger: CcaKind,
+    profile: &Profile,
+    base_seed: u64,
+    discipline: DisciplineSpec,
+    faults: &FaultSpec,
+) -> AdaptiveNe {
+    find_ne_adaptive_on(
+        Engine::global(),
+        mbps,
+        rtt_ms,
+        buffer_bdp,
+        n,
+        challenger,
+        profile,
+        base_seed,
+        discipline,
+        faults,
+    )
+}
+
+/// Model-guided adaptive NE search on an explicit engine (benches and
+/// tests use private engines so their event counters are isolated).
+#[allow(clippy::too_many_arguments)]
+pub fn find_ne_adaptive_on(
+    engine: &Engine,
+    mbps: f64,
+    rtt_ms: f64,
+    buffer_bdp: f64,
+    n: u32,
+    challenger: CcaKind,
+    profile: &Profile,
+    base_seed: u64,
+    discipline: DisciplineSpec,
+    faults: &FaultSpec,
+) -> AdaptiveNe {
+    let eps = default_epsilon_mbps(mbps, n);
+    let model_band = NashPredictor::from_paper_units(mbps, rtt_ms, buffer_bdp, n)
+        .ne_band()
+        .ok();
+    let (mut lo, mut hi, mut dense_fallback) = match model_band {
+        Some((l, h)) => (l.saturating_sub(GUARD), (h + GUARD).min(n), false),
+        // The model can't bracket this setting: dense from the start.
+        None => (0, n, true),
+    };
+    let mut evaluated: Vec<u32> = Vec::new();
+    loop {
+        // Certifying [lo, hi] needs payoffs on [lo − 1, hi + 1]. The
+        // engine memoizes by content hash, so widening rounds only
+        // simulate the newly uncovered cells.
+        let ks: Vec<u32> = (lo.saturating_sub(1)..=(hi + 1).min(n)).collect();
+        let m = measure_payoffs_at_on(
+            engine, mbps, rtt_ms, buffer_bdp, n, &ks, challenger, profile, base_seed, discipline,
+            faults,
+        );
+        for &k in &ks {
+            if !evaluated.contains(&k) {
+                evaluated.push(k);
+            }
+        }
+
+        let mut ne_k: Vec<u32> = m
+            .trials
+            .iter()
+            .flat_map(|t| (lo..=hi).filter(|&k| is_nash_partial(t, k, n, eps)))
+            .collect();
+        ne_k.sort_unstable();
+        ne_k.dedup();
+
+        if !ne_k.is_empty() {
+            // An equilibrium on the bracket edge may continue beyond it;
+            // widen until the certified set is interior (or the grid
+            // ends), so a contiguous NE run is reported whole.
+            let grow_lo = ne_k.contains(&lo) && lo > 0;
+            let grow_hi = ne_k.contains(&hi) && hi < n;
+            if grow_lo || grow_hi {
+                lo = lo.saturating_sub(if grow_lo { 1 } else { 0 });
+                hi = (hi + if grow_hi { 1 } else { 0 }).min(n);
+                continue;
+            }
+            evaluated.sort_unstable();
+            return AdaptiveNe {
+                ne_cubic: ne_k.iter().rev().map(|&k| n - k).collect(),
+                evaluated,
+                model_band,
+                dense_fallback,
+            };
+        }
+        if lo == 0 && hi == n {
+            // The full grid certified nothing — the dense search would
+            // report the same empty set.
+            evaluated.sort_unstable();
+            return AdaptiveNe {
+                ne_cubic: Vec::new(),
+                evaluated,
+                model_band,
+                dense_fallback,
+            };
+        }
+        // Nothing certified inside the guarded bracket: model and
+        // simulation disagree beyond the guard band. Dense fallback.
+        (lo, hi, dense_fallback) = (0, n, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::payoff::{measure_payoffs, measure_payoffs_with};
+
+    fn memo_engine() -> Engine {
+        Engine::new(EngineConfig {
+            jobs: 1,
+            disk_cache: None,
+            memory_cache: true,
+        })
+    }
+
+    /// The satellite tolerance test: on a small pinned case the adaptive
+    /// search must land within one grid step of the dense-grid NE.
+    #[test]
+    fn adaptive_ne_is_within_one_grid_step_of_dense() {
+        let profile = Profile::smoke();
+        let (mbps, rtt_ms, buffer_bdp, n, seed) = (20.0, 20.0, 2.0, 6u32, 0xada7);
+        let dense = measure_payoffs(mbps, rtt_ms, buffer_bdp, n, CcaKind::Bbr, &profile, seed)
+            .observed_ne_cubic_counts(default_epsilon_mbps(mbps, n));
+        let adaptive = find_ne_adaptive_on(
+            &memo_engine(),
+            mbps,
+            rtt_ms,
+            buffer_bdp,
+            n,
+            CcaKind::Bbr,
+            &profile,
+            seed,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        assert!(
+            !adaptive.ne_cubic.is_empty(),
+            "adaptive search must certify an equilibrium (dense found {dense:?})"
+        );
+        for &a in &adaptive.ne_cubic {
+            let nearest = dense
+                .iter()
+                .map(|&d| a.abs_diff(d))
+                .min()
+                .expect("dense search found no NE to compare against");
+            assert!(
+                nearest <= 1,
+                "adaptive NE {a} is {nearest} steps from the dense set {dense:?}"
+            );
+        }
+    }
+
+    /// Interior equilibria (certified without touching a grid edge) are
+    /// exactly the dense equilibria: both run the same per-cell
+    /// scenarios and the same NE test.
+    #[test]
+    fn interior_adaptive_ne_matches_dense_exactly() {
+        let profile = Profile::smoke();
+        let (mbps, rtt_ms, buffer_bdp, n, seed) = (20.0, 20.0, 2.0, 6u32, 0xada7);
+        let adaptive = find_ne_adaptive_on(
+            &memo_engine(),
+            mbps,
+            rtt_ms,
+            buffer_bdp,
+            n,
+            CcaKind::Bbr,
+            &profile,
+            seed,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        let dense = measure_payoffs(mbps, rtt_ms, buffer_bdp, n, CcaKind::Bbr, &profile, seed)
+            .observed_ne_cubic_counts(default_epsilon_mbps(mbps, n));
+        if !adaptive.dense_fallback {
+            for &a in &adaptive.ne_cubic {
+                assert!(
+                    dense.contains(&a),
+                    "adaptive certified n_cubic={a} but dense set is {dense:?}"
+                );
+            }
+        }
+    }
+
+    /// The point of the exercise: the adaptive search simulates a strict
+    /// subset of the dense grid when the model bracket holds.
+    #[test]
+    fn adaptive_search_simulates_fewer_cells_than_dense() {
+        let profile = Profile::smoke();
+        let (mbps, rtt_ms, buffer_bdp, n, seed) = (20.0, 20.0, 2.0, 8u32, 0xada8);
+        let engine = memo_engine();
+        let adaptive = find_ne_adaptive_on(
+            &engine,
+            mbps,
+            rtt_ms,
+            buffer_bdp,
+            n,
+            CcaKind::Bbr,
+            &profile,
+            seed,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        if !adaptive.dense_fallback {
+            assert!(
+                (adaptive.evaluated.len() as u32) < n + 1,
+                "evaluated {:?} of a {}-cell grid",
+                adaptive.evaluated,
+                n + 1
+            );
+            assert_eq!(
+                engine.stats().simulated,
+                adaptive.evaluated.len() as u64 * profile.ne_trials.max(1) as u64,
+                "each evaluated cell simulates once per trial"
+            );
+        }
+    }
+
+    /// Adaptive cells are the dense grid's cells: identical scenarios,
+    /// identical content hashes, so the cache serves one to the other.
+    #[test]
+    fn adaptive_cells_share_the_dense_grid_cache() {
+        let profile = Profile::smoke();
+        let (mbps, rtt_ms, buffer_bdp, n, seed) = (20.0, 20.0, 2.0, 6u32, 0xada7);
+        let engine = memo_engine();
+        // Warm the engine with the full dense grid…
+        let mut dense_cells = Vec::new();
+        for k in 0..=n {
+            dense_cells.push(crate::payoff::distribution_scenario(
+                mbps,
+                rtt_ms,
+                buffer_bdp,
+                n,
+                k,
+                0,
+                CcaKind::Bbr,
+                &profile,
+                seed,
+                DisciplineSpec::DropTail,
+                &FaultSpec::default(),
+            ));
+        }
+        engine.run_all(&dense_cells);
+        let warm = engine.stats();
+        // …then the adaptive search on the same engine must be all hits.
+        let _ = find_ne_adaptive_on(
+            &engine,
+            mbps,
+            rtt_ms,
+            buffer_bdp,
+            n,
+            CcaKind::Bbr,
+            &profile,
+            seed,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        let after = engine.stats().since(&warm);
+        assert_eq!(after.simulated, 0, "adaptive re-simulated a dense cell");
+        assert_eq!(after.events_simulated, 0);
+    }
+
+    /// An early-stop profile changes the per-cell scenarios (and their
+    /// hashes), so stopped and fixed-horizon grids can never alias.
+    #[test]
+    fn early_stop_profile_changes_the_cells() {
+        let profile = Profile::smoke();
+        let stopped = Profile {
+            early_stop: Some((0.05, 3)),
+            ..profile
+        };
+        let make = |p: &Profile| {
+            crate::payoff::distribution_scenario(
+                20.0,
+                20.0,
+                2.0,
+                4,
+                2,
+                0,
+                CcaKind::Bbr,
+                p,
+                7,
+                DisciplineSpec::DropTail,
+                &FaultSpec::default(),
+            )
+        };
+        assert_ne!(
+            crate::engine::scenario_hash(&make(&profile)),
+            crate::engine::scenario_hash(&make(&stopped))
+        );
+    }
+
+    /// `measure_payoffs_with` (the dense path) and the shared cell
+    /// builder agree — the refactor kept the seed formula.
+    #[test]
+    fn dense_grid_uses_the_shared_cell_builder() {
+        let profile = Profile::smoke();
+        let dense = measure_payoffs_with(
+            20.0,
+            20.0,
+            2.0,
+            4,
+            CcaKind::Bbr,
+            &profile,
+            7,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        let engine = memo_engine();
+        let subset = measure_payoffs_at_on(
+            &engine,
+            20.0,
+            20.0,
+            2.0,
+            4,
+            &[1, 2, 3],
+            CcaKind::Bbr,
+            &profile,
+            7,
+            DisciplineSpec::DropTail,
+            &FaultSpec::default(),
+        );
+        for k in 1..=3usize {
+            assert_eq!(
+                dense.trials[0].x_per_flow[k], subset.trials[0].x_per_flow[k],
+                "cell k={k} differs between dense and subset measurement"
+            );
+            assert_eq!(
+                dense.trials[0].cubic_per_flow[k],
+                subset.trials[0].cubic_per_flow[k]
+            );
+        }
+        assert!(subset.trials[0].x_per_flow[0].is_nan());
+        assert!(subset.trials[0].x_per_flow[4].is_nan());
+    }
+}

@@ -34,6 +34,26 @@ struct Overrides {
     buffer_points: Option<usize>,
     loss: Option<f64>,
     ack_loss: Option<f64>,
+    adaptive: Option<bool>,
+    early_stop: Option<Option<(f64, u32)>>,
+}
+
+/// Default detector knobs for a bare `--early-stop`.
+const DEFAULT_EARLY_STOP: (f64, u32) = (0.05, 3);
+
+/// Parse `--early-stop` / `--early-stop=EPS,DWELL`.
+fn parse_early_stop(arg: &str) -> Result<(f64, u32), String> {
+    let Some(spec) = arg.strip_prefix("--early-stop=") else {
+        return Ok(DEFAULT_EARLY_STOP);
+    };
+    let err = || format!("--early-stop={spec} must be EPS,DWELL (e.g. 0.05,3)");
+    let (eps, dwell) = spec.split_once(',').ok_or_else(err)?;
+    let eps: f64 = eps.trim().parse().map_err(|_| err())?;
+    let dwell: u32 = dwell.trim().parse().map_err(|_| err())?;
+    if eps.is_nan() || eps <= 0.0 || dwell == 0 {
+        return Err(err());
+    }
+    Ok((eps, dwell))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -115,6 +135,12 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--ack-loss needs a probability in [0, 1]".to_string())?,
                 );
             }
+            "--adaptive" => overrides.adaptive = Some(true),
+            "--dense" => overrides.adaptive = Some(false),
+            s if s == "--early-stop" || s.starts_with("--early-stop=") => {
+                overrides.early_stop = Some(Some(parse_early_stop(s)?));
+            }
+            "--no-early-stop" => overrides.early_stop = Some(None),
             "--help" | "-h" => {
                 return Err(usage());
             }
@@ -146,6 +172,12 @@ fn parse_args() -> Result<Args, String> {
     if let Some(p) = overrides.ack_loss {
         profile.ack_loss = p;
     }
+    if let Some(a) = overrides.adaptive {
+        profile.adaptive = a;
+    }
+    if let Some(e) = overrides.early_stop {
+        profile.early_stop = e;
+    }
     Ok(Args {
         targets,
         profile,
@@ -165,6 +197,9 @@ fn usage() -> String {
          profiles: --quick (default, minutes), --full (paper scale), --smoke (seconds)\n\
          overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n\
          impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n\
+         perf: --adaptive (model-guided NE search) / --dense (full grid, default)\n\
+         \x20     --early-stop[=EPS,DWELL] (stop converged runs early; default 0.05,3)\n\
+         \x20     --no-early-stop (fixed horizon, default)\n\
          engine: --jobs N (or BBRDOM_JOBS; default: all cores)\n\
          \x20        --no-cache (always re-simulate)  --cache-dir DIR (default: <out>/cache)\n",
         ALL_FIGURES.join(" "),

@@ -75,6 +75,17 @@ pub fn scenario_hash(s: &Scenario) -> u128 {
     // derived per-trial RNG stream seed, and reuses the same stable-hash
     // implementation the simulator's own config hashing pins.
     s.faults.to_schedule(s.seed).stable_hash(&mut h);
+    // Opt-in stop policy extends the byte stream only when engaged: every
+    // pre-existing scenario keeps its hash, and an early-stopped run can
+    // never alias the fixed-horizon run of the same scenario (the marker
+    // bytes make the extension unambiguous).
+    if let Some(stop) = &s.early_stop {
+        h.write_bytes(b"early_stop");
+        stop.epsilon.stable_hash(&mut h);
+        stop.dwell.stable_hash(&mut h);
+        stop.window_secs.stable_hash(&mut h);
+        stop.min_secs.stable_hash(&mut h);
+    }
     h.finish()
 }
 
@@ -141,6 +152,9 @@ pub struct CacheStats {
     pub deduped: u64,
     /// Scenarios actually simulated.
     pub simulated: u64,
+    /// Total simulator events processed by fresh simulations (cache hits
+    /// contribute nothing — the work was never redone).
+    pub events_simulated: u64,
 }
 
 impl CacheStats {
@@ -151,6 +165,7 @@ impl CacheStats {
             disk_hits: self.disk_hits - earlier.disk_hits,
             deduped: self.deduped - earlier.deduped,
             simulated: self.simulated - earlier.simulated,
+            events_simulated: self.events_simulated - earlier.events_simulated,
         }
     }
 
@@ -173,8 +188,9 @@ impl CacheStats {
             100.0 * self.skipped() as f64 / total as f64
         };
         format!(
-            "{} simulated, {} cache hits ({} memory, {} disk, {} deduped) — {:.0}% skipped",
+            "{} simulated ({} events), {} cache hits ({} memory, {} disk, {} deduped) — {:.0}% skipped",
             self.simulated,
+            self.events_simulated,
             self.skipped(),
             self.memory_hits,
             self.disk_hits,
@@ -280,6 +296,7 @@ pub struct Engine {
     disk_hits: AtomicU64,
     deduped: AtomicU64,
     simulated: AtomicU64,
+    events_simulated: AtomicU64,
 }
 
 static GLOBAL: OnceLock<Engine> = OnceLock::new();
@@ -293,6 +310,7 @@ impl Engine {
             disk_hits: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
+            events_simulated: AtomicU64::new(0),
         }
     }
 
@@ -322,6 +340,7 @@ impl Engine {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
+            events_simulated: self.events_simulated.load(Ordering::Relaxed),
         }
     }
 
@@ -436,54 +455,76 @@ impl Engine {
                 .unwrap_or_else(|e| panic!("cannot open sweep journal {}: {e}", path.display()))
         });
 
-        let jobs = jobs.max(1).min(pending.len().max(1));
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                let tx = tx.clone();
-                let pending = &pending;
-                let next = &next;
-                let hashes = &hashes;
-                scope.spawn(move || loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= pending.len() {
-                        break;
-                    }
-                    let i = pending[slot];
-                    let outcome =
-                        self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
-                    if tx.send((i, outcome)).is_err() {
-                        break;
-                    }
-                });
+        // Flush the contiguous prefix of finished indices to the journal.
+        // A failed write is not fatal: the sweep still completes, the
+        // trial just won't resume for free.
+        let flush_journal = |done: &Vec<Option<TrialOutcome>>,
+                             cursor: &mut usize,
+                             journal_file: &mut Option<std::fs::File>| {
+            if let Some(file) = journal_file.as_mut() {
+                while *cursor < to_journal.len() {
+                    let idx = to_journal[*cursor];
+                    let Some(outcome) = &done[idx] else { break };
+                    let line = journal_line(idx, &keys[idx], outcome, event_budget, wall_budget_ns);
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                    *cursor += 1;
+                }
             }
-            drop(tx);
+        };
 
-            // Single writer: results arrive in completion order, are
-            // slotted by index, and the journal advances only over the
-            // contiguous prefix of finished indices.
-            let mut cursor = 0usize;
-            for (i, outcome) in rx {
+        let jobs = jobs.max(1).min(pending.len().max(1));
+        let mut cursor = 0usize;
+        if jobs == 1 {
+            // Serial path: a one-worker pool still pays for thread spawn,
+            // channel traffic, and cross-core cache misses with nothing
+            // to show for it (measured ~6% slower than inline on a
+            // single-core box). Run the batch inline instead; the
+            // ordering contract holds trivially.
+            for &i in &pending {
+                let outcome = self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
                 for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
                     done[alias] = Some(retarget(&outcome, alias));
                 }
                 done[i] = Some(outcome);
-                if let Some(file) = journal_file.as_mut() {
-                    while cursor < to_journal.len() {
-                        let idx = to_journal[cursor];
-                        let Some(outcome) = &done[idx] else { break };
-                        let line =
-                            journal_line(idx, &keys[idx], outcome, event_budget, wall_budget_ns);
-                        // A failed write is not fatal: the sweep still
-                        // completes, the trial just won't resume for free.
-                        let _ = writeln!(file, "{line}");
-                        let _ = file.flush();
-                        cursor += 1;
-                    }
-                }
+                flush_journal(&done, &mut cursor, &mut journal_file);
             }
-        });
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    let tx = tx.clone();
+                    let pending = &pending;
+                    let next = &next;
+                    let hashes = &hashes;
+                    scope.spawn(move || loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= pending.len() {
+                            break;
+                        }
+                        let i = pending[slot];
+                        let outcome =
+                            self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+
+                // Single writer: results arrive in completion order, are
+                // slotted by index, and the journal advances only over the
+                // contiguous prefix of finished indices.
+                for (i, outcome) in rx {
+                    for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                        done[alias] = Some(retarget(&outcome, alias));
+                    }
+                    done[i] = Some(outcome);
+                    flush_journal(&done, &mut cursor, &mut journal_file);
+                }
+            });
+        }
 
         done.into_iter()
             .map(|slot| slot.expect("scenario not executed"))
@@ -537,6 +578,8 @@ impl Engine {
             scenario.try_report_with(event_budget, wall_budget)
         })) {
             Ok(Ok(report)) => {
+                self.events_simulated
+                    .fetch_add(report.events_processed, Ordering::Relaxed);
                 let result = TrialResult::from_report(&report);
                 if let Some(dir) = &self.config.disk_cache {
                     store_cache_entry(dir, hash, &report);

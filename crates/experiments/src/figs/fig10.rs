@@ -60,6 +60,7 @@ fn scenario_for_state(
         seed,
         discipline: Default::default(),
         faults: Default::default(),
+        early_stop: None,
     }
 }
 

@@ -9,6 +9,9 @@
 //! * [`runner`] — the batch-execution façade over the engine;
 //! * [`payoff`] — empirical payoff curves over all `n + 1` CUBIC/X splits
 //!   and the §4.4 Nash-equilibrium search;
+//! * [`adaptive`] — the model-guided adaptive NE search (`--adaptive`):
+//!   Eq. (25) seeds a bracket that simulations refine, with a dense-grid
+//!   fallback when model and measurement disagree;
 //! * [`sync`] — CUBIC loss-synchronization measurement (used to decide
 //!   which model bound a trial should sit near);
 //! * [`output`] — CSV/table emission for every figure;
@@ -28,6 +31,7 @@
 //! evaluation reruns in minutes on a laptop. EXPERIMENTS.md records the
 //! profile used for the committed numbers.
 
+pub mod adaptive;
 pub mod engine;
 pub mod ext;
 pub mod figs;
@@ -38,6 +42,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sync;
 
+pub use adaptive::{find_ne_adaptive, find_ne_adaptive_on, AdaptiveNe};
 pub use engine::{scenario_hash, scenario_hash_hex, CacheStats, Engine, EngineConfig};
 pub use profile::Profile;
-pub use scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario, TrialResult};
+pub use scenario::{DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario, TrialResult};

@@ -7,9 +7,10 @@
 //! switching algorithm. Multiple trials give multiple (possibly
 //! different) equilibria — exactly what Fig. 9 plots.
 
+use crate::engine::Engine;
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{DisciplineSpec, FaultSpec, Scenario, TrialResult};
+use crate::scenario::{DisciplineSpec, EarlyStopSpec, FaultSpec, Scenario, TrialResult};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::symmetric::{SymmetricGame, SymmetricNe};
 
@@ -165,22 +166,10 @@ pub fn measure_payoffs_with(
     let mut scenarios = Vec::with_capacity(((n + 1) * trials) as usize);
     for trial in 0..trials {
         for k in 0..=n {
-            scenarios.push(
-                Scenario::versus(
-                    mbps,
-                    rtt_ms,
-                    buffer_bdp,
-                    n - k,
-                    challenger,
-                    k,
-                    profile.duration_secs,
-                    base_seed
-                        .wrapping_add(trial as u64 * 7919)
-                        .wrapping_add(k as u64 * 104729),
-                )
-                .with_discipline(discipline)
-                .with_faults(faults.clone()),
-            );
+            scenarios.push(distribution_scenario(
+                mbps, rtt_ms, buffer_bdp, n, k, trial, challenger, profile, base_seed, discipline,
+                faults,
+            ));
         }
     }
     let results = runner::run_all(&scenarios);
@@ -197,6 +186,110 @@ pub fn measure_payoffs_with(
         let mut q = vec![0.0; n as usize + 1];
         for k in 0..=n {
             let idx = (trial * (n + 1) + k) as usize;
+            let r: &TrialResult = &results[idx];
+            x[k as usize] = r.mean_throughput_of(&challenger_name).unwrap_or(0.0);
+            c[k as usize] = r.mean_throughput_of("cubic").unwrap_or(0.0);
+            q[k as usize] = r.avg_queuing_delay_ms;
+        }
+        out.trials.push(PayoffCurves {
+            n,
+            challenger: challenger_name.clone(),
+            x_per_flow: x,
+            cubic_per_flow: c,
+            queuing_delay_ms: q,
+        });
+    }
+    out
+}
+
+/// The scenario for one distribution cell `(trial, k)` of an NE grid.
+///
+/// This is the single place the per-cell seed formula lives: the dense
+/// grid and the adaptive search both build their scenarios here, so a
+/// cell evaluated by either path is *the same scenario* — same seed,
+/// same content hash — and the engine's cache can serve one to the
+/// other. The profile's opt-in early-stop policy is attached here too,
+/// which (deliberately) changes the cell's content hash: an
+/// early-stopped measurement is a different result.
+#[allow(clippy::too_many_arguments)]
+pub fn distribution_scenario(
+    mbps: f64,
+    rtt_ms: f64,
+    buffer_bdp: f64,
+    n: u32,
+    k: u32,
+    trial: u32,
+    challenger: CcaKind,
+    profile: &Profile,
+    base_seed: u64,
+    discipline: DisciplineSpec,
+    faults: &FaultSpec,
+) -> Scenario {
+    Scenario::versus(
+        mbps,
+        rtt_ms,
+        buffer_bdp,
+        n - k,
+        challenger,
+        k,
+        profile.duration_secs,
+        base_seed
+            .wrapping_add(trial as u64 * 7919)
+            .wrapping_add(k as u64 * 104729),
+    )
+    .with_discipline(discipline)
+    .with_faults(faults.clone())
+    .with_early_stop(
+        profile
+            .early_stop
+            .map(|(epsilon, dwell)| EarlyStopSpec::new(epsilon, dwell)),
+    )
+}
+
+/// Measure payoffs at a *subset* `ks` of the distributions, on an
+/// explicit engine — the adaptive NE search's workhorse. Unevaluated
+/// entries of the returned curves are `NaN`, so any consumer that reads
+/// a cell the search never simulated fails loudly instead of treating
+/// it as a measured zero.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_payoffs_at_on(
+    engine: &Engine,
+    mbps: f64,
+    rtt_ms: f64,
+    buffer_bdp: f64,
+    n: u32,
+    ks: &[u32],
+    challenger: CcaKind,
+    profile: &Profile,
+    base_seed: u64,
+    discipline: DisciplineSpec,
+    faults: &FaultSpec,
+) -> PayoffMeasurement {
+    let trials = profile.ne_trials.max(1);
+    let mut scenarios = Vec::with_capacity(ks.len() * trials as usize);
+    for trial in 0..trials {
+        for &k in ks {
+            debug_assert!(k <= n);
+            scenarios.push(distribution_scenario(
+                mbps, rtt_ms, buffer_bdp, n, k, trial, challenger, profile, base_seed, discipline,
+                faults,
+            ));
+        }
+    }
+    let results = engine.run_all(&scenarios);
+    let challenger_name = challenger.name().to_string();
+    let mut out = PayoffMeasurement {
+        mbps,
+        rtt_ms,
+        buffer_bdp,
+        trials: Vec::with_capacity(trials as usize),
+    };
+    for trial in 0..trials {
+        let mut x = vec![f64::NAN; n as usize + 1];
+        let mut c = vec![f64::NAN; n as usize + 1];
+        let mut q = vec![f64::NAN; n as usize + 1];
+        for (pos, &k) in ks.iter().enumerate() {
+            let idx = trial as usize * ks.len() + pos;
             let r: &TrialResult = &results[idx];
             x[k as usize] = r.mean_throughput_of(&challenger_name).unwrap_or(0.0);
             c[k as usize] = r.mean_throughput_of("cubic").unwrap_or(0.0);

@@ -27,6 +27,14 @@ pub struct Profile {
     pub loss: f64,
     /// Reverse-path (ACK) random wire-loss probability (`repro --ack-loss`).
     pub ack_loss: f64,
+    /// Model-guided adaptive NE search (`repro --adaptive`): seed the
+    /// search bracket from Eq. (25) and refine with simulations instead
+    /// of running every distribution of the dense grid.
+    pub adaptive: bool,
+    /// Convergence-aware early termination (`repro --early-stop`):
+    /// `(epsilon, dwell)` for the per-flow steady-state detector, `None`
+    /// for fixed-horizon runs (the bit-identical default).
+    pub early_stop: Option<(f64, u32)>,
 }
 
 impl Profile {
@@ -40,6 +48,8 @@ impl Profile {
             ne_trials: 3,
             loss: 0.0,
             ack_loss: 0.0,
+            adaptive: false,
+            early_stop: None,
         }
     }
 
@@ -53,6 +63,8 @@ impl Profile {
             ne_trials: 1,
             loss: 0.0,
             ack_loss: 0.0,
+            adaptive: false,
+            early_stop: None,
         }
     }
 
@@ -67,6 +79,8 @@ impl Profile {
             ne_trials: 1,
             loss: 0.0,
             ack_loss: 0.0,
+            adaptive: false,
+            early_stop: None,
         }
     }
 

@@ -263,6 +263,73 @@ impl FaultSpec {
     }
 }
 
+/// Serializable early-stop policy: a seconds-denominated mirror of the
+/// simulator's [`bbrdom_netsim::EarlyStop`] (which uses integer-nanosecond
+/// sim types). Attached per scenario so the stop policy travels with the
+/// run's identity — it feeds the engine's content hash, keeping
+/// early-stopped and fixed-horizon results apart in the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopSpec {
+    /// Maximum relative window-to-window per-flow goodput delta that
+    /// still counts as steady.
+    pub epsilon: f64,
+    /// Consecutive steady windows required before stopping.
+    pub dwell: u32,
+    /// Width of each goodput window, seconds.
+    pub window_secs: f64,
+    /// Never stop before this much simulated time, seconds.
+    pub min_secs: f64,
+}
+
+impl EarlyStopSpec {
+    /// Policy with the given threshold and dwell and the simulator's
+    /// default 1-second window / 3-second floor.
+    pub fn new(epsilon: f64, dwell: u32) -> Self {
+        EarlyStopSpec {
+            epsilon,
+            dwell,
+            window_secs: 1.0,
+            min_secs: 3.0,
+        }
+    }
+
+    /// Lower to the simulator's policy type.
+    pub fn to_policy(self) -> bbrdom_netsim::EarlyStop {
+        bbrdom_netsim::EarlyStop {
+            window: SimDuration::from_secs_f64(self.window_secs),
+            epsilon: self.epsilon,
+            dwell: self.dwell,
+            min_time: SimDuration::from_secs_f64(self.min_secs),
+        }
+    }
+
+    fn to_json_value(self) -> Value {
+        let mut v = Value::object();
+        v.set("epsilon", self.epsilon.into())
+            .set("dwell", Value::U64(self.dwell as u64))
+            .set("window_secs", self.window_secs.into())
+            .set("min_secs", self.min_secs.into());
+        v
+    }
+
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("early_stop missing '{name}'"))
+        };
+        Ok(EarlyStopSpec {
+            epsilon: field("epsilon")?,
+            dwell: v
+                .get("dwell")
+                .and_then(Value::as_u64)
+                .ok_or("early_stop missing 'dwell'")? as u32,
+            window_secs: field("window_secs")?,
+            min_secs: field("min_secs")?,
+        })
+    }
+}
+
 /// A complete, runnable experiment description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -284,6 +351,9 @@ pub struct Scenario {
     pub discipline: DisciplineSpec,
     /// Path impairments (default: none — the paper's clean testbed).
     pub faults: FaultSpec,
+    /// Opt-in convergence-aware early termination (default: none — run
+    /// the full fixed horizon, bit-identical to historical behavior).
+    pub early_stop: Option<EarlyStopSpec>,
 }
 
 /// Measurements from one run.
@@ -340,6 +410,7 @@ impl Scenario {
             seed,
             discipline: DisciplineSpec::DropTail,
             faults: FaultSpec::default(),
+            early_stop: None,
         }
     }
 
@@ -352,6 +423,12 @@ impl Scenario {
     /// Attach path impairments.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a convergence-aware early-stop policy.
+    pub fn with_early_stop(mut self, spec: Option<EarlyStopSpec>) -> Self {
+        self.early_stop = spec;
         self
     }
 
@@ -428,6 +505,9 @@ impl Scenario {
             // (see `SimConfig::ack_jitter`).
             .with_ack_jitter(SimDuration::from_micros(100), self.seed)
             .with_faults(self.faults.to_schedule(self.seed));
+        if let Some(stop) = self.early_stop {
+            cfg = cfg.with_early_stop(stop.to_policy());
+        }
         if let Some(budget) = event_budget {
             cfg = cfg.with_event_budget(budget);
         }
@@ -545,6 +625,9 @@ impl Scenario {
         if !self.faults.is_noop() {
             v.set("faults", self.faults.to_json_value());
         }
+        if let Some(stop) = self.early_stop {
+            v.set("early_stop", stop.to_json_value());
+        }
         v.to_json()
     }
 
@@ -573,6 +656,10 @@ impl Scenario {
             None => FaultSpec::default(),
             Some(f) => FaultSpec::from_json_value(f)?,
         };
+        let early_stop = match v.get("early_stop") {
+            None => None,
+            Some(s) => Some(EarlyStopSpec::from_json_value(s)?),
+        };
         Ok(Scenario {
             mbps: field("mbps")?,
             buffer_bdp: field("buffer_bdp")?,
@@ -585,6 +672,7 @@ impl Scenario {
                 .ok_or("scenario missing 'seed'")?,
             discipline,
             faults,
+            early_stop,
         })
     }
 }
@@ -839,6 +927,40 @@ mod tests {
             .unwrap()
             .faults
             .is_noop());
+    }
+
+    #[test]
+    fn early_stop_spec_roundtrips_through_json() {
+        let mut spec = EarlyStopSpec::new(0.05, 3);
+        spec.window_secs = 0.5;
+        spec.min_secs = 2.0;
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3)
+            .with_early_stop(Some(spec));
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.early_stop, Some(spec));
+
+        // A fixed-horizon scenario omits the key entirely (byte-stable
+        // serialization for all existing scenarios).
+        let plain = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        assert!(!plain.to_json().contains("early_stop"));
+        assert_eq!(
+            Scenario::from_json(&plain.to_json()).unwrap().early_stop,
+            None
+        );
+    }
+
+    #[test]
+    fn early_stopped_scenario_reports_shorter_effective_horizon() {
+        let spec = EarlyStopSpec::new(0.2, 3);
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Cubic, 1, 60.0, 3)
+            .with_early_stop(Some(spec));
+        let report = s.try_report_with(None, None).unwrap();
+        assert!(report.early_stopped);
+        assert!(report.effective_duration_secs < 60.0);
+        let full = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Cubic, 1, 60.0, 3)
+            .try_report_with(None, None)
+            .unwrap();
+        assert!(report.events_processed < full.events_processed);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use bbrdom_cca::CcaKind;
 use bbrdom_experiments::engine::{scenario_hash, Engine, EngineConfig};
 use bbrdom_experiments::runner::SweepConfig;
-use bbrdom_experiments::{FaultSpec, FlowSpec, Scenario};
+use bbrdom_experiments::{EarlyStopSpec, FaultSpec, FlowSpec, Scenario};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -134,6 +134,7 @@ fn rich_scenario() -> Scenario {
         rate_steps: vec![(2.0, 10.0)],
         delay_spikes: vec![(3.0, 0.5, 40.0)],
     };
+    s.early_stop = Some(EarlyStopSpec::new(0.05, 3));
     s
 }
 
@@ -195,6 +196,23 @@ fn every_scenario_field_changes_the_hash() {
         (
             "fault delay spike",
             Box::new(|s| s.faults.delay_spikes[0].2 = 50.0),
+        ),
+        ("early_stop presence", Box::new(|s| s.early_stop = None)),
+        (
+            "early_stop epsilon",
+            Box::new(|s| s.early_stop.as_mut().unwrap().epsilon = 0.1),
+        ),
+        (
+            "early_stop dwell",
+            Box::new(|s| s.early_stop.as_mut().unwrap().dwell = 5),
+        ),
+        (
+            "early_stop window_secs",
+            Box::new(|s| s.early_stop.as_mut().unwrap().window_secs = 0.5),
+        ),
+        (
+            "early_stop min_secs",
+            Box::new(|s| s.early_stop.as_mut().unwrap().min_secs = 6.0),
         ),
     ];
     for (field, mutate) in mutations {

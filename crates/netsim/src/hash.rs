@@ -17,7 +17,9 @@
 use crate::aqm::{CodelConfig, QueueDiscipline, RedConfig};
 use crate::fault::FaultSchedule;
 use crate::sim::SimConfig;
+use crate::stop::EarlyStop;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceConfig;
 use crate::units::Rate;
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
@@ -212,6 +214,22 @@ impl StableHash for FaultSchedule {
     }
 }
 
+impl StableHash for EarlyStop {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.window.stable_hash(h);
+        self.epsilon.stable_hash(h);
+        self.dwell.stable_hash(h);
+        self.min_time.stable_hash(h);
+    }
+}
+
+impl StableHash for TraceConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.stride.stable_hash(h);
+        self.max_samples.stable_hash(h);
+    }
+}
+
 impl StableHash for SimConfig {
     fn stable_hash(&self, h: &mut StableHasher) {
         self.rate.stable_hash(h);
@@ -227,6 +245,20 @@ impl StableHash for SimConfig {
         self.audit.stable_hash(h);
         self.max_events.stable_hash(h);
         self.max_wall_clock.stable_hash(h);
+        // Fields added after the cache format was pinned are folded in
+        // only when they differ from their defaults, behind a distinct
+        // marker string. Default-configured runs keep their historical
+        // digest (the golden digest below), and because the byte stream
+        // is strictly extended — never reinterpreted — a policy-bearing
+        // config can never alias a default one.
+        if let Some(stop) = &self.stop {
+            h.write_bytes(b"early_stop");
+            stop.stable_hash(h);
+        }
+        if !self.trace_config.is_default() {
+            h.write_bytes(b"trace_cfg");
+            self.trace_config.stable_hash(h);
+        }
     }
 }
 
@@ -331,6 +363,21 @@ mod tests {
                 c.max_wall_clock = Some(std::time::Duration::from_secs(60));
                 c
             }),
+            ("stop", {
+                let mut c = base_config();
+                c.stop = Some(EarlyStop::new(0.05, 3));
+                c
+            }),
+            ("trace_config.stride", {
+                let mut c = base_config();
+                c.trace_config.stride = 4;
+                c
+            }),
+            ("trace_config.max_samples", {
+                let mut c = base_config();
+                c.trace_config.max_samples = Some(1_000);
+                c
+            }),
         ];
         for (field, mutated) in mutations {
             assert_ne!(
@@ -377,6 +424,41 @@ mod tests {
                 "mutating FaultSchedule::{field} did not change the stable hash"
             );
         }
+    }
+
+    /// Every `EarlyStop` field must feed the digest once a policy is
+    /// set — two different stop policies must never share cache entries.
+    #[test]
+    fn every_early_stop_field_changes_the_hash() {
+        let stopped = |f: fn(&mut EarlyStop)| {
+            let mut c = base_config();
+            let mut stop = EarlyStop::new(0.05, 3);
+            f(&mut stop);
+            c.stop = Some(stop);
+            c
+        };
+        let base = stable_digest(&stopped(|_| {}));
+        let muts: Vec<(&str, SimConfig)> = vec![
+            (
+                "window",
+                stopped(|s| s.window = SimDuration::from_millis(500)),
+            ),
+            ("epsilon", stopped(|s| s.epsilon = 0.01)),
+            ("dwell", stopped(|s| s.dwell = 5)),
+            (
+                "min_time",
+                stopped(|s| s.min_time = SimDuration::from_secs_f64(1.0)),
+            ),
+        ];
+        for (field, mutated) in muts {
+            assert_ne!(
+                stable_digest(&mutated),
+                base,
+                "mutating EarlyStop::{field} did not change the stable hash"
+            );
+        }
+        // And a fixed-horizon config never aliases an early-stopped one.
+        assert_ne!(stable_digest(&base_config()), base);
     }
 
     /// Sequences are length-prefixed: `["ab"]` and `["a", "b"]` (and

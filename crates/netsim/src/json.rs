@@ -77,6 +77,13 @@ impl Value {
     }
 
     /// Numeric value as `f64` (integers coerce).
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
             Value::U64(n) => Some(n as f64),

@@ -45,6 +45,7 @@ pub mod packet;
 pub mod queue;
 pub mod sim;
 pub mod stats;
+pub mod stop;
 pub mod time;
 pub mod trace;
 pub mod units;
@@ -57,6 +58,7 @@ pub use hash::{stable_digest, StableHash, StableHasher};
 pub use packet::FlowId;
 pub use sim::{FlowConfig, SimConfig, SimReport, Simulator};
 pub use stats::{FlowReport, QueueReport};
+pub use stop::EarlyStop;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Sample, Trace};
+pub use trace::{Sample, Trace, TraceConfig};
 pub use units::{Rate, MSS};

@@ -32,8 +32,9 @@ use crate::flow::Flow;
 use crate::packet::FlowId;
 use crate::queue::DropTailQueue;
 use crate::stats::{FlowReport, QueueReport};
+use crate::stop::{ConvergenceDetector, EarlyStop};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Sample, Trace};
+use crate::trace::{Sample, Trace, TraceConfig};
 use crate::units::{Rate, MSS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +57,9 @@ pub struct SimConfig {
     pub mss: u64,
     /// If set, record a [`Trace`] sample every interval.
     pub sample_interval: Option<SimDuration>,
+    /// Sampling stride / cap for long runs (default: every interval,
+    /// unbounded — bit-identical to the historical behavior).
+    pub trace_config: TraceConfig,
     /// Bottleneck queue discipline (default: drop-tail, as in the paper).
     pub discipline: QueueDiscipline,
     /// Uniform random extra delay on the ACK path, `[0, ack_jitter)`.
@@ -81,6 +85,9 @@ pub struct SimConfig {
     /// Abort the run with [`SimError::WallClockExceeded`] after this much
     /// real time (`None` = unlimited; checked every 65 536 events).
     pub max_wall_clock: Option<std::time::Duration>,
+    /// Opt-in convergence-aware early termination (see [`crate::stop`]).
+    /// `None` (the default) runs the full fixed horizon.
+    pub stop: Option<EarlyStop>,
 }
 
 impl SimConfig {
@@ -92,6 +99,7 @@ impl SimConfig {
             measure_start: SimTime::ZERO,
             mss: MSS,
             sample_interval: None,
+            trace_config: TraceConfig::default(),
             discipline: QueueDiscipline::DropTail,
             ack_jitter: SimDuration::ZERO,
             seed: 0,
@@ -99,6 +107,7 @@ impl SimConfig {
             audit: false,
             max_events: None,
             max_wall_clock: None,
+            stop: None,
         }
     }
 
@@ -117,6 +126,19 @@ impl SimConfig {
             return Err(ConfigError::NonPositive {
                 field: "trace sample interval",
             });
+        }
+        if self.trace_config.stride == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "trace stride",
+            });
+        }
+        if self.trace_config.max_samples == Some(0) {
+            return Err(ConfigError::NonPositive {
+                field: "trace sample cap",
+            });
+        }
+        if let Some(stop) = &self.stop {
+            stop.validate()?;
         }
         self.faults.validate()
     }
@@ -170,6 +192,18 @@ impl SimConfig {
     /// Abort the run after `budget` of real (wall-clock) time.
     pub fn with_wall_clock_budget(mut self, budget: std::time::Duration) -> Self {
         self.max_wall_clock = Some(budget);
+        self
+    }
+
+    /// Thin or cap trace sampling (see [`TraceConfig`]).
+    pub fn with_trace_config(mut self, tc: TraceConfig) -> Self {
+        self.trace_config = tc;
+        self
+    }
+
+    /// Enable convergence-aware early termination (see [`crate::stop`]).
+    pub fn with_early_stop(mut self, stop: EarlyStop) -> Self {
+        self.stop = Some(stop);
         self
     }
 }
@@ -228,8 +262,15 @@ impl FlowConfig {
 pub struct SimReport {
     pub flows: Vec<FlowReport>,
     pub queue: QueueReport,
-    /// Simulated duration in seconds.
+    /// Configured horizon in seconds (what the run was asked to simulate).
     pub duration_secs: f64,
+    /// Horizon actually simulated: equals `duration_secs` unless the
+    /// early-stop policy ended the run sooner. All window averages in
+    /// this report are normalized over `[measure_start, effective]`.
+    pub effective_duration_secs: f64,
+    /// True when the convergence detector ended the run before the
+    /// configured horizon.
+    pub early_stopped: bool,
     /// Discrete events dispatched by the run — the denominator for
     /// events/sec throughput measurements (`crates/bench/benches/netsim_perf.rs`).
     pub events_processed: u64,
@@ -253,6 +294,16 @@ impl SimReport {
         .set("queue", self.queue.to_json_value())
         .set("duration_secs", self.duration_secs.into())
         .set("events_processed", Value::U64(self.events_processed));
+        // Emitted only for early-stopped runs so fixed-horizon reports
+        // keep their historical byte-exact serialization (the disk cache
+        // and CSV diff smokes depend on that).
+        if self.early_stopped {
+            v.set(
+                "effective_duration_secs",
+                self.effective_duration_secs.into(),
+            )
+            .set("early_stopped", Value::Bool(true));
+        }
         if !self.trace.is_empty() {
             v.set("trace", self.trace.to_json_value());
         }
@@ -271,6 +322,16 @@ impl SimReport {
                 .collect::<Result<_, _>>()?,
             queue: crate::stats::QueueReport::from_json_value(json::req(v, "queue")?)?,
             duration_secs: json::req_f64(v, "duration_secs")?,
+            effective_duration_secs: match v.get("effective_duration_secs") {
+                Some(x) => x
+                    .as_f64()
+                    .ok_or("'effective_duration_secs' must be a number")?,
+                None => json::req_f64(v, "duration_secs")?,
+            },
+            early_stopped: v
+                .get("early_stopped")
+                .and_then(crate::json::Value::as_bool)
+                .unwrap_or(false),
             events_processed: json::req_u64(v, "events_processed")?,
             trace: match v.get("trace") {
                 None => Trace::default(),
@@ -425,10 +486,17 @@ impl Simulator {
         for f in &self.flows {
             self.events.schedule(f.start_time, Event::FlowStart(f.id));
         }
+        let stop_policy = self.config.stop;
+        let mut detector = stop_policy.map(|stop| {
+            self.events
+                .schedule(SimTime::ZERO + stop.window, Event::ConvergenceCheck);
+            ConvergenceDetector::new(self.flows.len(), self.config.mss, stop.window)
+        });
 
         let measure_start = self.config.measure_start.min(end);
         let mut window_marked = false;
         let mut events_processed: u64 = 0;
+        let mut stopped_at: Option<SimTime> = None;
 
         while let Some((now, event)) = self.events.pop() {
             if now > end {
@@ -537,21 +605,61 @@ impl Simulator {
                     self.flows[id.index()].on_rto_check(now, &mut queue, &mut self.events);
                 }
                 Event::StatsSample => {
-                    trace.samples.push(Sample {
-                        time: now,
-                        queue_bytes: queue.queued_bytes(),
-                        cwnd_bytes: self.flows.iter().map(|f| f.cc().cwnd_bytes()).collect(),
-                        inflight_bytes: self.flows.iter().map(|f| f.inflight_bytes()).collect(),
-                        delivered_bytes: self
+                    let at_cap = self
+                        .config
+                        .trace_config
+                        .max_samples
+                        .is_some_and(|cap| trace.samples.len() as u64 >= cap);
+                    if !at_cap {
+                        trace.samples.push(Sample {
+                            time: now,
+                            queue_bytes: queue.queued_bytes(),
+                            cwnd_bytes: self.flows.iter().map(|f| f.cc().cwnd_bytes()).collect(),
+                            inflight_bytes: self.flows.iter().map(|f| f.inflight_bytes()).collect(),
+                            delivered_bytes: self
+                                .flows
+                                .iter()
+                                .map(|f| f.stats.goodput_bytes_total)
+                                .collect(),
+                        });
+                    }
+                    // Once the cap is hit, stop rescheduling: the cap
+                    // saves the events too, not just the memory.
+                    let capped = self
+                        .config
+                        .trace_config
+                        .max_samples
+                        .is_some_and(|cap| trace.samples.len() as u64 >= cap);
+                    if let Some(interval) = self.config.sample_interval {
+                        if !capped {
+                            let stride = self.config.trace_config.stride as u64;
+                            let next = now + SimDuration(interval.0.saturating_mul(stride));
+                            if next <= end {
+                                self.events.schedule(next, Event::StatsSample);
+                            }
+                        }
+                    }
+                }
+                Event::ConvergenceCheck => {
+                    if let (Some(stop), Some(det)) = (&stop_policy, detector.as_mut()) {
+                        let window_secs = stop.window.as_secs_f64();
+                        let totals = self
                             .flows
                             .iter()
                             .map(|f| f.stats.goodput_bytes_total)
-                            .collect(),
-                    });
-                    if let Some(interval) = self.config.sample_interval {
-                        let next = now + interval;
-                        if next <= end {
-                            self.events.schedule(next, Event::StatsSample);
+                            .collect();
+                        let converged = det.observe(totals, window_secs, stop);
+                        // Stop only once the measurement window is open and
+                        // the minimum horizon has passed, so window averages
+                        // stay well-defined (`effective > measure_start`).
+                        if converged && now >= SimTime::ZERO + stop.min_time && now > measure_start
+                        {
+                            stopped_at = Some(now);
+                        } else {
+                            let next = now + stop.window;
+                            if next < end {
+                                self.events.schedule(next, Event::ConvergenceCheck);
+                            }
                         }
                     }
                 }
@@ -585,7 +693,14 @@ impl Simulator {
             if let Some(aud) = auditor.as_mut() {
                 aud.after_event(now, &queue, &self.flows)?;
             }
+            if stopped_at.is_some() {
+                break;
+            }
         }
+
+        // The horizon the run actually covered: the convergence stop time
+        // when the detector fired, else the configured duration.
+        let effective_end = stopped_at.unwrap_or(end);
 
         // If every event fired before the window opened, mark now so the
         // window averages cover `[measure_start, end]` of (idle) time.
@@ -598,14 +713,14 @@ impl Simulator {
         // Drain-time conservation sweep: every packet must be accounted
         // for before the counters are folded into reports.
         if let Some(aud) = auditor.as_ref() {
-            aud.deep_check(end, &queue, &self.flows)?;
+            aud.deep_check(effective_end, &queue, &self.flows)?;
         }
-        queue.finalize(end);
+        queue.finalize(effective_end);
         for f in &mut self.flows {
-            f.finalize(end);
+            f.finalize(effective_end);
         }
 
-        let measure_secs = (end - measure_start).as_secs_f64();
+        let measure_secs = (effective_end - measure_start).as_secs_f64();
         let flow_reports: Vec<FlowReport> = self
             .flows
             .iter()
@@ -671,13 +786,15 @@ impl Simulator {
         self.queue = Some(queue);
 
         if let Some(aud) = auditor.as_ref() {
-            aud.check_report(end, &flow_reports, &queue_report)?;
+            aud.check_report(effective_end, &flow_reports, &queue_report)?;
         }
 
         Ok(SimReport {
             flows: flow_reports,
             queue: queue_report,
             duration_secs: self.config.duration.as_secs_f64(),
+            effective_duration_secs: effective_end.as_secs_f64(),
+            early_stopped: stopped_at.is_some(),
             events_processed,
             trace,
         })
@@ -1060,6 +1177,156 @@ mod tests {
             )
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn early_stop_ends_a_steady_run_before_the_horizon() {
+        // A fixed-window flow reaches steady state within a couple of
+        // RTTs; a 60s horizon is almost all wasted events.
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 60.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let full = {
+            let (cfg, _) = base_config(10.0, 40, 2.0, 60.0);
+            let mut sim = Simulator::new(cfg);
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+            sim.run()
+        };
+        let mut sim = Simulator::new(cfg.with_early_stop(EarlyStop::new(0.05, 3)));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.run();
+        assert!(report.early_stopped);
+        assert!(
+            report.effective_duration_secs < 10.0,
+            "steady flow must stop within a few windows, got {}s",
+            report.effective_duration_secs
+        );
+        assert_eq!(report.duration_secs, 60.0, "configured horizon is kept");
+        assert!(
+            report.events_processed * 3 < full.events_processed,
+            "early stop must save most of the events: {} vs {}",
+            report.events_processed,
+            full.events_processed
+        );
+        // Throughput is normalized by the effective window, so the
+        // number still reflects the steady state, not the truncation.
+        let tp = report.flows[0].throughput_mbps();
+        assert!((tp - 10.0).abs() < 0.5, "throughput={tp}");
+    }
+
+    #[test]
+    fn unfired_early_stop_leaves_results_bit_identical() {
+        // With an epsilon no real run can meet, the detector never fires:
+        // apart from the ConvergenceCheck events themselves, the run must
+        // be indistinguishable from a fixed-horizon one.
+        let run = |stop: Option<EarlyStop>| {
+            let (mut cfg, rtt) = base_config(10.0, 40, 1.0, 10.0);
+            cfg.stop = stop;
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let mut sim = Simulator::new(cfg);
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            sim.run()
+        };
+        let plain = run(None);
+        let armed = run(Some(EarlyStop::new(1e-300, 3)));
+        assert!(!armed.early_stopped);
+        assert_eq!(armed.effective_duration_secs, armed.duration_secs);
+        for (a, b) in plain.flows.iter().zip(&armed.flows) {
+            assert_eq!(
+                a.to_json_value().to_json(),
+                b.to_json_value().to_json(),
+                "flow results must not depend on an unfired early stop"
+            );
+        }
+        assert_eq!(
+            plain.queue.to_json_value().to_json(),
+            armed.queue.to_json_value().to_json()
+        );
+    }
+
+    #[test]
+    fn early_stop_respects_min_time() {
+        let (cfg, rtt) = base_config(10.0, 40, 2.0, 60.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let stop = EarlyStop::new(0.05, 2).with_min_time(SimDuration::from_secs_f64(20.0));
+        let mut sim = Simulator::new(cfg.with_early_stop(stop));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.run();
+        assert!(report.early_stopped);
+        assert!(
+            report.effective_duration_secs >= 20.0,
+            "stop at {}s violates the 20s floor",
+            report.effective_duration_secs
+        );
+    }
+
+    #[test]
+    fn early_stopped_audited_run_stays_consistent() {
+        let (cfg, rtt) = base_config(10.0, 40, 4.0, 60.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        // Two phase-locked fixed-window flows trade ~10% of goodput back
+        // and forth between windows; the epsilon must cover that swing.
+        let cfg = cfg
+            .with_early_stop(EarlyStop::new(0.15, 3))
+            .with_audit(true);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        let report = sim.try_run().expect("audited early-stopped run");
+        assert!(report.early_stopped);
+        assert!(report.queue.utilization > 0.9);
+    }
+
+    #[test]
+    fn trace_stride_thins_and_cap_bounds_samples() {
+        use crate::trace::TraceConfig;
+        let sampled = |tc: TraceConfig| {
+            let (cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let cfg = cfg
+                .with_trace(SimDuration::from_millis(100))
+                .with_trace_config(tc);
+            let mut sim = Simulator::new(cfg);
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+            sim.run()
+        };
+        let dense = sampled(TraceConfig::default());
+        assert_eq!(dense.trace.len(), 101); // t=0 .. t=10s inclusive
+        let strided = sampled(TraceConfig {
+            stride: 4,
+            max_samples: None,
+        });
+        assert_eq!(strided.trace.len(), 26); // every 400ms
+                                             // Strided samples are a subset of the dense schedule, at the
+                                             // stride spacing.
+        assert_eq!(strided.trace.samples[1].time.as_secs_f64(), 0.4);
+        let capped = sampled(TraceConfig {
+            stride: 1,
+            max_samples: Some(7),
+        });
+        assert_eq!(capped.trace.len(), 7);
+        // Hitting the cap also stops scheduling sample events.
+        assert!(capped.events_processed < dense.events_processed);
+    }
+
+    #[test]
+    fn degenerate_early_stop_and_trace_configs_are_rejected() {
+        use crate::trace::TraceConfig;
+        let (cfg, _) = base_config(10.0, 40, 2.0, 10.0);
+        let bad_eps = cfg.clone().with_early_stop(EarlyStop::new(0.0, 3));
+        assert!(Simulator::try_new(bad_eps).is_err());
+        let bad_dwell = cfg.clone().with_early_stop(EarlyStop::new(0.05, 0));
+        assert!(Simulator::try_new(bad_dwell).is_err());
+        let bad_stride = cfg.clone().with_trace_config(TraceConfig {
+            stride: 0,
+            max_samples: None,
+        });
+        assert!(Simulator::try_new(bad_stride).is_err());
+        let bad_cap = cfg.with_trace_config(TraceConfig {
+            stride: 1,
+            max_samples: Some(0),
+        });
+        assert!(Simulator::try_new(bad_cap).is_err());
     }
 
     #[test]

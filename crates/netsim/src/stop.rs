@@ -1,0 +1,194 @@
+//! Convergence-aware early termination.
+//!
+//! NE sweeps run hundreds of fixed-horizon simulations whose interesting
+//! question — the steady-state goodput split — is usually settled long
+//! before the horizon. An opt-in [`EarlyStop`] policy watches per-flow
+//! goodput over sliding windows and ends the run once every flow's
+//! window-to-window relative delta has stayed under `epsilon` for
+//! `dwell` consecutive windows. The report then carries the *effective*
+//! horizon ([`crate::sim::SimReport::effective_duration_secs`]) so all
+//! window-averaged quantities are normalized by the time actually
+//! simulated.
+//!
+//! The policy is part of the run's identity: `hash.rs` folds it into the
+//! [`crate::sim::SimConfig`] content hash (only when set, so existing
+//! fixed-horizon digests are unchanged), which keeps early-stopped and
+//! fixed-horizon results from ever aliasing in the scenario cache.
+
+use crate::error::ConfigError;
+use crate::time::SimDuration;
+
+/// An opt-in steady-state stop policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Width of each goodput measurement window.
+    pub window: SimDuration,
+    /// Maximum relative window-to-window goodput delta that still counts
+    /// as "steady" for a flow.
+    pub epsilon: f64,
+    /// Number of consecutive steady windows (across *all* flows) required
+    /// before the run stops.
+    pub dwell: u32,
+    /// Never stop before this much simulated time, regardless of how
+    /// steady the flows look (slow-start transients can be flat).
+    pub min_time: SimDuration,
+}
+
+impl EarlyStop {
+    /// Policy with the given threshold and dwell, a 1-second window, and
+    /// a 3-second minimum horizon.
+    pub fn new(epsilon: f64, dwell: u32) -> Self {
+        EarlyStop {
+            window: SimDuration::from_secs_f64(1.0),
+            epsilon,
+            dwell,
+            min_time: SimDuration::from_secs_f64(3.0),
+        }
+    }
+
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    pub fn with_min_time(mut self, min_time: SimDuration) -> Self {
+        self.min_time = min_time;
+        self
+    }
+
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == SimDuration::ZERO {
+            return Err(ConfigError::NonPositive {
+                field: "early-stop window",
+            });
+        }
+        // `NaN` fails both arms, so a degenerate tolerance is rejected.
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
+            return Err(ConfigError::NonPositive {
+                field: "early-stop epsilon",
+            });
+        }
+        if self.dwell == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "early-stop dwell",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Live state of the steady-state detector during one run.
+#[derive(Debug)]
+pub(crate) struct ConvergenceDetector {
+    /// `goodput_bytes_total` per flow at the previous check.
+    prev_totals: Vec<u64>,
+    /// Windowed goodput rate per flow at the previous check (bytes/sec);
+    /// `None` until two windows have elapsed.
+    prev_rates: Option<Vec<f64>>,
+    /// Consecutive steady windows so far.
+    streak: u32,
+    /// Rate floor (bytes/sec) below which two windows compare equal — one
+    /// MSS per window, so idle or barely-active flows don't flap the
+    /// relative delta between 0 and 1.
+    floor: f64,
+}
+
+impl ConvergenceDetector {
+    pub(crate) fn new(n_flows: usize, mss: u64, window: SimDuration) -> Self {
+        let window_secs = window.as_secs_f64().max(f64::MIN_POSITIVE);
+        ConvergenceDetector {
+            prev_totals: vec![0; n_flows],
+            prev_rates: None,
+            streak: 0,
+            floor: mss as f64 / window_secs,
+        }
+    }
+
+    /// Feed the per-flow cumulative goodput counters at a window boundary.
+    /// Returns `true` once `dwell` consecutive windows were steady.
+    pub(crate) fn observe(
+        &mut self,
+        totals: Vec<u64>,
+        window_secs: f64,
+        policy: &EarlyStop,
+    ) -> bool {
+        let rates: Vec<f64> = totals
+            .iter()
+            .zip(&self.prev_totals)
+            .map(|(&cur, &prev)| cur.saturating_sub(prev) as f64 / window_secs)
+            .collect();
+        let steady = match &self.prev_rates {
+            None => false,
+            Some(prev) => rates.iter().zip(prev).all(|(&cur, &old)| {
+                let scale = cur.max(old).max(self.floor);
+                (cur - old).abs() / scale <= policy.epsilon
+            }),
+        };
+        self.streak = if steady { self.streak + 1 } else { 0 };
+        self.prev_totals = totals;
+        self.prev_rates = Some(rates);
+        self.streak >= policy.dwell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(epsilon: f64, dwell: u32) -> EarlyStop {
+        EarlyStop::new(epsilon, dwell)
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_policies() {
+        assert!(policy(0.05, 3).validate().is_ok());
+        assert!(policy(0.0, 3).validate().is_err());
+        assert!(policy(0.05, 0).validate().is_err());
+        assert!(policy(0.05, 3)
+            .with_window(SimDuration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn detector_requires_dwell_consecutive_steady_windows() {
+        let p = policy(0.05, 2);
+        let mut d = ConvergenceDetector::new(1, 1500, p.window);
+        // Window 1: first rate, nothing to compare against yet.
+        assert!(!d.observe(vec![1_000_000u64], 1.0, &p));
+        // Window 2: steady (same rate) → streak 1 of 2.
+        assert!(!d.observe(vec![2_000_000u64], 1.0, &p));
+        // Window 3: steady again → streak 2 → converged.
+        assert!(d.observe(vec![3_000_000u64], 1.0, &p));
+    }
+
+    #[test]
+    fn a_rate_jump_resets_the_streak() {
+        let p = policy(0.05, 2);
+        let mut d = ConvergenceDetector::new(1, 1500, p.window);
+        assert!(!d.observe(vec![1_000_000u64], 1.0, &p));
+        assert!(!d.observe(vec![2_000_000u64], 1.0, &p));
+        // 50% jump: not steady, streak resets.
+        assert!(!d.observe(vec![3_500_000u64], 1.0, &p));
+        assert!(!d.observe(vec![5_000_000u64], 1.0, &p));
+        assert!(d.observe(vec![6_500_000u64], 1.0, &p));
+    }
+
+    #[test]
+    fn idle_flows_compare_steady_via_the_floor() {
+        let p = policy(0.05, 1);
+        let mut d = ConvergenceDetector::new(2, 1500, p.window);
+        assert!(!d.observe(vec![0u64, 1_000_000], 1.0, &p));
+        // Flow 0 stays idle: 0-vs-0 must not divide by zero or flap.
+        assert!(d.observe(vec![0u64, 2_000_000], 1.0, &p));
+    }
+
+    #[test]
+    fn any_single_flow_breaks_convergence() {
+        let p = policy(0.05, 1);
+        let mut d = ConvergenceDetector::new(2, 1500, p.window);
+        assert!(!d.observe(vec![1_000_000u64, 1_000_000], 1.0, &p));
+        // Flow 1 doubles its rate while flow 0 is steady.
+        assert!(!d.observe(vec![2_000_000u64, 3_000_000], 1.0, &p));
+    }
+}

@@ -18,9 +18,11 @@
 //!
 //! and explain the change in the commit message.
 
-use bbrdom_experiments::scenario::{DisciplineSpec, Scenario};
+use bbrdom_experiments::scenario::{DisciplineSpec, FaultSpec, Scenario};
 use bbrdom_netsim::json::{self, Value};
 use bbrdom_netsim::SimReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 
 /// FNV-1a over a byte stream.
@@ -54,6 +56,7 @@ impl Fnv {
 fn fingerprint(report: &SimReport) -> u64 {
     let mut h = Fnv::new();
     h.f64(report.duration_secs);
+    h.u64(report.events_processed);
     for f in &report.flows {
         h.write(f.cc_name.as_bytes());
         h.f64(f.throughput_bytes_per_sec);
@@ -118,6 +121,56 @@ fn matrix() -> Vec<(String, Scenario)> {
     ] {
         let s = Scenario::versus(20.0, 20.0, 2.0, 1, Bbr, 1, 5.0, 3).with_discipline(d);
         cases.push((format!("{name}_b2_s3"), s));
+    }
+    // Seeded fault schedules: wire loss, outage + capacity step, and a
+    // delay spike, so the fault RNG and schedule plumbing are pinned too.
+    let mut lossy = Scenario::versus(10.0, 20.0, 2.0, 1, Cubic, 1, 5.0, 11);
+    lossy.faults = FaultSpec {
+        loss_fwd: 0.01,
+        loss_ack: 0.005,
+        ..FaultSpec::default()
+    };
+    cases.push(("faults_loss_s11".to_string(), lossy));
+    let mut outage = Scenario::versus(20.0, 40.0, 1.0, 2, Bbr, 2, 6.0, 12);
+    outage.faults = FaultSpec {
+        outages: vec![(2.0, 0.5)],
+        rate_steps: vec![(4.0, 10.0)],
+        ..FaultSpec::default()
+    };
+    cases.push(("faults_outage_rate_s12".to_string(), outage));
+    let mut spike = Scenario::versus(15.0, 30.0, 2.0, 1, BbrV2, 1, 5.0, 13);
+    spike.faults = FaultSpec {
+        loss_fwd: 0.002,
+        delay_spikes: vec![(1.5, 0.5, 30.0)],
+        ..FaultSpec::default()
+    };
+    cases.push(("faults_spike_s13".to_string(), spike));
+    // Randomized configs from a pinned RNG: broad coverage of the config
+    // space (rates, RTTs, buffers, splits, disciplines, faults) without
+    // hand-picking. The draw sequence is part of the golden contract.
+    let mut rng = StdRng::seed_from_u64(0x601d_5eed);
+    let ccas = [Cubic, NewReno, Bbr, BbrV2, Copa, Vivace, Vegas];
+    for i in 0..10 {
+        let mbps = [8.0, 16.0, 32.0][rng.gen_range(0usize..3)];
+        let rtt_ms = [10.0, 20.0, 40.0][rng.gen_range(0usize..3)];
+        let buffer_bdp = [0.5, 1.0, 2.0, 4.0][rng.gen_range(0usize..4)];
+        let n_each: u32 = rng.gen_range(1u32..4);
+        let incumbent = ccas[rng.gen_range(0..ccas.len())];
+        let challenger = ccas[rng.gen_range(0..ccas.len())];
+        let seed = rng.gen_range(1..1_000_000u64);
+        let mut s = Scenario::versus(
+            mbps, rtt_ms, buffer_bdp, n_each, challenger, n_each, 4.0, seed,
+        );
+        s.flows[..n_each as usize]
+            .iter_mut()
+            .for_each(|f| f.cca = incumbent.into());
+        if rng.gen_bool(0.5) {
+            s.faults.loss_fwd = [0.001, 0.005][rng.gen_range(0usize..2)];
+        }
+        if rng.gen_bool(0.3) {
+            s.faults.outages.push((1.0, 0.25));
+        }
+        cases.push((format!("rand{i:02}"), s));
     }
     cases
 }

@@ -48,6 +48,7 @@ fn rtt_fairness_direction_in_simulation() {
             seed: 99,
             discipline: Default::default(),
             faults: Default::default(),
+            early_stop: None,
         }
         .run()
     };
