@@ -12,6 +12,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Doc gate runs BEFORE the test suite so doc rot fails fast: every public
+# item of the first-party crates must document cleanly (broken intra-doc
+# links, bad code fences and missing docs are hard errors).
+echo "==> cargo doc (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p bbrdom-core -p bbrdom-netsim -p bbrdom-cca -p bbrdom-fluid \
+    -p bbrdom-experiments -p bbrdom-bench
+
 echo "==> tier-1 tests (workspace, release)"
 cargo test --release --workspace
 
@@ -72,6 +80,26 @@ for f in "$ne_out/serial"/fig09_*.csv; do
     }' || { echo "adaptive-vs-dense NE mismatch in $base"; exit 1; }
 done
 
+# Fluid-vs-DES smoke diff: one fig 9 panel on each backend. The fluid
+# backend must run the panel end to end through the same repro CLI and
+# produce structurally identical CSV (same files, same header, same row
+# count) — numeric columns legitimately differ between the two models.
+echo "==> fluid backend smoke (repro 9 --backend fluid vs des, one panel)"
+fl_out="${TMPDIR:-/tmp}/bbrdom-ci-fluid"
+rm -rf "$fl_out"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 1 --no-cache --backend fluid --out "$fl_out/fluid"
+for f in "$ne_out/serial"/fig09_*.csv; do
+    base="$(basename "$f")"
+    [[ -f "$fl_out/fluid/$base" ]] || { echo "fluid run missing $base"; exit 1; }
+    if ! cmp -s <(head -1 "$f") <(head -1 "$fl_out/fluid/$base"); then
+        echo "fluid CSV header differs in $base"; exit 1
+    fi
+    if [[ "$(wc -l < "$f")" != "$(wc -l < "$fl_out/fluid/$base")" ]]; then
+        echo "fluid CSV row count differs in $base"; exit 1
+    fi
+done
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
     # regressions and keep BENCH_netsim.json generation exercised. Not a
@@ -93,6 +121,13 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # the numbers).
     echo "==> sweep perf smoke (sweep_perf)"
     cargo bench -p bbrdom-bench --bench sweep_perf
+
+    # Fluid perf smoke: the two-tier pipeline's pinned claims — the fluid
+    # payoff grid >= 100x faster than the DES grid on a fig 9 panel, and
+    # the fluid-located/DES-certified NE within one grid step of dense
+    # (asserted inside the bench; BENCH_fluid.json records the numbers).
+    echo "==> fluid perf smoke (fluid_perf)"
+    cargo bench -p bbrdom-bench --bench fluid_perf
 fi
 
 echo "==> CI OK"

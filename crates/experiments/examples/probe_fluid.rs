@@ -1,0 +1,34 @@
+//! Offline calibration sweep: fluid vs DES share/utilization deltas
+//! across the envelope grid. Used to set the tolerances documented in
+//! EXPERIMENTS.md; not part of the test suite.
+use bbrdom_cca::CcaKind;
+use bbrdom_experiments::{BackendSpec, Scenario, TrialResult};
+
+fn share(r: &TrialResult) -> f64 {
+    r.total_throughput_of("bbr") / r.total_throughput()
+}
+
+fn main() {
+    println!("mbps rtt buf nc/nb | des fluid delta | util_delta");
+    let mut worst: (f64, String) = (0.0, String::new());
+    for &(mbps, rtt) in &[(20.0, 10.0), (50.0, 20.0), (100.0, 20.0), (100.0, 40.0)] {
+        for &buf in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+            for &(nc, nb) in &[(1u32, 1u32), (2, 2), (3, 3), (4, 2), (2, 4)] {
+                let des = Scenario::versus(mbps, rtt, buf, nc, CcaKind::Bbr, nb, 30.0, 77);
+                let fl = des.clone().with_backend(BackendSpec::Fluid);
+                let (d, f) = (des.run(), fl.run());
+                let (ds, fs) = (share(&d), share(&f));
+                let du = (f.utilization - d.utilization).abs();
+                let line = format!(
+                    "{mbps:>5} {rtt:>4} {buf:>4} {nc}/{nb} | {ds:.3} {fs:.3} {:+.3} | {du:.3}",
+                    fs - ds
+                );
+                println!("{line}");
+                if (fs - ds).abs() > worst.0 {
+                    worst = ((fs - ds).abs(), line);
+                }
+            }
+        }
+    }
+    println!("\nworst share delta: {}", worst.1);
+}

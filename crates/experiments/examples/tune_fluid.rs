@@ -1,0 +1,46 @@
+//! Headroom tuning probe: sweeps FLUID_BW_HEADROOM against seed-averaged
+//! DES references on the agreement-envelope grid. Offline tool, not a test.
+use bbrdom_cca::CcaKind;
+use bbrdom_experiments::{BackendSpec, Scenario, TrialResult};
+
+fn share(r: &TrialResult) -> f64 {
+    r.total_throughput_of("bbr") / r.total_throughput()
+}
+
+fn main() {
+    let seeds = [77u64, 178, 1552];
+    let factors = [1.0f64, 1.1, 1.2, 1.3];
+    let configs: Vec<(f64, f64, f64, u32, u32)> = vec![
+        (50.0, 20.0, 0.5, 1, 1),
+        (50.0, 20.0, 2.0, 1, 1),
+        (50.0, 20.0, 8.0, 1, 1),
+        (50.0, 20.0, 2.0, 3, 3),
+        (50.0, 20.0, 4.0, 2, 4),
+        (50.0, 20.0, 8.0, 4, 2),
+        (100.0, 20.0, 1.0, 2, 2),
+        (100.0, 20.0, 4.0, 2, 2),
+        (100.0, 20.0, 8.0, 3, 3),
+    ];
+    println!("config | des(mean) | fluid share per factor {factors:?}");
+    let mut worst = vec![0.0f64; factors.len()];
+    for &(mbps, rtt, buf, nc, nb) in &configs {
+        let mk = |seed| Scenario::versus(mbps, rtt, buf, nc, CcaKind::Bbr, nb, 30.0, seed);
+        let des_mean = seeds.iter().map(|&s| share(&mk(s).run())).sum::<f64>() / seeds.len() as f64;
+        let mut row = format!("{mbps:>5} {rtt:>4} {buf:>4} {nc}/{nb} | {des_mean:.3} |");
+        for (fi, &f) in factors.iter().enumerate() {
+            std::env::set_var("FLUID_BW_HEADROOM", format!("{f}"));
+            let fl_mean = seeds
+                .iter()
+                .map(|&s| share(&mk(s).with_backend(BackendSpec::Fluid).run()))
+                .sum::<f64>()
+                / seeds.len() as f64;
+            row += &format!(" {fl_mean:.3}({:+.3})", fl_mean - des_mean);
+            worst[fi] = worst[fi].max((fl_mean - des_mean).abs());
+        }
+        println!("{row}");
+    }
+    std::env::remove_var("FLUID_BW_HEADROOM");
+    for (fi, &f) in factors.iter().enumerate() {
+        println!("factor {f}: worst |delta| = {:.3}", worst[fi]);
+    }
+}

@@ -12,7 +12,7 @@
 use bbrdom_experiments::engine::{jobs_from_env, Engine, EngineConfig};
 use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
 use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
-use bbrdom_experiments::Profile;
+use bbrdom_experiments::{BackendSpec, Profile};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,6 +36,7 @@ struct Overrides {
     ack_loss: Option<f64>,
     adaptive: Option<bool>,
     early_stop: Option<Option<(f64, u32)>>,
+    backend: Option<BackendSpec>,
 }
 
 /// Default detector knobs for a bare `--early-stop`.
@@ -136,6 +137,15 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--adaptive" => overrides.adaptive = Some(true),
+            "--backend" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--backend needs 'des' or 'fluid'".to_string())?;
+                overrides.backend =
+                    Some(BackendSpec::from_name(&name).ok_or_else(|| {
+                        format!("--backend must be 'des' or 'fluid', got '{name}'")
+                    })?);
+            }
             "--dense" => overrides.adaptive = Some(false),
             s if s == "--early-stop" || s.starts_with("--early-stop=") => {
                 overrides.early_stop = Some(Some(parse_early_stop(s)?));
@@ -178,6 +188,9 @@ fn parse_args() -> Result<Args, String> {
     if let Some(e) = overrides.early_stop {
         profile.early_stop = e;
     }
+    if let Some(b) = overrides.backend {
+        profile.backend = b;
+    }
     Ok(Args {
         targets,
         profile,
@@ -198,6 +211,7 @@ fn usage() -> String {
          overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n\
          impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n\
          perf: --adaptive (model-guided NE search) / --dense (full grid, default)\n\
+         \x20     --backend des|fluid (packet DES, default, or the fluid/ODE fast model)\n\
          \x20     --early-stop[=EPS,DWELL] (stop converged runs early; default 0.05,3)\n\
          \x20     --no-early-stop (fixed horizon, default)\n\
          engine: --jobs N (or BBRDOM_JOBS; default: all cores)\n\

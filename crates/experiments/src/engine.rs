@@ -55,6 +55,19 @@ pub const CACHE_FORMAT_VERSION: u32 = 1;
 /// simulation output. Two scenarios hash alike iff a run of one is
 /// bit-identical to a run of the other; see the completeness test,
 /// which mutates every public field and asserts the hash moves.
+///
+/// The simulation *backend* is part of the identity: the same scenario
+/// run on the fluid model hashes to a different key than the DES run,
+/// so the two can never alias in the result cache.
+///
+/// ```
+/// use bbrdom_cca::CcaKind;
+/// use bbrdom_experiments::{scenario_hash, BackendSpec, Scenario};
+///
+/// let des = Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 10.0, 1);
+/// let fluid = des.clone().with_backend(BackendSpec::Fluid);
+/// assert_ne!(scenario_hash(&des), scenario_hash(&fluid));
+/// ```
 pub fn scenario_hash(s: &Scenario) -> u128 {
     let mut h = StableHasher::new();
     CACHE_FORMAT_VERSION.stable_hash(&mut h);
@@ -85,6 +98,13 @@ pub fn scenario_hash(s: &Scenario) -> u128 {
         stop.dwell.stable_hash(&mut h);
         stop.window_secs.stable_hash(&mut h);
         stop.min_secs.stable_hash(&mut h);
+    }
+    // Backend domain separation, by the same opt-in marker scheme: DES
+    // scenarios (the default) keep their historical hashes, while a fluid
+    // run of the same scenario lives under a distinct key.
+    if s.backend != crate::scenario::BackendSpec::Des {
+        h.write_bytes(b"backend");
+        s.backend.name().stable_hash(&mut h);
     }
     h.finish()
 }
@@ -347,6 +367,31 @@ impl Engine {
     /// Run all scenarios with the engine's pool, panicking on the first
     /// (lowest-index) failure — the strict interface figure sweeps use.
     /// Results come back in input order.
+    ///
+    /// ```
+    /// use bbrdom_cca::CcaKind;
+    /// use bbrdom_experiments::{BackendSpec, Engine, EngineConfig, Scenario};
+    ///
+    /// let engine = Engine::new(EngineConfig {
+    ///     jobs: 1,
+    ///     disk_cache: None,
+    ///     memory_cache: true,
+    /// });
+    /// // Two cells of a payoff sweep on the fluid fast backend.
+    /// let cells: Vec<Scenario> = [1u32, 2]
+    ///     .iter()
+    ///     .map(|&k| {
+    ///         Scenario::versus(20.0, 20.0, 2.0, 2 - k, CcaKind::Bbr, k, 5.0, 7)
+    ///             .with_backend(BackendSpec::Fluid)
+    ///     })
+    ///     .collect();
+    /// let results = engine.run_all(&cells);
+    /// assert_eq!(results.len(), 2);
+    /// assert!(results.iter().all(|r| r.utilization > 0.5));
+    /// // Re-running the same cells is served from the cache.
+    /// engine.run_all(&cells);
+    /// assert_eq!(engine.stats().memory_hits, 2);
+    /// ```
     pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<TrialResult> {
         self.run_all_jobs(scenarios, self.config.jobs)
     }

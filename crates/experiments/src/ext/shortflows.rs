@@ -17,7 +17,7 @@ use super::FigResult;
 use crate::output::{mean, Table};
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario};
+use crate::scenario::{BackendSpec, DisciplineSpec, FaultSpec, FlowSpec, Scenario};
 use bbrdom_cca::CcaKind;
 
 pub const MBPS: f64 = 50.0;
@@ -59,6 +59,7 @@ pub fn scenario(n_long: u32, n_bbr: u32, size: u64, duration: f64, seed: u64) ->
         discipline: DisciplineSpec::DropTail,
         faults: FaultSpec::default(),
         early_stop: None,
+        backend: BackendSpec::Des,
     }
 }
 

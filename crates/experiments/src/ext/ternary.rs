@@ -15,7 +15,7 @@ use super::FigResult;
 use crate::output::Table;
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{DisciplineSpec, FaultSpec, FlowSpec, Scenario};
+use crate::scenario::{BackendSpec, DisciplineSpec, FaultSpec, FlowSpec, Scenario};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::multistrategy::MultiStrategyGame;
 use std::collections::HashMap;
@@ -42,6 +42,7 @@ fn scenario_for(state: &[u32], duration: f64, seed: u64) -> Scenario {
         discipline: DisciplineSpec::DropTail,
         faults: FaultSpec::default(),
         early_stop: None,
+        backend: BackendSpec::Des,
     }
 }
 

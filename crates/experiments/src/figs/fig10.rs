@@ -16,7 +16,7 @@ use super::FigResult;
 use crate::output::Table;
 use crate::profile::Profile;
 use crate::runner;
-use crate::scenario::{FlowSpec, Scenario};
+use crate::scenario::{BackendSpec, FlowSpec, Scenario};
 use bbrdom_cca::CcaKind;
 use bbrdom_core::game::multigroup::{GroupPayoffs, MultiGroupGame};
 use std::collections::HashMap;
@@ -61,6 +61,7 @@ fn scenario_for_state(
         discipline: Default::default(),
         faults: Default::default(),
         early_stop: None,
+        backend: BackendSpec::Des,
     }
 }
 

@@ -9,9 +9,12 @@
 //! * [`runner`] — the batch-execution façade over the engine;
 //! * [`payoff`] — empirical payoff curves over all `n + 1` CUBIC/X splits
 //!   and the §4.4 Nash-equilibrium search;
-//! * [`adaptive`] — the model-guided adaptive NE search (`--adaptive`):
-//!   Eq. (25) seeds a bracket that simulations refine, with a dense-grid
-//!   fallback when model and measurement disagree;
+//! * [`adaptive`] — the two-tier adaptive NE search (`--adaptive`):
+//!   cheap oracles (the fluid backend, then Eq. (25)) each propose a NE
+//!   bracket, DES certifies only inside it, and a dense-grid fallback
+//!   runs only after every oracle's band has been tried and logged;
+//! * [`fluid_backend`] — lowers a [`Scenario`] onto `bbrdom-fluid`'s
+//!   ODE integrator and enforces its validity envelope;
 //! * [`sync`] — CUBIC loss-synchronization measurement (used to decide
 //!   which model bound a trial should sit near);
 //! * [`output`] — CSV/table emission for every figure;
@@ -35,6 +38,7 @@ pub mod adaptive;
 pub mod engine;
 pub mod ext;
 pub mod figs;
+pub mod fluid_backend;
 pub mod output;
 pub mod payoff;
 pub mod profile;
@@ -42,7 +46,9 @@ pub mod runner;
 pub mod scenario;
 pub mod sync;
 
-pub use adaptive::{find_ne_adaptive, find_ne_adaptive_on, AdaptiveNe};
+pub use adaptive::{find_ne_adaptive, find_ne_adaptive_on, AdaptiveNe, NeOracle};
 pub use engine::{scenario_hash, scenario_hash_hex, CacheStats, Engine, EngineConfig};
 pub use profile::Profile;
-pub use scenario::{DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario, TrialResult};
+pub use scenario::{
+    BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario, TrialResult,
+};

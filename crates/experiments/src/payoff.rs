@@ -244,6 +244,7 @@ pub fn distribution_scenario(
             .early_stop
             .map(|(epsilon, dwell)| EarlyStopSpec::new(epsilon, dwell)),
     )
+    .with_backend(profile.backend)
 }
 
 /// Measure payoffs at a *subset* `ks` of the distributions, on an

@@ -35,6 +35,10 @@ pub struct Profile {
     /// `(epsilon, dwell)` for the per-flow steady-state detector, `None`
     /// for fixed-horizon runs (the bit-identical default).
     pub early_stop: Option<(f64, u32)>,
+    /// Which simulation backend runs the scenarios (`repro --backend`):
+    /// the packet DES (default, ground truth) or the fluid/ODE model
+    /// (µs-scale, envelope-restricted; see `bbrdom-fluid`).
+    pub backend: crate::scenario::BackendSpec,
 }
 
 impl Profile {
@@ -50,6 +54,7 @@ impl Profile {
             ack_loss: 0.0,
             adaptive: false,
             early_stop: None,
+            backend: crate::scenario::BackendSpec::Des,
         }
     }
 
@@ -65,6 +70,7 @@ impl Profile {
             ack_loss: 0.0,
             adaptive: false,
             early_stop: None,
+            backend: crate::scenario::BackendSpec::Des,
         }
     }
 
@@ -81,6 +87,7 @@ impl Profile {
             ack_loss: 0.0,
             adaptive: false,
             early_stop: None,
+            backend: crate::scenario::BackendSpec::Des,
         }
     }
 

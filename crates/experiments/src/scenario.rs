@@ -330,6 +330,55 @@ impl EarlyStopSpec {
     }
 }
 
+/// Which simulation backend executes a scenario.
+///
+/// * [`BackendSpec::Des`] — the packet-level discrete-event simulator
+///   (`bbrdom-netsim`): the ground truth, faithful to per-packet loss,
+///   retransmission, and queue microstructure. Seconds per run.
+/// * [`BackendSpec::Fluid`] — the `bbrdom-fluid` ODE aggregate model:
+///   steady-state throughput shares only, microseconds per run, valid
+///   for drop-tail + clean-path + backlogged CUBIC/NewReno/BBR/BBRv2
+///   scenarios (anything else is rejected with
+///   [`ConfigError::Unsupported`]).
+///
+/// The backend is part of a scenario's *identity*: it feeds the JSON
+/// serialization and the engine's content hash, so a fluid result can
+/// never alias a DES result in the cache.
+///
+/// ```
+/// use bbrdom_experiments::scenario::BackendSpec;
+/// assert_eq!(BackendSpec::from_name("fluid"), Some(BackendSpec::Fluid));
+/// assert_eq!(BackendSpec::Fluid.name(), "fluid");
+/// assert_eq!(BackendSpec::default(), BackendSpec::Des);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendSpec {
+    /// Packet-level discrete-event simulation (the default).
+    #[default]
+    Des,
+    /// Fluid/ODE aggregate model (fast, envelope-restricted).
+    Fluid,
+}
+
+impl BackendSpec {
+    /// Wire name used by `--backend` and the JSON serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendSpec::Des => "des",
+            BackendSpec::Fluid => "fluid",
+        }
+    }
+
+    /// Inverse of [`BackendSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "des" => Some(BackendSpec::Des),
+            "fluid" => Some(BackendSpec::Fluid),
+            _ => None,
+        }
+    }
+}
+
 /// A complete, runnable experiment description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -354,6 +403,8 @@ pub struct Scenario {
     /// Opt-in convergence-aware early termination (default: none — run
     /// the full fixed horizon, bit-identical to historical behavior).
     pub early_stop: Option<EarlyStopSpec>,
+    /// Which simulator executes the scenario (default: the packet DES).
+    pub backend: BackendSpec,
 }
 
 /// Measurements from one run.
@@ -411,6 +462,7 @@ impl Scenario {
             discipline: DisciplineSpec::DropTail,
             faults: FaultSpec::default(),
             early_stop: None,
+            backend: BackendSpec::Des,
         }
     }
 
@@ -429,6 +481,23 @@ impl Scenario {
     /// Attach a convergence-aware early-stop policy.
     pub fn with_early_stop(mut self, spec: Option<EarlyStopSpec>) -> Self {
         self.early_stop = spec;
+        self
+    }
+
+    /// Select the simulation backend.
+    ///
+    /// ```
+    /// use bbrdom_cca::CcaKind;
+    /// use bbrdom_experiments::scenario::{BackendSpec, Scenario};
+    ///
+    /// let fluid = Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 10.0, 1)
+    ///     .with_backend(BackendSpec::Fluid);
+    /// let r = fluid.run(); // microseconds, not seconds
+    /// assert_eq!(r.throughput_mbps.len(), 2);
+    /// assert!(r.total_throughput() > 0.5 * 50.0);
+    /// ```
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -567,8 +636,12 @@ impl Scenario {
         event_budget: Option<u64>,
         wall_budget: Option<std::time::Duration>,
     ) -> Result<bbrdom_netsim::SimReport, SimError> {
-        self.try_build_simulator(event_budget, wall_budget)?
-            .try_run()
+        match self.backend {
+            BackendSpec::Des => self
+                .try_build_simulator(event_budget, wall_budget)?
+                .try_run(),
+            BackendSpec::Fluid => crate::fluid_backend::run_fluid(self, event_budget),
+        }
     }
 }
 
@@ -628,6 +701,9 @@ impl Scenario {
         if let Some(stop) = self.early_stop {
             v.set("early_stop", stop.to_json_value());
         }
+        if self.backend != BackendSpec::Des {
+            v.set("backend", self.backend.name().into());
+        }
         v.to_json()
     }
 
@@ -660,6 +736,12 @@ impl Scenario {
             None => None,
             Some(s) => Some(EarlyStopSpec::from_json_value(s)?),
         };
+        let backend = match v.get("backend").and_then(Value::as_str) {
+            None => BackendSpec::Des,
+            Some(name) => {
+                BackendSpec::from_name(name).ok_or_else(|| format!("unknown backend '{name}'"))?
+            }
+        };
         Ok(Scenario {
             mbps: field("mbps")?,
             buffer_bdp: field("buffer_bdp")?,
@@ -673,6 +755,7 @@ impl Scenario {
             discipline,
             faults,
             early_stop,
+            backend,
         })
     }
 }
@@ -947,6 +1030,73 @@ mod tests {
             Scenario::from_json(&plain.to_json()).unwrap().early_stop,
             None
         );
+    }
+
+    #[test]
+    fn backend_spec_roundtrips_through_json() {
+        let fluid = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3)
+            .with_backend(BackendSpec::Fluid);
+        let back = Scenario::from_json(&fluid.to_json()).unwrap();
+        assert_eq!(back.backend, BackendSpec::Fluid);
+
+        // DES scenarios omit the key entirely: every pre-backend JSON
+        // string stays byte-identical and parses to the DES default.
+        let des = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        assert!(!des.to_json().contains("backend"));
+        assert_eq!(
+            Scenario::from_json(&des.to_json()).unwrap().backend,
+            BackendSpec::Des
+        );
+
+        let bad = des
+            .to_json()
+            .replace("\"seed\"", "\"backend\":\"ns3\",\"seed\"");
+        assert!(Scenario::from_json(&bad).unwrap_err().contains("ns3"));
+    }
+
+    #[test]
+    fn fluid_backend_runs_and_matches_report_shape() {
+        let s = Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 10.0, 3)
+            .with_backend(BackendSpec::Fluid);
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(
+            a.throughput_mbps, b.throughput_mbps,
+            "fluid is deterministic"
+        );
+        assert_eq!(a.cc_names, vec!["cubic".to_string(), "bbr".to_string()]);
+        assert!(a.total_throughput() > 0.5 * 50.0);
+        assert!(a.utilization > 0.5 && a.utilization <= 1.001);
+    }
+
+    #[test]
+    fn fluid_backend_rejects_out_of_envelope_scenarios() {
+        let base = || {
+            Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 1)
+                .with_backend(BackendSpec::Fluid)
+        };
+        let unsupported = |s: &Scenario| {
+            let err = s.try_report_with(None, None).unwrap_err();
+            assert!(
+                err.to_string().contains("fluid backend does not support"),
+                "{err}"
+            );
+        };
+
+        unsupported(&base().with_discipline(DisciplineSpec::Codel));
+        unsupported(&base().with_early_stop(Some(EarlyStopSpec::new(0.05, 3))));
+
+        let mut s = base();
+        s.faults.loss_fwd = 0.01;
+        unsupported(&s);
+
+        let mut s = base();
+        s.flows[0].byte_limit = Some(50_000);
+        unsupported(&s);
+
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Copa, 1, 5.0, 1)
+            .with_backend(BackendSpec::Fluid);
+        unsupported(&s);
     }
 
     #[test]

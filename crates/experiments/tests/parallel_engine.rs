@@ -214,6 +214,10 @@ fn every_scenario_field_changes_the_hash() {
             "early_stop min_secs",
             Box::new(|s| s.early_stop.as_mut().unwrap().min_secs = 6.0),
         ),
+        (
+            "backend",
+            Box::new(|s| s.backend = bbrdom_experiments::BackendSpec::Fluid),
+        ),
     ];
     for (field, mutate) in mutations {
         let mut s = rich_scenario();
@@ -235,6 +239,47 @@ fn flow_order_changes_the_hash() {
     let mut swapped = rich_scenario();
     swapped.flows.swap(0, 2);
     assert_ne!(scenario_hash(&swapped), scenario_hash(&rich_scenario()));
+}
+
+/// Backend domain separation end-to-end: the same scenario run on both
+/// backends occupies two distinct disk-cache entries, each warm rerun
+/// hits its own entry, and neither is ever served the other's numbers.
+#[test]
+fn fluid_and_des_results_never_alias_in_the_cache() {
+    let dir = temp_dir("backend-domains");
+    let des = short_scenario(10.0, 1.0, 1, 1, 33);
+    let fluid = des
+        .clone()
+        .with_backend(bbrdom_experiments::BackendSpec::Fluid);
+    assert_ne!(scenario_hash(&des), scenario_hash(&fluid));
+
+    let warm = engine_with_disk(&dir);
+    let first = warm.run_all(&[des.clone(), fluid.clone()]);
+    assert_eq!(warm.stats().simulated, 2, "distinct hashes, two real runs");
+    assert_ne!(
+        first[0].to_json_value().to_json(),
+        first[1].to_json_value().to_json(),
+        "the two backends must not report identical results"
+    );
+    for s in [&des, &fluid] {
+        assert!(
+            dir.join(format!("{:032x}.json", scenario_hash(s))).exists(),
+            "each backend gets its own cache entry"
+        );
+    }
+
+    let cold = engine_with_disk(&dir);
+    let again = cold.run_all(&[des, fluid]);
+    assert_eq!(cold.stats().disk_hits, 2, "both entries must hit warm");
+    assert_eq!(cold.stats().simulated, 0);
+    for (a, b) in first.iter().zip(&again) {
+        assert_eq!(
+            a.to_json_value().to_json(),
+            b.to_json_value().to_json(),
+            "cached reports reproduce live runs bit-for-bit"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn engine_with_disk(dir: &std::path::Path) -> Engine {

@@ -23,6 +23,12 @@ pub enum ConfigError {
     LossOutOfRange { path: &'static str, value: f64 },
     /// A scheduled fault interval (outage / delay spike) with zero length.
     EmptyFaultInterval { kind: &'static str, at: SimTime },
+    /// The selected simulation backend cannot model a requested feature
+    /// (e.g. the fluid backend asked to run an AQM or fault schedule).
+    Unsupported {
+        backend: &'static str,
+        feature: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +42,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyFaultInterval { kind, at } => {
                 write!(f, "{kind} at {at} has zero length")
+            }
+            ConfigError::Unsupported { backend, feature } => {
+                write!(f, "{backend} backend does not support {feature}")
             }
         }
     }

@@ -7,7 +7,7 @@
 //!
 //! [`EventQueue`] is a calendar queue (a timer wheel with an overflow
 //! level): simulated time is divided into ticks of `2^TICK_SHIFT`
-//! nanoseconds, and a ring of [`NUM_BUCKETS`] buckets holds the pending
+//! nanoseconds, and a ring of `NUM_BUCKETS` buckets holds the pending
 //! events of the next `NUM_BUCKETS` ticks. Scheduling within the ring is
 //! an array index plus an inline-slot (or spill `Vec`) write; popping
 //! jumps straight to the next occupied tick by scanning a one-bit-per-

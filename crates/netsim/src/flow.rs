@@ -15,7 +15,7 @@
 //!   an entire window is lost.
 //!
 //! Sequence numbers are dense (0, 1, 2, …), so the sender's scoreboard is
-//! a [`Scoreboard`] ring buffer indexed by `seq - head_seq` rather than a
+//! a `Scoreboard` ring buffer indexed by `seq - head_seq` rather than a
 //! search tree: insert, remove and the common in-order ACK are O(1), and
 //! the dup-marking scan below an arriving ACK touches a contiguous slice.
 //! The retransmission queue is a sorted `VecDeque` (loss bursts are small

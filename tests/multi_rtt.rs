@@ -49,6 +49,7 @@ fn rtt_fairness_direction_in_simulation() {
             discipline: Default::default(),
             faults: Default::default(),
             early_stop: None,
+            backend: Default::default(),
         }
         .run()
     };
