@@ -35,6 +35,13 @@ echo "==> fault smoke sweep (repro ext-faults --smoke)"
 cargo run --release -p bbrdom-experiments --bin repro -- ext-faults --smoke \
     --out "${TMPDIR:-/tmp}/bbrdom-ci-faults"
 
+# Churn smoke: the open-loop workload engine end to end — flow spawn,
+# teardown, slot recycling, FCT percentiles, NE-under-churn — through
+# the repro binary.
+echo "==> churn smoke (repro ext-churn --smoke)"
+cargo run --release -p bbrdom-experiments --bin repro -- ext-churn --smoke \
+    --out "${TMPDIR:-/tmp}/bbrdom-ci-churn"
+
 # Parallel-engine smoke: the NE pipeline (fig 9) run serial/uncached,
 # then parallel with a cold disk cache, then again warm. All three CSV
 # sets must be byte-identical — parallelism and caching are only
@@ -102,10 +109,15 @@ done
 
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
-    # regressions and keep BENCH_netsim.json generation exercised. Not a
-    # pass/fail throughput gate — wall-clock thresholds don't travel
-    # across machines; compare BENCH_netsim.json runs by hand instead.
-    echo "==> perf smoke (netsim_perf, BENCH_SAMPLES=5)"
+    # regressions and keep BENCH_netsim.json generation exercised. The
+    # 1-second cases are report-only — wall-clock thresholds don't
+    # travel across machines; compare BENCH_netsim.json runs by hand.
+    # The 10s/12k-flow open-loop churn case IS gated: the bench asserts
+    # >= 10k cumulative workload flows and fails if events/s drops below
+    # its pinned floor (a deliberately low bar that only structural
+    # regressions — leaked timers, unrecycled slots — can miss; export
+    # BENCH_NO_FLOOR=1 to report without gating).
+    echo "==> perf smoke (netsim_perf incl. 12k-flow churn floor, BENCH_SAMPLES=5)"
     BENCH_SAMPLES=5 cargo bench -p bbrdom-bench --bench netsim_perf
 
     # Payoff-engine smoke: serial vs parallel vs warm-cache timings for

@@ -3,17 +3,27 @@
 //! Not a paper figure — this tracks the substrate's speed (events/sec),
 //! which bounds how fast the paper-scale sweeps (`repro --full`) run.
 //!
-//! Three slices of one simulated second at 100 Mbps / 20 ms: a single
+//! Three slices of one simulated second at 100 Mbps / 20 ms — a single
 //! saturating flow (in-order fast path), the historical 10-flow mix (the
 //! cross-engine comparison case — keep its config stable), and a 50-flow
-//! overload that drops and retransmits (scoreboard + loss-marking path).
+//! overload that drops and retransmits (scoreboard + loss-marking path) —
+//! plus a 10-second open-loop churn case that spawns and tears down over
+//! ten thousand finite flows, exercising the workload engine's slot
+//! recycling at internet-like arrival rates. The churn case carries a
+//! pinned events/sec floor: a regression that makes teardown or slot
+//! reuse leak work shows up as a hard bench failure, not a silent
+//! slowdown (set `BENCH_NO_FLOOR=1` to report without gating, e.g. on
+//! loaded CI boxes).
 //!
 //! Besides the stdout report, the run writes `BENCH_netsim.json` at the
 //! repo root: machine-readable events/sec per case (format documented in
 //! `EXPERIMENTS.md`), so perf regressions are diffable in review.
 
 use bbrdom_netsim::cc::FixedWindow;
-use bbrdom_netsim::{FlowConfig, Rate, SimConfig, SimDuration, Simulator};
+use bbrdom_netsim::{
+    ArrivalProcess, FlowConfig, Rate, SimConfig, SimDuration, Simulator, SizeDist, WorkloadConfig,
+    MSS,
+};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -22,6 +32,16 @@ struct Case {
     flows: usize,
     /// Per-flow fixed window as a fraction of the path BDP.
     window_bdp: f64,
+    /// Simulated horizon, seconds.
+    secs: f64,
+    /// Open-loop churn: `(arrival rate flows/s, fixed flow size bytes)`.
+    /// Expected cumulative spawns ≈ rate × secs.
+    workload: Option<(f64, u64)>,
+    /// Pinned regression floor, events/sec (0 = report only, no gate).
+    /// Deliberately conservative — roughly a quarter of what a 2024
+    /// laptop core sustains — so it only trips on structural
+    /// regressions (leaked timers, unrecycled slots), not machine noise.
+    floor_events_per_sec: f64,
 }
 
 const CASES: &[Case] = &[
@@ -29,16 +49,36 @@ const CASES: &[Case] = &[
         name: "dumbbell_1s_1flow_100mbps",
         flows: 1,
         window_bdp: 2.0,
+        secs: 1.0,
+        workload: None,
+        floor_events_per_sec: 0.0,
     },
     Case {
         name: "dumbbell_1s_10flows_100mbps",
         flows: 10,
         window_bdp: 1.0 / 3.0,
+        secs: 1.0,
+        workload: None,
+        floor_events_per_sec: 0.0,
     },
     Case {
         name: "dumbbell_1s_50flows_100mbps",
         flows: 50,
         window_bdp: 1.0 / 8.0,
+        secs: 1.0,
+        workload: None,
+        floor_events_per_sec: 0.0,
+    },
+    // ~12k cumulative open-loop flows (Poisson 1200/s × 10 s of 8 kB
+    // transfers ≈ 77 Mbps offered) over 2 long flows. The bench asserts
+    // ≥ 10k spawns and gates on the events/s floor.
+    Case {
+        name: "dumbbell_10s_churn12k_100mbps",
+        flows: 2,
+        window_bdp: 0.5,
+        secs: 10.0,
+        workload: Some((1200.0, 8_000)),
+        floor_events_per_sec: 1_000_000.0,
     },
 ];
 
@@ -46,9 +86,21 @@ fn build_sim(case: &Case) -> Simulator {
     let rate = Rate::from_mbps(100.0);
     let rtt = SimDuration::from_millis(20);
     let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, 2.0);
-    let mut sim = Simulator::new(SimConfig::new(rate, buf, SimDuration::from_secs_f64(1.0)));
+    let mut cfg = SimConfig::new(rate, buf, SimDuration::from_secs_f64(case.secs));
+    if let Some((rate_per_sec, bytes)) = case.workload {
+        cfg = cfg.with_workload(WorkloadConfig::new(
+            ArrivalProcess::Poisson { rate_per_sec },
+            SizeDist::Fixed { bytes },
+            rtt,
+            11,
+        ));
+    }
+    let mut sim = Simulator::new(cfg);
+    if case.workload.is_some() {
+        sim.set_workload_cc(Box::new(|_| Box::new(FixedWindow::new(8 * MSS))));
+    }
     let bdp = rate.bdp_bytes(rtt);
-    let window = ((bdp as f64 * case.window_bdp) as u64).max(bbrdom_netsim::MSS);
+    let window = ((bdp as f64 * case.window_bdp) as u64).max(MSS);
     for _ in 0..case.flows {
         sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(window)), rtt));
     }
@@ -57,13 +109,15 @@ fn build_sim(case: &Case) -> Simulator {
 
 struct Measurement {
     events: u64,
+    spawned: u64,
     median: Duration,
     min: Duration,
 }
 
 /// Time `samples` full runs of one case (after one untimed warm-up).
 fn measure(case: &Case, samples: usize) -> Measurement {
-    let events = build_sim(case).run().events_processed;
+    let warmup = build_sim(case).run();
+    let (events, spawned) = (warmup.events_processed, warmup.workload_spawned);
     let mut times: Vec<Duration> = (0..samples)
         .map(|_| {
             let mut sim = build_sim(case);
@@ -75,6 +129,7 @@ fn measure(case: &Case, samples: usize) -> Measurement {
     times.sort();
     Measurement {
         events,
+        spawned,
         median: times[times.len() / 2],
         min: times[0],
     }
@@ -90,7 +145,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
 
+    let gate_floors = std::env::var("BENCH_NO_FLOOR").map_or(true, |v| v != "1");
+
     let mut results = Vec::new();
+    let mut floor_failures = Vec::new();
     for case in CASES {
         let m = measure(case, samples);
         println!(
@@ -101,26 +159,55 @@ fn main() {
             events_per_sec(&m),
             m.events,
         );
+        if case.workload.is_some() {
+            assert!(
+                m.spawned >= 10_000,
+                "{}: expected >= 10k cumulative workload flows, spawned {}",
+                case.name,
+                m.spawned,
+            );
+        }
+        if case.floor_events_per_sec > 0.0 && events_per_sec(&m) < case.floor_events_per_sec {
+            floor_failures.push(format!(
+                "{}: {:.0} events/s below pinned floor {:.0}",
+                case.name,
+                events_per_sec(&m),
+                case.floor_events_per_sec,
+            ));
+        }
         results.push((case, m));
     }
 
     // Repo root: two levels up from this crate's manifest.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netsim.json");
-    let mut json = String::from("{\n  \"schema\": \"netsim-perf-v1\",\n  \"cases\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"netsim-perf-v2\",\n  \"cases\": [\n");
     for (i, (case, m)) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"flows\": {}, \"events\": {}, \
-             \"median_secs\": {:.6}, \"min_secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"flows\": {}, \"workload_flows\": {}, \"events\": {}, \
+             \"median_secs\": {:.6}, \"min_secs\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"floor_events_per_sec\": {:.0}}}{}\n",
             case.name,
             case.flows,
+            m.spawned,
             m.events,
             m.median.as_secs_f64(),
             m.min.as_secs_f64(),
             events_per_sec(m),
+            case.floor_events_per_sec,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(out, json).expect("write BENCH_netsim.json");
     println!("wrote {out}");
+
+    if !floor_failures.is_empty() {
+        for f in &floor_failures {
+            eprintln!("FLOOR REGRESSION: {f}");
+        }
+        if gate_floors {
+            std::process::exit(1);
+        }
+        eprintln!("(BENCH_NO_FLOOR=1: reporting only, not gating)");
+    }
 }

@@ -9,10 +9,11 @@
 //! repro list                # what's available
 //! ```
 
+use bbrdom_cca::CcaKind;
 use bbrdom_experiments::engine::{jobs_from_env, Engine, EngineConfig};
 use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
 use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
-use bbrdom_experiments::{BackendSpec, Profile};
+use bbrdom_experiments::{BackendSpec, Profile, WorkloadSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -37,10 +38,51 @@ struct Overrides {
     adaptive: Option<bool>,
     early_stop: Option<Option<(f64, u32)>>,
     backend: Option<BackendSpec>,
+    workload: Option<WorkloadSpec>,
 }
 
 /// Default detector knobs for a bare `--early-stop`.
 const DEFAULT_EARLY_STOP: (f64, u32) = (0.05, 3);
+
+/// Base RTT of `--workload` flows, ms.
+const WORKLOAD_RTT_MS: f64 = 20.0;
+
+/// Parse `--workload CCA:RATE:SIZE` where `RATE` is Poisson arrivals
+/// per second and `SIZE` is a fixed transfer size in kB or the word
+/// `pareto` (web-like bounded-Pareto sizes).
+fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
+    let err = || {
+        format!(
+            "--workload {spec} must be CCA:RATE:SIZE \
+             (e.g. cubic:80:pareto or bbr:50:30 — SIZE in kB or 'pareto')"
+        )
+    };
+    let mut parts = spec.split(':');
+    let (Some(cca), Some(rate), Some(size), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(err());
+    };
+    let cca: CcaKind = cca.trim().parse().map_err(|_| err())?;
+    let rate: f64 = rate.trim().parse().map_err(|_| err())?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(err());
+    }
+    if size.trim() == "pareto" {
+        Ok(WorkloadSpec::web(cca, rate, WORKLOAD_RTT_MS))
+    } else {
+        let kb: f64 = size.trim().parse().map_err(|_| err())?;
+        if !kb.is_finite() || kb <= 0.0 {
+            return Err(err());
+        }
+        Ok(WorkloadSpec::poisson_fixed(
+            cca,
+            rate,
+            (kb * 1e3) as u64,
+            WORKLOAD_RTT_MS,
+        ))
+    }
+}
 
 /// Parse `--early-stop` / `--early-stop=EPS,DWELL`.
 fn parse_early_stop(arg: &str) -> Result<(f64, u32), String> {
@@ -147,6 +189,12 @@ fn parse_args() -> Result<Args, String> {
                     })?);
             }
             "--dense" => overrides.adaptive = Some(false),
+            "--workload" => {
+                let spec = args
+                    .next()
+                    .ok_or_else(|| "--workload needs CCA:RATE:SIZE".to_string())?;
+                overrides.workload = Some(parse_workload(&spec)?);
+            }
             s if s == "--early-stop" || s.starts_with("--early-stop=") => {
                 overrides.early_stop = Some(Some(parse_early_stop(s)?));
             }
@@ -191,6 +239,25 @@ fn parse_args() -> Result<Args, String> {
     if let Some(b) = overrides.backend {
         profile.backend = b;
     }
+    if let Some(w) = overrides.workload {
+        profile.workload = Some(w);
+    }
+    if profile.workload.is_some() {
+        if profile.early_stop.is_some() {
+            return Err(
+                "--workload is incompatible with --early-stop: goodput never quiesces \
+                 under open-loop churn"
+                    .to_string(),
+            );
+        }
+        if profile.backend == BackendSpec::Fluid {
+            return Err(
+                "--workload is incompatible with --backend fluid: churn is outside the \
+                 fluid model's envelope"
+                    .to_string(),
+            );
+        }
+    }
     Ok(Args {
         targets,
         profile,
@@ -210,6 +277,8 @@ fn usage() -> String {
          profiles: --quick (default, minutes), --full (paper scale), --smoke (seconds)\n\
          overrides: --ne-flows N  --duration SECS  --trials N  --buffer-points N\n\
          impairments (ext-faults): --loss P  --ack-loss P  (wire-loss probability, 0-1)\n\
+         workload: --workload CCA:RATE:SIZE (open-loop churn on every scenario; RATE in\n\
+         \x20          flows/s, SIZE in kB or 'pareto', e.g. cubic:80:pareto)\n\
          perf: --adaptive (model-guided NE search) / --dense (full grid, default)\n\
          \x20     --backend des|fluid (packet DES, default, or the fluid/ODE fast model)\n\
          \x20     --early-stop[=EPS,DWELL] (stop converged runs early; default 0.05,3)\n\

@@ -106,6 +106,40 @@ pub fn scenario_hash(s: &Scenario) -> u128 {
         h.write_bytes(b"backend");
         s.backend.name().stable_hash(&mut h);
     }
+    // Open-loop workload, same opt-in marker scheme: workload-free
+    // scenarios keep their historical hashes; every workload field feeds
+    // the key (the simulator output depends on all of them).
+    if let Some(wl) = &s.workload {
+        h.write_bytes(b"workload");
+        wl.cca.name().stable_hash(&mut h);
+        match wl.arrival {
+            crate::scenario::ArrivalSpec::Poisson { rate_per_sec } => {
+                h.write_bytes(&[0]);
+                rate_per_sec.stable_hash(&mut h);
+            }
+            crate::scenario::ArrivalSpec::Deterministic { interval_s } => {
+                h.write_bytes(&[1]);
+                interval_s.stable_hash(&mut h);
+            }
+        }
+        match wl.size {
+            crate::scenario::SizeSpec::Fixed { bytes } => {
+                h.write_bytes(&[0]);
+                bytes.stable_hash(&mut h);
+            }
+            crate::scenario::SizeSpec::Pareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                h.write_bytes(&[1]);
+                alpha.stable_hash(&mut h);
+                min_bytes.stable_hash(&mut h);
+                max_bytes.stable_hash(&mut h);
+            }
+        }
+        wl.rtt_ms.stable_hash(&mut h);
+    }
     h.finish()
 }
 

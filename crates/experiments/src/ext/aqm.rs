@@ -68,6 +68,7 @@ pub fn run(profile: &Profile) -> FigResult {
             }
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut idx = 0;
     let mut codel_delay = Vec::new();

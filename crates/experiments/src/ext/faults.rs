@@ -123,6 +123,7 @@ pub fn run(profile: &Profile) -> FigResult {
             );
         }
     }
+    profile.apply_workload(&mut scenarios);
     let outcomes = runner::run_sweep(&scenarios, &SweepConfig::default());
     let mut notes = Vec::new();
     let mut bbr_clean = 0.0;

@@ -8,12 +8,14 @@
 //! | [`shortflows`] | §5 (future work: diverse workloads) | How do short-flow completion times change as the long-flow mix shifts from CUBIC to BBR? |
 //! | [`utility`] | §4.3 (complex utility functions) | Do Nash equilibria persist under `u = throughput − w·delay`? |
 //! | [`faults`] | §5 (real-path diversity) | Does the split — and the Nash mix — survive wire loss, outages, and delay spikes? |
+//! | [`churn`] | §5 (future work: diverse workloads) | Does the split — and the Nash mix — survive open-loop flow churn, and what FCT tail does the churn see? |
 //!
 //! All are runnable through the `repro` binary: `repro ext-aqm`,
 //! `repro ext-ternary`, `repro ext-shortflows`, `repro ext-utility`,
-//! `repro ext-faults`.
+//! `repro ext-faults`, `repro ext-churn`.
 
 pub mod aqm;
+pub mod churn;
 pub mod faults;
 pub mod shortflows;
 pub mod ternary;
@@ -23,12 +25,13 @@ use crate::figs::FigResult;
 use crate::profile::Profile;
 
 /// All extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 5] = [
+pub const ALL_EXTENSIONS: [&str; 6] = [
     "ext-aqm",
     "ext-ternary",
     "ext-shortflows",
     "ext-utility",
     "ext-faults",
+    "ext-churn",
 ];
 
 /// Run an extension experiment by id.
@@ -39,6 +42,7 @@ pub fn run_extension(id: &str, profile: &Profile) -> Option<FigResult> {
         "ext-shortflows" => Some(shortflows::run(profile)),
         "ext-utility" => Some(utility::run(profile)),
         "ext-faults" => Some(faults::run(profile)),
+        "ext-churn" => Some(churn::run(profile)),
         _ => None,
     }
 }

@@ -19,12 +19,28 @@ use crate::profile::Profile;
 use crate::runner;
 use crate::scenario::{BackendSpec, DisciplineSpec, FaultSpec, FlowSpec, Scenario};
 use bbrdom_cca::CcaKind;
+use bbrdom_netsim::hash::{StableHash, StableHasher};
 
 pub const MBPS: f64 = 50.0;
 pub const RTT_MS: f64 = 40.0;
 pub const BUFFER_BDP: f64 = 8.0;
 /// Short-transfer sizes: an ad beacon and a small page.
 pub const SHORT_SIZES: [u64; 2] = [30_000, 300_000];
+
+/// Trial seed for grid cell `(n_bbr, si, t)`, derived through the FNV
+/// stable hash. The old affine formula (`0x5F_0000 + n_bbr·1009 +
+/// si·53 + t·131`) could collide across cells (e.g. `si+1, t-?` vs a
+/// `n_bbr` bump once the grid grows), silently correlating trials that
+/// must be independent; the hash keeps every cell's seed distinct (see
+/// the grid-uniqueness test).
+pub fn trial_seed(n_bbr: u32, si: usize, t: u32) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(b"ext-shortflows");
+    (n_bbr as u64).stable_hash(&mut h);
+    (si as u64).stable_hash(&mut h);
+    (t as u64).stable_hash(&mut h);
+    h.finish() as u64
+}
 
 /// Build a scenario: `n_bbr` of `n_long` long flows run BBR, the rest
 /// CUBIC; short CUBIC transfers of `size` bytes arrive every
@@ -60,6 +76,7 @@ pub fn scenario(n_long: u32, n_bbr: u32, size: u64, duration: f64, seed: u64) ->
         faults: FaultSpec::default(),
         early_stop: None,
         backend: BackendSpec::Des,
+        workload: None,
     }
 }
 
@@ -96,11 +113,12 @@ pub fn run(profile: &Profile) -> FigResult {
                     n_bbr,
                     size,
                     duration,
-                    0x5F_0000 + n_bbr as u64 * 1009 + si as u64 * 53 + t as u64 * 131,
+                    trial_seed(n_bbr, si, t),
                 ));
             }
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut idx = 0;
     let mut fct_all_cubic = None;
@@ -124,10 +142,12 @@ pub fn run(profile: &Profile) -> FigResult {
                 mean(&fcts)
             });
         }
-        if n_bbr == 0 {
+        // NaN means no short flow of that size completed; the headline
+        // note must not claim a "NaN ms" FCT for the run.
+        if n_bbr == 0 && per_size[0].is_finite() {
             fct_all_cubic = Some(per_size[0]);
         }
-        if n_bbr == n_long {
+        if n_bbr == n_long && per_size[0].is_finite() {
             fct_all_bbr = Some(per_size[0]);
         }
         table.push_floats(&[
@@ -168,6 +188,24 @@ mod tests {
         // Long flows report no completion time.
         assert!(r.completion_times_secs[0].is_none());
         assert!(r.completion_times_secs[1].is_none());
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_over_the_full_grid() {
+        // Full-profile grid and then some: every (n_bbr, size, trial)
+        // cell must draw a distinct seed — collisions silently correlate
+        // trials that the FCT averaging assumes independent.
+        let mut seen = std::collections::HashSet::new();
+        for n_bbr in 0..=50u32 {
+            for si in 0..SHORT_SIZES.len() {
+                for t in 0..10u32 {
+                    assert!(
+                        seen.insert(trial_seed(n_bbr, si, t)),
+                        "seed collision at n_bbr={n_bbr} si={si} t={t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

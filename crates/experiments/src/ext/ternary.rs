@@ -43,6 +43,7 @@ fn scenario_for(state: &[u32], duration: f64, seed: u64) -> Scenario {
         faults: FaultSpec::default(),
         early_stop: None,
         backend: BackendSpec::Des,
+        workload: None,
     }
 }
 
@@ -57,11 +58,12 @@ pub fn measure_game(n: u32, profile: &Profile) -> MeasuredGame {
     // Enumerate compositions via a scratch game (payoffs unused).
     let scratch = MultiStrategyGame::new(n, 3, |_: &[u32]| vec![0.0; 3]);
     let states = scratch.states();
-    let scenarios: Vec<Scenario> = states
+    let mut scenarios: Vec<Scenario> = states
         .iter()
         .enumerate()
         .map(|(i, st)| scenario_for(st, profile.duration_secs, 0xE3_0000 + i as u64 * 89))
         .collect();
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut payoffs: HashMap<Vec<u32>, Vec<f64>> = HashMap::new();
     for (state, result) in states.iter().zip(&results) {

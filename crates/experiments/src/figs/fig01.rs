@@ -46,6 +46,7 @@ pub fn run(profile: &Profile) -> FigResult {
             ));
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
 
     let mut max_ware_err: f64 = 0.0;

@@ -56,6 +56,7 @@ pub fn run_panel(mbps: f64, rtt_ms: f64, profile: &Profile) -> (Table, f64) {
             ));
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut errs = Vec::new();
     for (bi, &b) in buffers.iter().enumerate() {

@@ -57,6 +57,7 @@ pub fn run_panel(n_cubic: u32, n_bbr: u32, profile: &Profile) -> (Table, f64) {
             ));
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut inside = 0usize;
     let mut total = 0usize;

@@ -62,6 +62,7 @@ fn scenario_for_state(
         faults: Default::default(),
         early_stop: None,
         backend: BackendSpec::Des,
+        workload: None,
     }
 }
 
@@ -79,7 +80,7 @@ pub fn find_equilibria(buffer_bdp: f64, profile: &Profile) -> (Vec<Vec<u32>>, u3
             }
         }
     }
-    let scenarios: Vec<Scenario> = states
+    let mut scenarios: Vec<Scenario> = states
         .iter()
         .enumerate()
         .map(|(i, s)| {
@@ -92,6 +93,7 @@ pub fn find_equilibria(buffer_bdp: f64, profile: &Profile) -> (Vec<Vec<u32>>, u3
             )
         })
         .collect();
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
 
     // Per-state, per-group mean throughput of each algorithm. Flows are

@@ -55,6 +55,7 @@ pub fn run(profile: &Profile) -> FigResult {
             ));
         }
     }
+    profile.apply_workload(&mut scenarios);
     let results = runner::run_all(&scenarios);
     let mut overestimates_deep = 0usize;
     let mut deep_points = 0usize;

@@ -58,6 +58,9 @@ pub fn lower(scenario: &Scenario) -> Result<FluidConfig, SimError> {
     if scenario.flows.iter().any(|f| f.byte_limit.is_some()) {
         return Err(unsupported("finite (byte-limited) flows"));
     }
+    if scenario.workload.is_some() {
+        return Err(unsupported("open-loop workloads"));
+    }
     let rate = Rate::from_mbps(scenario.mbps);
     let ref_rtt = SimDuration::from_secs_f64(scenario.reference_rtt_ms / 1e3);
     let buffer = bbrdom_netsim::units::buffer_bytes(rate, ref_rtt, scenario.buffer_bdp);

@@ -50,5 +50,6 @@ pub use adaptive::{find_ne_adaptive, find_ne_adaptive_on, AdaptiveNe, NeOracle};
 pub use engine::{scenario_hash, scenario_hash_hex, CacheStats, Engine, EngineConfig};
 pub use profile::Profile;
 pub use scenario::{
-    BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario, TrialResult,
+    ArrivalSpec, BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario,
+    SizeSpec, TrialResult, WorkloadSpec,
 };

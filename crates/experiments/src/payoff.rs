@@ -245,6 +245,7 @@ pub fn distribution_scenario(
             .map(|(epsilon, dwell)| EarlyStopSpec::new(epsilon, dwell)),
     )
     .with_backend(profile.backend)
+    .with_workload(profile.workload)
 }
 
 /// Measure payoffs at a *subset* `ks` of the distributions, on an

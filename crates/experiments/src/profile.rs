@@ -39,6 +39,11 @@ pub struct Profile {
     /// the packet DES (default, ground truth) or the fluid/ODE model
     /// (µs-scale, envelope-restricted; see `bbrdom-fluid`).
     pub backend: crate::scenario::BackendSpec,
+    /// Open-loop background workload attached to every scenario
+    /// (`repro --workload`): finite flows arriving during each run,
+    /// reported as per-CCA FCT percentiles. `None` (the default) keeps
+    /// every experiment bit-identical to historical behavior.
+    pub workload: Option<crate::scenario::WorkloadSpec>,
 }
 
 impl Profile {
@@ -55,6 +60,7 @@ impl Profile {
             adaptive: false,
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
+            workload: None,
         }
     }
 
@@ -71,6 +77,7 @@ impl Profile {
             adaptive: false,
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
+            workload: None,
         }
     }
 
@@ -88,6 +95,20 @@ impl Profile {
             adaptive: false,
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
+            workload: None,
+        }
+    }
+
+    /// Attach the profile's open-loop workload (`--workload`), if any,
+    /// to every scenario of a figure batch. A no-op for the default
+    /// `workload: None`, so historical figures stay bit-identical.
+    /// Scenarios that already carry a workload (e.g. `ext-churn`'s own
+    /// grid) are left alone.
+    pub fn apply_workload(&self, scenarios: &mut [crate::scenario::Scenario]) {
+        if let Some(wl) = self.workload {
+            for s in scenarios.iter_mut() {
+                s.workload.get_or_insert(wl);
+            }
         }
     }
 
@@ -122,6 +143,30 @@ impl Default for Profile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn apply_workload_fills_only_bare_scenarios() {
+        use crate::scenario::{Scenario, WorkloadSpec};
+        use bbrdom_cca::CcaKind;
+
+        let own = WorkloadSpec::web(CcaKind::Bbr, 10.0, 15.0);
+        let mut scenarios = vec![
+            Scenario::versus(50.0, 40.0, 4.0, 1, CcaKind::Bbr, 1, 10.0, 1),
+            Scenario::versus(50.0, 40.0, 4.0, 1, CcaKind::Bbr, 1, 10.0, 2).with_workload(Some(own)),
+        ];
+
+        let quiet = Profile::smoke();
+        quiet.apply_workload(&mut scenarios);
+        assert_eq!(scenarios[0].workload, None);
+
+        let mut churned = Profile::smoke();
+        let flag = WorkloadSpec::web(CcaKind::Cubic, 80.0, 20.0);
+        churned.workload = Some(flag);
+        churned.apply_workload(&mut scenarios);
+        assert_eq!(scenarios[0].workload, Some(flag));
+        // A scenario that already carries its own workload keeps it.
+        assert_eq!(scenarios[1].workload, Some(own));
+    }
 
     #[test]
     fn thinning_keeps_endpoints() {

@@ -6,6 +6,7 @@
 //! trials reproducible: the same scenario + seed is bit-identical.
 
 use bbrdom_cca::CcaKind;
+use bbrdom_netsim::hash::{StableHash, StableHasher};
 use bbrdom_netsim::json::{self, Value};
 use bbrdom_netsim::{
     ConfigError, FaultSchedule, FlowConfig, Rate, SimConfig, SimDuration, SimError, SimTime,
@@ -330,6 +331,205 @@ impl EarlyStopSpec {
     }
 }
 
+/// Arrival process of an open-loop workload, in paper units (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Memoryless arrivals at `rate_per_sec` flows per second.
+    Poisson { rate_per_sec: f64 },
+    /// One arrival every `interval_s` seconds, exactly.
+    Deterministic { interval_s: f64 },
+}
+
+/// Flow-size model of an open-loop workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeSpec {
+    /// Every flow transfers exactly `bytes`.
+    Fixed { bytes: u64 },
+    /// Bounded Pareto on `[min_bytes, max_bytes]` with tail index
+    /// `alpha` (heavy-tailed web-transfer sizes).
+    Pareto {
+        alpha: f64,
+        min_bytes: u64,
+        max_bytes: u64,
+    },
+}
+
+/// An open-loop background workload attached to a scenario
+/// (`repro --workload`): finite flows of one CCA arriving during the
+/// run, torn down on completion, reported in aggregate as per-CCA FCT
+/// percentiles. Serializable mirror of
+/// [`bbrdom_netsim::WorkloadConfig`], in the paper's units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// CCA run by every workload flow.
+    pub cca: CcaKindSpec,
+    /// When new flows arrive.
+    pub arrival: ArrivalSpec,
+    /// How large each flow is.
+    pub size: SizeSpec,
+    /// Base RTT (ms) of the workload flows' path.
+    pub rtt_ms: f64,
+}
+
+impl WorkloadSpec {
+    /// Poisson arrivals of fixed-size transfers.
+    pub fn poisson_fixed(cca: CcaKind, rate_per_sec: f64, bytes: u64, rtt_ms: f64) -> Self {
+        WorkloadSpec {
+            cca: cca.into(),
+            arrival: ArrivalSpec::Poisson { rate_per_sec },
+            size: SizeSpec::Fixed { bytes },
+            rtt_ms,
+        }
+    }
+
+    /// Poisson arrivals of web-like transfers: bounded Pareto with the
+    /// classic heavy-tail index α = 1.2 on 10 kB–1 MB.
+    pub fn web(cca: CcaKind, rate_per_sec: f64, rtt_ms: f64) -> Self {
+        WorkloadSpec {
+            cca: cca.into(),
+            arrival: ArrivalSpec::Poisson { rate_per_sec },
+            size: SizeSpec::Pareto {
+                alpha: 1.2,
+                min_bytes: 10_000,
+                max_bytes: 1_000_000,
+            },
+            rtt_ms,
+        }
+    }
+
+    /// Lower to the simulator's workload config. The workload RNG-stream
+    /// seed is derived from the trial seed through the stable hash, so it
+    /// can never collide with the ACK-jitter, fault-loss, or CCA-phase
+    /// seed formulas (which are all small affine maps of the same seed).
+    pub fn to_config(&self, trial_seed: u64) -> bbrdom_netsim::WorkloadConfig {
+        let arrivals = match self.arrival {
+            ArrivalSpec::Poisson { rate_per_sec } => {
+                bbrdom_netsim::ArrivalProcess::Poisson { rate_per_sec }
+            }
+            ArrivalSpec::Deterministic { interval_s } => {
+                bbrdom_netsim::ArrivalProcess::Deterministic {
+                    interval: SimDuration::from_secs_f64(interval_s),
+                }
+            }
+        };
+        let sizes = match self.size {
+            SizeSpec::Fixed { bytes } => bbrdom_netsim::SizeDist::Fixed { bytes },
+            SizeSpec::Pareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => bbrdom_netsim::SizeDist::BoundedPareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            },
+        };
+        let mut h = StableHasher::new();
+        h.write_bytes(b"workload-stream");
+        trial_seed.stable_hash(&mut h);
+        bbrdom_netsim::WorkloadConfig::new(
+            arrivals,
+            sizes,
+            SimDuration::from_secs_f64(self.rtt_ms / 1e3),
+            h.finish() as u64,
+        )
+    }
+
+    fn validate(&self, trial_seed: u64) -> Result<(), ConfigError> {
+        if !self.rtt_ms.is_finite() || self.rtt_ms <= 0.0 {
+            return Err(ConfigError::NonPositive {
+                field: "workload rtt_ms",
+            });
+        }
+        if let ArrivalSpec::Deterministic { interval_s } = self.arrival {
+            if !interval_s.is_finite() || interval_s <= 0.0 {
+                return Err(ConfigError::NonPositive {
+                    field: "workload arrival interval",
+                });
+            }
+        }
+        if let ArrivalSpec::Poisson { rate_per_sec } = self.arrival {
+            if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+                return Err(ConfigError::NonPositive {
+                    field: "workload arrival rate",
+                });
+            }
+        }
+        self.to_config(trial_seed).validate()
+    }
+
+    fn to_json_value(self) -> Value {
+        let mut v = Value::object();
+        v.set("cca", self.cca.name().into());
+        match self.arrival {
+            ArrivalSpec::Poisson { rate_per_sec } => {
+                v.set("poisson_per_sec", rate_per_sec.into());
+            }
+            ArrivalSpec::Deterministic { interval_s } => {
+                v.set("interval_s", interval_s.into());
+            }
+        }
+        match self.size {
+            SizeSpec::Fixed { bytes } => {
+                v.set("fixed_bytes", Value::U64(bytes));
+            }
+            SizeSpec::Pareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                v.set("pareto_alpha", alpha.into())
+                    .set("min_bytes", Value::U64(min_bytes))
+                    .set("max_bytes", Value::U64(max_bytes));
+            }
+        }
+        v.set("rtt_ms", self.rtt_ms.into());
+        v
+    }
+
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let cca_name = v
+            .get("cca")
+            .and_then(Value::as_str)
+            .ok_or("workload missing 'cca'")?;
+        let cca = CcaKindSpec::from_name(cca_name)
+            .ok_or_else(|| format!("unknown workload cca '{cca_name}'"))?;
+        let arrival = if let Some(rate) = v.get("poisson_per_sec").and_then(Value::as_f64) {
+            ArrivalSpec::Poisson { rate_per_sec: rate }
+        } else if let Some(gap) = v.get("interval_s").and_then(Value::as_f64) {
+            ArrivalSpec::Deterministic { interval_s: gap }
+        } else {
+            return Err("workload missing arrival process".to_string());
+        };
+        let size = if let Some(bytes) = v.get("fixed_bytes").and_then(Value::as_u64) {
+            SizeSpec::Fixed { bytes }
+        } else if let Some(alpha) = v.get("pareto_alpha").and_then(Value::as_f64) {
+            SizeSpec::Pareto {
+                alpha,
+                min_bytes: v
+                    .get("min_bytes")
+                    .and_then(Value::as_u64)
+                    .ok_or("workload pareto missing 'min_bytes'")?,
+                max_bytes: v
+                    .get("max_bytes")
+                    .and_then(Value::as_u64)
+                    .ok_or("workload pareto missing 'max_bytes'")?,
+            }
+        } else {
+            return Err("workload missing size model".to_string());
+        };
+        Ok(WorkloadSpec {
+            cca,
+            arrival,
+            size,
+            rtt_ms: v
+                .get("rtt_ms")
+                .and_then(Value::as_f64)
+                .ok_or("workload missing 'rtt_ms'")?,
+        })
+    }
+}
+
 /// Which simulation backend executes a scenario.
 ///
 /// * [`BackendSpec::Des`] — the packet-level discrete-event simulator
@@ -405,6 +605,9 @@ pub struct Scenario {
     pub early_stop: Option<EarlyStopSpec>,
     /// Which simulator executes the scenario (default: the packet DES).
     pub backend: BackendSpec,
+    /// Opt-in open-loop background workload (default: none — only the
+    /// declared flows run, bit-identical to historical behavior).
+    pub workload: Option<WorkloadSpec>,
 }
 
 /// Measurements from one run.
@@ -429,6 +632,12 @@ pub struct TrialResult {
     /// Per-flow completion time, seconds from flow start (finite flows
     /// that completed only).
     pub completion_times_secs: Vec<Option<f64>>,
+    /// Open-loop workload flows spawned (0 when no workload is attached).
+    pub workload_spawned: u64,
+    /// Workload flows that delivered their full size in time.
+    pub workload_completed: u64,
+    /// Per-CCA FCT percentiles of the completed workload flows.
+    pub workload_fct: Vec<bbrdom_netsim::FctPercentiles>,
 }
 
 impl Scenario {
@@ -463,6 +672,7 @@ impl Scenario {
             faults: FaultSpec::default(),
             early_stop: None,
             backend: BackendSpec::Des,
+            workload: None,
         }
     }
 
@@ -501,9 +711,15 @@ impl Scenario {
         self
     }
 
+    /// Attach (or detach) an open-loop background workload.
+    pub fn with_workload(mut self, workload: Option<WorkloadSpec>) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// Validate the scenario without running it.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.flows.is_empty() {
+        if self.flows.is_empty() && self.workload.is_none() {
             return Err(ConfigError::NoFlows);
         }
         for (name, v) in [
@@ -536,6 +752,9 @@ impl Scenario {
                 });
             }
         }
+        if let Some(wl) = &self.workload {
+            wl.validate(self.seed)?;
+        }
         self.faults.to_schedule(self.seed).validate()
     }
 
@@ -550,7 +769,10 @@ impl Scenario {
     /// [`bbrdom_netsim::SimReport`]) shares the exact flow/jitter/seed
     /// wiring that [`Scenario::run`] uses.
     pub fn build_simulator(&self) -> Simulator {
-        assert!(!self.flows.is_empty(), "scenario needs flows");
+        assert!(
+            !self.flows.is_empty() || self.workload.is_some(),
+            "scenario needs flows"
+        );
         self.try_build_simulator(None, None)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -577,6 +799,9 @@ impl Scenario {
         if let Some(stop) = self.early_stop {
             cfg = cfg.with_early_stop(stop.to_policy());
         }
+        if let Some(wl) = self.workload {
+            cfg = cfg.with_workload(wl.to_config(self.seed));
+        }
         if let Some(budget) = event_budget {
             cfg = cfg.with_event_budget(budget);
         }
@@ -584,6 +809,20 @@ impl Scenario {
             cfg = cfg.with_wall_clock_budget(budget);
         }
         let mut sim = Simulator::try_new(cfg)?;
+        if let Some(wl) = self.workload {
+            let kind: CcaKind = wl.cca.into();
+            let seed = self.seed;
+            // Per-spawn CCA phase seeds, derived through the stable hash
+            // (the static flows below use `seed*1000 + i`; the hash keeps
+            // the two families disjoint for every spawn index).
+            sim.set_workload_cc(Box::new(move |spawn| {
+                let mut h = StableHasher::new();
+                h.write_bytes(b"workload-cca");
+                seed.stable_hash(&mut h);
+                spawn.stable_hash(&mut h);
+                kind.build(h.finish() as u64)
+            }));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         for (i, f) in self.flows.iter().enumerate() {
             let kind: CcaKind = f.cca.into();
@@ -609,7 +848,10 @@ impl Scenario {
     /// Run the scenario through the simulator, panicking on error (the
     /// legacy interface; see [`Scenario::try_run_with`]).
     pub fn run(&self) -> TrialResult {
-        assert!(!self.flows.is_empty(), "scenario needs flows");
+        assert!(
+            !self.flows.is_empty() || self.workload.is_some(),
+            "scenario needs flows"
+        );
         self.try_run_with(None, None)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -704,6 +946,9 @@ impl Scenario {
         if self.backend != BackendSpec::Des {
             v.set("backend", self.backend.name().into());
         }
+        if let Some(wl) = self.workload {
+            v.set("workload", wl.to_json_value());
+        }
         v.to_json()
     }
 
@@ -742,6 +987,10 @@ impl Scenario {
                 BackendSpec::from_name(name).ok_or_else(|| format!("unknown backend '{name}'"))?
             }
         };
+        let workload = match v.get("workload") {
+            None => None,
+            Some(w) => Some(WorkloadSpec::from_json_value(w)?),
+        };
         Ok(Scenario {
             mbps: field("mbps")?,
             buffer_bdp: field("buffer_bdp")?,
@@ -756,6 +1005,7 @@ impl Scenario {
             faults,
             early_stop,
             backend,
+            workload,
         })
     }
 }
@@ -786,6 +1036,9 @@ impl TrialResult {
                 .iter()
                 .map(|f| f.completion_time_secs)
                 .collect(),
+            workload_spawned: report.workload_spawned,
+            workload_completed: report.workload_completed,
+            workload_fct: report.workload_fct.clone(),
         }
     }
 
@@ -860,6 +1113,21 @@ impl TrialResult {
                         .collect(),
                 ),
             );
+        // Workload aggregates only appear when a workload ran, keeping
+        // every pre-existing journal line byte-identical.
+        if self.workload_spawned > 0 {
+            v.set("workload_spawned", Value::U64(self.workload_spawned))
+                .set("workload_completed", Value::U64(self.workload_completed))
+                .set(
+                    "workload_fct",
+                    Value::Array(
+                        self.workload_fct
+                            .iter()
+                            .map(|p| p.to_json_value())
+                            .collect(),
+                    ),
+                );
+        }
         v
     }
 
@@ -930,6 +1198,23 @@ impl TrialResult {
                     }
                 })
                 .collect::<Result<_, _>>()?,
+            workload_spawned: v
+                .get("workload_spawned")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            workload_completed: v
+                .get("workload_completed")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            workload_fct: match v.get("workload_fct") {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_array()
+                    .ok_or("'workload_fct' must be an array")?
+                    .iter()
+                    .map(bbrdom_netsim::FctPercentiles::from_json_value)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 }
@@ -1166,6 +1451,89 @@ mod tests {
         assert_eq!(back.completion_times_secs, r.completion_times_secs);
         assert_eq!(back.dropped_packets, r.dropped_packets);
         assert_eq!(back.utilization.to_bits(), r.utilization.to_bits());
+    }
+
+    #[test]
+    fn workload_spec_roundtrips_through_json() {
+        let wl = WorkloadSpec::web(CcaKind::Cubic, 80.0, 30.0);
+        let s =
+            Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3).with_workload(Some(wl));
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.workload, Some(wl));
+
+        let fixed = WorkloadSpec::poisson_fixed(CcaKind::Bbr, 10.0, 30_000, 20.0);
+        let s2 = s.clone().with_workload(Some(fixed));
+        assert_eq!(
+            Scenario::from_json(&s2.to_json()).unwrap().workload,
+            Some(fixed)
+        );
+
+        // No workload: the key is omitted entirely (byte-stable
+        // serialization for all existing scenarios).
+        let plain = Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        assert!(!plain.to_json().contains("workload"));
+        assert_eq!(
+            Scenario::from_json(&plain.to_json()).unwrap().workload,
+            None
+        );
+    }
+
+    #[test]
+    fn workload_scenario_runs_and_reports_fct_percentiles() {
+        let wl = WorkloadSpec::poisson_fixed(CcaKind::Cubic, 60.0, 20_000, 20.0);
+        let s =
+            Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 0, 8.0, 5).with_workload(Some(wl));
+        let r = s.run();
+        assert!(r.workload_spawned > 200, "spawned={}", r.workload_spawned);
+        assert!(r.workload_completed > 0);
+        assert_eq!(r.workload_fct.len(), 1);
+        assert_eq!(r.workload_fct[0].cc_name, "cubic");
+        assert!(r.workload_fct[0].p50_secs > 0.0);
+        // The single static flow still gets its individual report.
+        assert_eq!(r.throughput_mbps.len(), 1);
+
+        // Workload results ride through the journal serialization.
+        let back = TrialResult::from_json_value(&r.to_json_value()).unwrap();
+        assert_eq!(back.workload_spawned, r.workload_spawned);
+        assert_eq!(back.workload_fct, r.workload_fct);
+
+        // Same scenario, same bits.
+        let again = s.run();
+        assert_eq!(again.workload_spawned, r.workload_spawned);
+        assert_eq!(
+            again.workload_fct[0].p99_secs.to_bits(),
+            r.workload_fct[0].p99_secs.to_bits()
+        );
+    }
+
+    #[test]
+    fn workload_only_scenario_is_valid() {
+        let wl = WorkloadSpec::poisson_fixed(CcaKind::Cubic, 40.0, 20_000, 20.0);
+        let s = Scenario {
+            flows: Vec::new(),
+            ..Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 5)
+        };
+        assert!(s.validate().is_err(), "no flows and no workload");
+        let s = s.with_workload(Some(wl));
+        assert!(s.validate().is_ok());
+        let r = s.run();
+        assert!(r.throughput_mbps.is_empty());
+        assert!(r.workload_completed > 0);
+    }
+
+    #[test]
+    fn degenerate_workload_specs_are_rejected() {
+        let base = Scenario::versus(50.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 5);
+        let mut wl = WorkloadSpec::poisson_fixed(CcaKind::Cubic, 40.0, 20_000, 20.0);
+        wl.rtt_ms = 0.0;
+        assert!(base.clone().with_workload(Some(wl)).validate().is_err());
+        let mut wl = WorkloadSpec::poisson_fixed(CcaKind::Cubic, 0.0, 20_000, 20.0);
+        assert!(base.clone().with_workload(Some(wl)).validate().is_err());
+        wl = WorkloadSpec::poisson_fixed(CcaKind::Cubic, 40.0, 0, 20.0);
+        assert!(base.clone().with_workload(Some(wl)).validate().is_err());
+        let mut wl = WorkloadSpec::web(CcaKind::Cubic, 40.0, 20.0);
+        wl.arrival = ArrivalSpec::Deterministic { interval_s: 0.0 };
+        assert!(base.with_workload(Some(wl)).validate().is_err());
     }
 
     #[test]

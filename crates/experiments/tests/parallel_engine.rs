@@ -135,6 +135,11 @@ fn rich_scenario() -> Scenario {
         delay_spikes: vec![(3.0, 0.5, 40.0)],
     };
     s.early_stop = Some(EarlyStopSpec::new(0.05, 3));
+    s.workload = Some(bbrdom_experiments::WorkloadSpec::web(
+        CcaKind::Cubic,
+        50.0,
+        25.0,
+    ));
     s
 }
 
@@ -217,6 +222,46 @@ fn every_scenario_field_changes_the_hash() {
         (
             "backend",
             Box::new(|s| s.backend = bbrdom_experiments::BackendSpec::Fluid),
+        ),
+        ("workload presence", Box::new(|s| s.workload = None)),
+        (
+            "workload cca",
+            Box::new(|s| s.workload.as_mut().unwrap().cca = CcaKind::Bbr.into()),
+        ),
+        (
+            "workload arrival rate",
+            Box::new(|s| {
+                s.workload.as_mut().unwrap().arrival =
+                    bbrdom_experiments::ArrivalSpec::Poisson { rate_per_sec: 60.0 }
+            }),
+        ),
+        (
+            "workload arrival variant",
+            Box::new(|s| {
+                s.workload.as_mut().unwrap().arrival =
+                    bbrdom_experiments::ArrivalSpec::Deterministic { interval_s: 0.02 }
+            }),
+        ),
+        (
+            "workload size variant",
+            Box::new(|s| {
+                s.workload.as_mut().unwrap().size =
+                    bbrdom_experiments::SizeSpec::Fixed { bytes: 30_000 }
+            }),
+        ),
+        (
+            "workload pareto alpha",
+            Box::new(|s| {
+                s.workload.as_mut().unwrap().size = bbrdom_experiments::SizeSpec::Pareto {
+                    alpha: 1.5,
+                    min_bytes: 10_000,
+                    max_bytes: 1_000_000,
+                }
+            }),
+        ),
+        (
+            "workload rtt_ms",
+            Box::new(|s| s.workload.as_mut().unwrap().rtt_ms = 30.0),
         ),
     ];
     for (field, mutate) in mutations {

@@ -632,6 +632,9 @@ pub fn simulate(cfg: &FluidConfig) -> Result<SimReport, FluidError> {
         early_stopped: false,
         events_processed: steps,
         trace: Trace::default(),
+        workload_spawned: 0,
+        workload_completed: 0,
+        workload_fct: Vec::new(),
     })
 }
 

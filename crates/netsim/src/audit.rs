@@ -84,6 +84,26 @@ impl Auditor {
         }
     }
 
+    /// Extend the per-flow ledgers to cover `n_flows` flows (open-loop
+    /// workload growth).
+    pub(crate) fn grow_to(&mut self, n_flows: usize) {
+        if n_flows <= self.delivered.len() {
+            return;
+        }
+        self.delivered.resize(n_flows, 0);
+        self.acks_scheduled.resize(n_flows, 0);
+        self.acks_fired.resize(n_flows, 0);
+    }
+
+    /// Zero the ledgers of a quiescent recycled slot, in lockstep with
+    /// [`crate::queue::DropTailQueue::reset_flow_slot`], so conservation
+    /// holds (0 = 0) for the slot's next occupant.
+    pub(crate) fn reset_flow_slot(&mut self, flow: FlowId) {
+        self.delivered[flow.index()] = 0;
+        self.acks_scheduled[flow.index()] = 0;
+        self.acks_fired[flow.index()] = 0;
+    }
+
     pub(crate) fn on_delivered(&mut self, flow: FlowId) {
         self.delivered[flow.index()] += 1;
     }

@@ -57,6 +57,10 @@ pub enum Event {
     /// A scheduled fault fires: index into the compiled
     /// [`crate::fault::FaultSchedule`] timeline for this run.
     Fault(u32),
+    /// The open-loop workload spawns its next finite flow (scheduled only
+    /// when a [`crate::workload::WorkloadConfig`] is set; the handler
+    /// draws the flow size and the next inter-arrival gap).
+    WorkloadArrival,
 }
 
 #[derive(Debug, Clone)]

@@ -153,6 +153,21 @@ pub struct Flow {
     byte_limit: Option<u64>,
     /// When the last payload byte was delivered (finite flows only).
     completion_time: Option<SimTime>,
+    /// Dismantled after delivering its byte limit (see [`Flow::teardown`]):
+    /// pending events become no-ops and stats are frozen.
+    torn_down: bool,
+    /// Completion edge not yet observed by the simulator's event loop
+    /// (consumed by [`Flow::take_just_completed`]).
+    just_completed: bool,
+    /// `RtoCheck` events scheduled but not yet fired for this flow.
+    rto_checks_pending: u32,
+    /// `AckArrive` events scheduled but not yet fired (maintained by the
+    /// simulator's event loop via [`Flow::note_ack_scheduled`]).
+    acks_inflight: u32,
+    /// Test hook: keep the pre-fix behavior (completed flows stay live)
+    /// so the event-count regression test has a baseline to compare to.
+    #[cfg(test)]
+    pub(crate) teardown_disabled: bool,
 
     // --- sender scoreboard ---
     next_seq: u64,
@@ -216,6 +231,12 @@ impl Flow {
             started: false,
             byte_limit: None,
             completion_time: None,
+            torn_down: false,
+            just_completed: false,
+            rto_checks_pending: 0,
+            acks_inflight: 0,
+            #[cfg(test)]
+            teardown_disabled: false,
             next_seq: 0,
             next_txid: 0,
             unacked: Scoreboard::default(),
@@ -260,6 +281,53 @@ impl Flow {
     /// True when a finite flow has delivered everything.
     pub fn is_complete(&self) -> bool {
         self.completion_time.is_some()
+    }
+
+    /// True once `teardown` has dismantled this completed flow.
+    pub fn is_torn_down(&self) -> bool {
+        self.torn_down
+    }
+
+    /// Dismantle a completed flow: drop the scoreboard, retransmission
+    /// queue and receiver bitmap, zero the flight, and neutralize the
+    /// timer state so any still-scheduled `RtoCheck`/`Pacing` events for
+    /// this flow fire as no-ops. Stats (including the cwnd integral) are
+    /// frozen as of `now`. The CC instance and `rcv_next` stay alive so
+    /// auditing and duplicate detection on draining in-flight packets
+    /// keep working.
+    fn teardown(&mut self, now: SimTime) {
+        self.integrate_cwnd(now);
+        self.torn_down = true;
+        self.unacked = Scoreboard::default();
+        self.rtx_queue = VecDeque::new();
+        self.rcv_ooo = VecDeque::new();
+        self.inflight_bytes = 0;
+        self.rto_deadline = SimTime::FAR_FUTURE;
+        self.rto_lazy = None;
+        self.next_rto_check = SimTime::FAR_FUTURE;
+    }
+
+    /// Whether any event referencing this flow is still scheduled. Used
+    /// (with the queue's per-flow occupancy) to decide when a torn-down
+    /// flow's slot is quiescent and safe to recycle.
+    pub(crate) fn has_pending_events(&self) -> bool {
+        self.pacing_event_pending || self.rto_checks_pending > 0 || self.acks_inflight > 0
+    }
+
+    /// The simulator scheduled an `AckArrive` for this flow.
+    pub(crate) fn note_ack_scheduled(&mut self) {
+        self.acks_inflight += 1;
+    }
+
+    /// An `AckArrive` for this flow fired.
+    pub(crate) fn note_ack_fired(&mut self) {
+        self.acks_inflight = self.acks_inflight.saturating_sub(1);
+    }
+
+    /// Consume the completion edge (true exactly once, right after the
+    /// byte limit is reached).
+    pub(crate) fn take_just_completed(&mut self) -> bool {
+        std::mem::take(&mut self.just_completed)
     }
 
     /// Whether new (never-sent) data remains.
@@ -307,6 +375,10 @@ impl Flow {
     }
 
     fn integrate_cwnd(&mut self, now: SimTime) {
+        // A torn-down flow's cwnd integral is frozen at completion time.
+        if self.torn_down {
+            return;
+        }
         // Integer zero-check first: skipping the ns→secs division on
         // same-instant calls is exact (dt > 0 iff the ns delta is > 0).
         let elapsed = now.saturating_since(self.stats.last_cwnd_update);
@@ -351,6 +423,9 @@ impl Flow {
     /// Handle the pacing-timer event.
     pub fn on_pacing(&mut self, now: SimTime, queue: &mut DropTailQueue, events: &mut EventQueue) {
         self.pacing_event_pending = false;
+        if self.torn_down {
+            return;
+        }
         self.try_send(now, queue, events);
     }
 
@@ -419,6 +494,7 @@ impl Flow {
         self.rto_deadline = now + self.rto_interval();
         if self.rto_deadline < self.next_rto_check {
             self.next_rto_check = self.rto_deadline;
+            self.rto_checks_pending += 1;
             events.schedule(self.rto_deadline, Event::RtoCheck(self.id));
         }
     }
@@ -430,6 +506,10 @@ impl Flow {
         queue: &mut DropTailQueue,
         events: &mut EventQueue,
     ) {
+        self.rto_checks_pending = self.rto_checks_pending.saturating_sub(1);
+        if self.torn_down {
+            return;
+        }
         // Materialize a deferred re-arm before reading the deadline.
         if let Some(arm) = self.rto_lazy.take() {
             self.rto_deadline = arm.at + Self::rto_interval_from(arm.srtt, arm.rttvar, arm.backoff);
@@ -444,6 +524,7 @@ impl Flow {
             // Deadline moved later since this check was scheduled.
             if self.rto_deadline < self.next_rto_check {
                 self.next_rto_check = self.rto_deadline;
+                self.rto_checks_pending += 1;
                 events.schedule(self.rto_deadline, Event::RtoCheck(self.id));
             }
             return;
@@ -483,6 +564,11 @@ impl Flow {
         queue: &mut DropTailQueue,
         events: &mut EventQueue,
     ) {
+        // Stats (including `spurious_acks`) are frozen after teardown;
+        // late ACKs of draining retransmissions are simply ignored.
+        if self.torn_down {
+            return;
+        }
         let entry = match self.unacked.remove(seq) {
             Some(e) => e,
             None => {
@@ -610,6 +696,18 @@ impl Flow {
         if let Some(limit) = self.byte_limit {
             if self.completion_time.is_none() && self.delivered_bytes >= limit {
                 self.completion_time = Some(now);
+                self.just_completed = true;
+                #[cfg(test)]
+                let keep_alive = self.teardown_disabled;
+                #[cfg(not(test))]
+                let keep_alive = false;
+                if !keep_alive {
+                    // Returning before arm_rto/try_send is what actually
+                    // deschedules the flow: the completion ACK no longer
+                    // plants a pacing event, and no new RTO check is armed.
+                    self.teardown(now);
+                    return;
+                }
             }
         }
         self.arm_rto(now, events);

@@ -21,6 +21,7 @@ use crate::stop::EarlyStop;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceConfig;
 use crate::units::Rate;
+use crate::workload::{ArrivalProcess, SizeDist, WorkloadConfig};
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
@@ -230,6 +231,52 @@ impl StableHash for TraceConfig {
     }
 }
 
+impl StableHash for ArrivalProcess {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                h.write_bytes(&[0]);
+                rate_per_sec.stable_hash(h);
+            }
+            ArrivalProcess::Deterministic { interval } => {
+                h.write_bytes(&[1]);
+                interval.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for SizeDist {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            SizeDist::Fixed { bytes } => {
+                h.write_bytes(&[0]);
+                bytes.stable_hash(h);
+            }
+            SizeDist::BoundedPareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                h.write_bytes(&[1]);
+                alpha.stable_hash(h);
+                min_bytes.stable_hash(h);
+                max_bytes.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for WorkloadConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.arrivals.stable_hash(h);
+        self.sizes.stable_hash(h);
+        self.base_rtt.stable_hash(h);
+        self.seed.stable_hash(h);
+        self.start.stable_hash(h);
+    }
+}
+
 impl StableHash for SimConfig {
     fn stable_hash(&self, h: &mut StableHasher) {
         self.rate.stable_hash(h);
@@ -258,6 +305,10 @@ impl StableHash for SimConfig {
         if !self.trace_config.is_default() {
             h.write_bytes(b"trace_cfg");
             self.trace_config.stable_hash(h);
+        }
+        if let Some(wl) = &self.workload {
+            h.write_bytes(b"workload");
+            wl.stable_hash(h);
         }
     }
 }
@@ -378,6 +429,11 @@ mod tests {
                 c.trace_config.max_samples = Some(1_000);
                 c
             }),
+            ("workload", {
+                let mut c = base_config();
+                c.workload = Some(base_workload());
+                c
+            }),
         ];
         for (field, mutated) in mutations {
             assert_ne!(
@@ -458,6 +514,74 @@ mod tests {
             );
         }
         // And a fixed-horizon config never aliases an early-stopped one.
+        assert_ne!(stable_digest(&base_config()), base);
+    }
+
+    fn base_workload() -> crate::workload::WorkloadConfig {
+        use crate::workload::{ArrivalProcess, SizeDist, WorkloadConfig};
+        WorkloadConfig::new(
+            ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+            SizeDist::Fixed { bytes: 30_000 },
+            SimDuration::from_millis(40),
+            1,
+        )
+    }
+
+    /// Every `WorkloadConfig` field (and both payloads of each enum
+    /// variant) must feed the digest once a workload is attached.
+    #[test]
+    fn every_workload_field_changes_the_hash() {
+        use crate::workload::{ArrivalProcess, SizeDist};
+        let with = |f: fn(&mut crate::workload::WorkloadConfig)| {
+            let mut c = base_config();
+            let mut wl = base_workload();
+            f(&mut wl);
+            c.workload = Some(wl);
+            c
+        };
+        let base = stable_digest(&with(|_| {}));
+        let muts: Vec<(&str, SimConfig)> = vec![
+            (
+                "arrivals.rate",
+                with(|w| w.arrivals = ArrivalProcess::Poisson { rate_per_sec: 51.0 }),
+            ),
+            (
+                "arrivals.variant",
+                with(|w| {
+                    w.arrivals = ArrivalProcess::Deterministic {
+                        interval: SimDuration::from_millis(20),
+                    }
+                }),
+            ),
+            (
+                "sizes.bytes",
+                with(|w| w.sizes = SizeDist::Fixed { bytes: 30_001 }),
+            ),
+            (
+                "sizes.variant",
+                with(|w| {
+                    w.sizes = SizeDist::BoundedPareto {
+                        alpha: 1.2,
+                        min_bytes: 10_000,
+                        max_bytes: 1_000_000,
+                    }
+                }),
+            ),
+            (
+                "base_rtt",
+                with(|w| w.base_rtt = SimDuration::from_millis(41)),
+            ),
+            ("seed", with(|w| w.seed = 2)),
+            ("start", with(|w| w.start = SimTime::from_secs_f64(1.0))),
+        ];
+        for (field, mutated) in muts {
+            assert_ne!(
+                stable_digest(&mutated),
+                base,
+                "mutating WorkloadConfig::{field} did not change the stable hash"
+            );
+        }
+        // A workload-free config never aliases a workload-bearing one.
         assert_ne!(stable_digest(&base_config()), base);
     }
 

@@ -49,6 +49,7 @@ pub mod stop;
 pub mod time;
 pub mod trace;
 pub mod units;
+pub mod workload;
 
 pub use aqm::{CodelConfig, QueueDiscipline, RedConfig};
 pub use cc::{AckSample, CongestionControl, FlowView};
@@ -57,8 +58,9 @@ pub use fault::{FaultAction, FaultSchedule};
 pub use hash::{stable_digest, StableHash, StableHasher};
 pub use packet::FlowId;
 pub use sim::{FlowConfig, SimConfig, SimReport, Simulator};
-pub use stats::{FlowReport, QueueReport};
+pub use stats::{FctPercentiles, FlowReport, QueueReport};
 pub use stop::EarlyStop;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Sample, Trace, TraceConfig};
 pub use units::{Rate, MSS};
+pub use workload::{ArrivalProcess, SizeDist, WorkloadConfig};

@@ -408,6 +408,37 @@ impl DropTailQueue {
         self.in_service.as_ref().map(|p| p.flow)
     }
 
+    /// Extend the per-flow accounting arrays to cover `n_flows` flows.
+    /// Used by the open-loop workload when a spawned flow outgrows the
+    /// slot table; existing counters and integrals are untouched.
+    pub(crate) fn grow_to(&mut self, n_flows: usize) {
+        if n_flows <= self.per_flow_bytes.len() {
+            return;
+        }
+        self.per_flow_bytes.resize(n_flows, 0);
+        self.per_flow_bytes_f64.resize(n_flows, 0.0);
+        self.per_flow_integral.resize(n_flows, 0.0);
+        self.measure_mark_per_flow.resize(n_flows, 0.0);
+        self.per_flow_offered.resize(n_flows, 0);
+        self.per_flow_dropped.resize(n_flows, 0);
+        self.per_flow_serviced.resize(n_flows, 0);
+    }
+
+    /// Reset the conservation counters of a quiescent recycled slot so
+    /// the next workload flow reusing it starts from a clean ledger. The
+    /// occupancy integrals are deliberately kept: they are cumulative
+    /// per-slot queue history and are not reported for workload flows.
+    pub(crate) fn reset_flow_slot(&mut self, flow: FlowId) {
+        debug_assert_eq!(
+            self.per_flow_bytes[flow.index()],
+            0,
+            "recycling a slot with queued bytes"
+        );
+        self.per_flow_offered[flow.index()] = 0;
+        self.per_flow_dropped[flow.index()] = 0;
+        self.per_flow_serviced[flow.index()] = 0;
+    }
+
     /// Test hook: corrupt a per-flow conservation counter so the audit's
     /// detection of a seeded accounting bug can itself be tested.
     #[cfg(test)]

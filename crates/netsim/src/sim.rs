@@ -31,13 +31,15 @@ use crate::fault::{FaultAction, FaultSchedule};
 use crate::flow::Flow;
 use crate::packet::FlowId;
 use crate::queue::DropTailQueue;
-use crate::stats::{FlowReport, QueueReport};
+use crate::stats::{FctPercentiles, FlowReport, QueueReport};
 use crate::stop::{ConvergenceDetector, EarlyStop};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Sample, Trace, TraceConfig};
 use crate::units::{Rate, MSS};
+use crate::workload::WorkloadConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Bottleneck and run-length configuration.
 #[derive(Debug, Clone)]
@@ -88,6 +90,10 @@ pub struct SimConfig {
     /// Opt-in convergence-aware early termination (see [`crate::stop`]).
     /// `None` (the default) runs the full fixed horizon.
     pub stop: Option<EarlyStop>,
+    /// Open-loop workload: finite flows arriving during the run (see
+    /// [`crate::workload`]). `None` (the default) simulates only the
+    /// statically added flows.
+    pub workload: Option<WorkloadConfig>,
 }
 
 impl SimConfig {
@@ -108,6 +114,7 @@ impl SimConfig {
             max_events: None,
             max_wall_clock: None,
             stop: None,
+            workload: None,
         }
     }
 
@@ -139,6 +146,17 @@ impl SimConfig {
         }
         if let Some(stop) = &self.stop {
             stop.validate()?;
+        }
+        if let Some(wl) = &self.workload {
+            wl.validate()?;
+            // The convergence detector assumes a fixed flow population;
+            // open-loop arrivals never settle in that sense.
+            if self.stop.is_some() {
+                return Err(ConfigError::Unsupported {
+                    backend: "open-loop workload",
+                    feature: "convergence early-stop",
+                });
+            }
         }
         self.faults.validate()
     }
@@ -204,6 +222,14 @@ impl SimConfig {
     /// Enable convergence-aware early termination (see [`crate::stop`]).
     pub fn with_early_stop(mut self, stop: EarlyStop) -> Self {
         self.stop = Some(stop);
+        self
+    }
+
+    /// Attach an open-loop workload (finite flows arriving during the
+    /// run). The congestion-control factory for spawned flows is set via
+    /// [`Simulator::set_workload_cc`].
+    pub fn with_workload(mut self, wl: WorkloadConfig) -> Self {
+        self.workload = Some(wl);
         self
     }
 }
@@ -276,6 +302,15 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Time-series trace (empty unless `SimConfig::with_trace` was set).
     pub trace: Trace,
+    /// Flows spawned by the open-loop workload (0 unless
+    /// [`SimConfig::with_workload`] was set). Workload flows are not
+    /// listed in `flows`; they are summarized by `workload_fct`.
+    pub workload_spawned: u64,
+    /// Workload flows that delivered their full size before the horizon.
+    pub workload_completed: u64,
+    /// Per-CCA flow-completion-time percentiles of the completed
+    /// workload flows, sorted by CC name.
+    pub workload_fct: Vec<FctPercentiles>,
 }
 
 impl SimReport {
@@ -307,6 +342,21 @@ impl SimReport {
         if !self.trace.is_empty() {
             v.set("trace", self.trace.to_json_value());
         }
+        // Workload fields appear only on workload runs, keeping every
+        // pre-existing report byte-identical.
+        if self.workload_spawned > 0 {
+            v.set("workload_spawned", Value::U64(self.workload_spawned))
+                .set("workload_completed", Value::U64(self.workload_completed))
+                .set(
+                    "workload_fct",
+                    Value::Array(
+                        self.workload_fct
+                            .iter()
+                            .map(|p| p.to_json_value())
+                            .collect(),
+                    ),
+                );
+        }
         v
     }
 
@@ -337,6 +387,25 @@ impl SimReport {
                 None => Trace::default(),
                 Some(t) => Trace::from_json_value(t)?,
             },
+            workload_spawned: v
+                .get("workload_spawned")
+                .map(|x| x.as_u64().ok_or("non-integer 'workload_spawned'"))
+                .transpose()?
+                .unwrap_or(0),
+            workload_completed: v
+                .get("workload_completed")
+                .map(|x| x.as_u64().ok_or("non-integer 'workload_completed'"))
+                .transpose()?
+                .unwrap_or(0),
+            workload_fct: match v.get("workload_fct") {
+                None => Vec::new(),
+                Some(a) => a
+                    .as_array()
+                    .ok_or("'workload_fct' must be an array")?
+                    .iter()
+                    .map(FctPercentiles::from_json_value)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 
@@ -361,16 +430,26 @@ impl SimReport {
     }
 }
 
+/// Factory building the CC instance for the `n`-th spawned workload
+/// flow (see [`Simulator::set_workload_cc`]).
+pub type WorkloadCcFactory = Box<dyn FnMut(u64) -> Box<dyn CongestionControl> + Send>;
+
 /// The discrete-event dumbbell simulator.
 pub struct Simulator {
     config: SimConfig,
     flows: Vec<Flow>,
     events: EventQueue,
     queue: Option<DropTailQueue>,
+    /// Builds the CC instance for the `n`-th spawned workload flow.
+    workload_cc: Option<WorkloadCcFactory>,
     /// Deliberately corrupt a queue counter after this many events, so
     /// tests can prove the auditor catches a mid-run conservation bug.
     #[cfg(test)]
     corrupt_at_event: Option<u64>,
+    /// Keep completed finite flows alive (the pre-teardown behavior), so
+    /// tests can A/B the events that teardown deschedules.
+    #[cfg(test)]
+    teardown_disabled: bool,
 }
 
 impl Simulator {
@@ -388,9 +467,19 @@ impl Simulator {
             flows: Vec::new(),
             events: EventQueue::new(),
             queue: None,
+            workload_cc: None,
             #[cfg(test)]
             corrupt_at_event: None,
+            #[cfg(test)]
+            teardown_disabled: false,
         })
+    }
+
+    /// Set the factory building each spawned workload flow's CC instance
+    /// (argument: the 0-based spawn index). Required before running a
+    /// config that carries a [`WorkloadConfig`].
+    pub fn set_workload_cc(&mut self, factory: WorkloadCcFactory) {
+        self.workload_cc = Some(factory);
     }
 
     /// Add a flow; returns its id. Must be called before [`Self::run`].
@@ -434,8 +523,15 @@ impl Simulator {
     /// configuration is invalid, an event/wall-clock budget is exceeded,
     /// or (with auditing on) a runtime invariant is violated.
     pub fn try_run(&mut self) -> Result<SimReport, SimError> {
-        if self.flows.is_empty() {
+        // A workload-only run legitimately starts with zero static flows.
+        if self.flows.is_empty() && self.config.workload.is_none() {
             return Err(ConfigError::NoFlows.into());
+        }
+        #[cfg(test)]
+        if self.teardown_disabled {
+            for f in &mut self.flows {
+                f.teardown_disabled = true;
+            }
         }
         let mut queue = DropTailQueue::with_discipline(
             self.config.rate,
@@ -470,6 +566,36 @@ impl Simulator {
             Some(Auditor::new(self.flows.len()))
         } else {
             None
+        };
+        // Open-loop workload: schedule the first arrival; everything
+        // after that is driven by the WorkloadArrival handler. The
+        // workload draws from its own RNG stream so attaching one never
+        // perturbs the jitter or fault sequences.
+        let mut workload = match self.config.workload {
+            Some(wl) => {
+                if self.workload_cc.is_none() {
+                    return Err(ConfigError::Unsupported {
+                        backend: "open-loop workload",
+                        feature: "runs without a CC factory (call set_workload_cc)",
+                    }
+                    .into());
+                }
+                let mut rng = StdRng::seed_from_u64(wl.seed);
+                let first = wl.start + wl.arrivals.sample_gap(&mut rng);
+                if first <= SimTime::ZERO + self.config.duration {
+                    self.events.schedule(first, Event::WorkloadArrival);
+                }
+                Some(WorkloadRuntime {
+                    rng,
+                    spawned: 0,
+                    completed: 0,
+                    fct: BTreeMap::new(),
+                    free: Vec::new(),
+                    n_static: self.flows.len(),
+                    recycled_goodput: 0,
+                })
+            }
+            None => None,
         };
         let max_events = self.config.max_events.unwrap_or(u64::MAX);
         let wall = self
@@ -585,6 +711,7 @@ impl Simulator {
                             if let Some(aud) = auditor.as_mut() {
                                 aud.on_ack_scheduled(finished.flow);
                             }
+                            flow.note_ack_scheduled();
                             self.events.schedule(
                                 ack_time,
                                 Event::AckArrive {
@@ -599,7 +726,24 @@ impl Simulator {
                     if let Some(aud) = auditor.as_mut() {
                         aud.on_ack_fired(flow);
                     }
+                    self.flows[flow.index()].note_ack_fired();
                     self.flows[flow.index()].on_ack(now, seq, &mut queue, &mut self.events);
+                    // Harvest workload completions at the completing ACK:
+                    // record the FCT and queue the slot for recycling.
+                    if let Some(rt) = workload.as_mut() {
+                        let idx = flow.index();
+                        if idx >= rt.n_static && self.flows[idx].take_just_completed() {
+                            let f = &self.flows[idx];
+                            debug_assert!(
+                                f.is_complete(),
+                                "completion edge without a completion time"
+                            );
+                            let fct = now.as_secs_f64() - f.start_time.as_secs_f64();
+                            rt.fct.entry(f.cc_name().to_string()).or_default().push(fct);
+                            rt.completed += 1;
+                            rt.free.push(idx);
+                        }
+                    }
                 }
                 Event::RtoCheck(id) => {
                     self.flows[id.index()].on_rto_check(now, &mut queue, &mut self.events);
@@ -685,6 +829,74 @@ impl Simulator {
                         }
                     }
                 }
+                Event::WorkloadArrival => {
+                    if let Some(rt) = workload.as_mut() {
+                        let wl = self
+                            .config
+                            .workload
+                            .expect("workload runtime implies config");
+                        // Fixed draw order (size, then next gap) keeps
+                        // runs reproducible.
+                        let size = wl.sizes.sample(&mut rt.rng);
+                        let next = now + wl.arrivals.sample_gap(&mut rt.rng);
+                        if next <= end {
+                            self.events.schedule(next, Event::WorkloadArrival);
+                        }
+                        let cc = (self
+                            .workload_cc
+                            .as_mut()
+                            .expect("factory verified before the loop"))(
+                            rt.spawned
+                        );
+                        rt.spawned += 1;
+                        // Recycle a quiescent completed slot — torn down,
+                        // no pending timer/ACK events, nothing left in
+                        // the bottleneck — so cumulative flows cost only
+                        // peak-concurrency state; grow otherwise.
+                        let slot = rt.free.iter().position(|&i| {
+                            let f = &self.flows[i];
+                            f.is_torn_down()
+                                && !f.has_pending_events()
+                                && queue.queued_bytes_of(f.id) == 0
+                                && queue.in_service_flow() != Some(f.id)
+                        });
+                        let idx = match slot {
+                            Some(k) => {
+                                let i = rt.free.remove(k);
+                                let id = self.flows[i].id;
+                                rt.recycled_goodput += self.flows[i].stats.goodput_bytes;
+                                queue.reset_flow_slot(id);
+                                if let Some(aud) = auditor.as_mut() {
+                                    aud.reset_flow_slot(id);
+                                }
+                                i
+                            }
+                            None => {
+                                let i = self.flows.len();
+                                queue.grow_to(i + 1);
+                                if let Some(aud) = auditor.as_mut() {
+                                    aud.grow_to(i + 1);
+                                }
+                                i
+                            }
+                        };
+                        let id = FlowId(idx as u32);
+                        let half = SimDuration(wl.base_rtt.0 / 2);
+                        let other_half = SimDuration(wl.base_rtt.0 - half.0);
+                        let mut flow = Flow::new(id, cc, self.config.mss, half, other_half, now);
+                        flow.set_byte_limit(size);
+                        #[cfg(test)]
+                        {
+                            flow.teardown_disabled = self.teardown_disabled;
+                        }
+                        if idx == self.flows.len() {
+                            self.flows.push(flow);
+                        } else {
+                            self.flows[idx] = flow;
+                        }
+                        self.flows[idx].on_start(now, &mut queue, &mut self.events);
+                    }
+                }
             }
             #[cfg(test)]
             if Some(events_processed) == self.corrupt_at_event {
@@ -721,8 +933,10 @@ impl Simulator {
         }
 
         let measure_secs = (effective_end - measure_start).as_secs_f64();
-        let flow_reports: Vec<FlowReport> = self
-            .flows
+        // Workload flows are reported in aggregate (FCT percentiles), not
+        // as individual FlowReports — a 10k-flow run would drown the CSVs.
+        let n_report = workload.as_ref().map_or(self.flows.len(), |rt| rt.n_static);
+        let flow_reports: Vec<FlowReport> = self.flows[..n_report]
             .iter()
             .map(|f| FlowReport {
                 flow: f.id,
@@ -761,7 +975,15 @@ impl Simulator {
             })
             .collect();
 
-        let total_goodput: u64 = flow_reports.iter().map(|f| f.goodput_bytes).sum();
+        // Utilization counts every flow's window goodput — including live
+        // workload flows and the recycled slots' accumulated deliveries.
+        // Without a workload this sums the same values as the reports.
+        let total_goodput: u64 = self
+            .flows
+            .iter()
+            .map(|f| f.stats.goodput_bytes)
+            .sum::<u64>()
+            + workload.as_ref().map_or(0, |rt| rt.recycled_goodput);
         let capacity_bytes_in_window = self.config.rate.bytes_per_sec() * measure_secs;
         let avg_occ = queue.avg_occupancy_bytes(measure_secs);
         let queue_report = QueueReport {
@@ -789,6 +1011,21 @@ impl Simulator {
             aud.check_report(effective_end, &flow_reports, &queue_report)?;
         }
 
+        let (workload_spawned, workload_completed, workload_fct) = match workload.as_ref() {
+            Some(rt) => {
+                let mut fct = Vec::new();
+                for (cc_name, samples) in &rt.fct {
+                    let mut sorted = samples.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).expect("FCTs are finite"));
+                    if let Some(p) = FctPercentiles::from_sorted(cc_name, &sorted) {
+                        fct.push(p);
+                    }
+                }
+                (rt.spawned, rt.completed, fct)
+            }
+            None => (0, 0, Vec::new()),
+        };
+
         Ok(SimReport {
             flows: flow_reports,
             queue: queue_report,
@@ -797,6 +1034,9 @@ impl Simulator {
             early_stopped: stopped_at.is_some(),
             events_processed,
             trace,
+            workload_spawned,
+            workload_completed,
+            workload_fct,
         })
     }
 
@@ -805,6 +1045,14 @@ impl Simulator {
     #[cfg(test)]
     pub(crate) fn set_corrupt_at_event(&mut self, n: u64) {
         self.corrupt_at_event = Some(n);
+    }
+
+    /// Revert to the pre-teardown lifecycle (test-only): completed finite
+    /// flows keep their timers and scoreboards, as before the fix. Lets
+    /// tests measure exactly how many events teardown deschedules.
+    #[cfg(test)]
+    pub(crate) fn set_teardown_disabled(&mut self) {
+        self.teardown_disabled = true;
     }
 }
 
@@ -816,6 +1064,26 @@ struct FaultRuntime {
     loss_fwd: f64,
     loss_ack: f64,
     extra_delay: SimDuration,
+}
+
+/// Live open-loop workload state during one run.
+struct WorkloadRuntime {
+    /// Private draw stream for arrival gaps and flow sizes.
+    rng: StdRng,
+    spawned: u64,
+    completed: u64,
+    /// Completed-flow FCT samples (seconds) keyed by CC name; the
+    /// BTreeMap keeps report ordering deterministic.
+    fct: BTreeMap<String, Vec<f64>>,
+    /// Completed slot indices awaiting recycling (not necessarily
+    /// quiescent yet — in-flight duplicates may still be draining).
+    free: Vec<usize>,
+    /// Statically configured flows; they keep their individual reports,
+    /// workload flows occupy slots at or above this index.
+    n_static: usize,
+    /// Measurement-window goodput of recycled slots, folded back into
+    /// link utilization.
+    recycled_goodput: u64,
 }
 
 #[cfg(test)]
@@ -1327,6 +1595,198 @@ mod tests {
             max_samples: Some(0),
         });
         assert!(Simulator::try_new(bad_cap).is_err());
+    }
+
+    /// One paced finite flow plus a backlogged competitor. With teardown
+    /// the completing ACK no longer re-enters `try_send`, so the pacing
+    /// events of the completed flow's ACK-drain tail are descheduled;
+    /// the observable results must not change.
+    #[test]
+    fn teardown_deschedules_events_without_changing_results() {
+        use crate::cc::FixedRate;
+        let run = |disable_teardown: bool| {
+            let (cfg, rtt) = base_config(10.0, 40, 2.0, 20.0);
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let mut sim = Simulator::new(cfg);
+            if disable_teardown {
+                sim.set_teardown_disabled();
+            }
+            // 2 Mbps paced finite transfer: done after ~2s of a 20s run.
+            sim.add_flow(
+                FlowConfig::new(Box::new(FixedRate::new(250_000.0)), rtt).with_byte_limit(500_000),
+            );
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+            sim.run()
+        };
+        let with_teardown = run(false);
+        let without = run(true);
+        assert!(
+            with_teardown.events_processed < without.events_processed,
+            "teardown must deschedule events: {} vs {}",
+            with_teardown.events_processed,
+            without.events_processed
+        );
+        // The fix is pure lifecycle bookkeeping: completion time, goodput,
+        // and the competitor's results are identical either way.
+        assert_eq!(
+            with_teardown.flows[0].completion_time_secs,
+            without.flows[0].completion_time_secs
+        );
+        assert!(with_teardown.flows[0].completion_time_secs.is_some());
+        assert_eq!(
+            with_teardown.flows[0].goodput_bytes,
+            without.flows[0].goodput_bytes
+        );
+        assert_eq!(
+            with_teardown.flows[1].goodput_bytes,
+            without.flows[1].goodput_bytes
+        );
+    }
+
+    /// Teardown under audit: finite flows complete while duplicates and
+    /// retransmissions are still draining through the bottleneck; the
+    /// conservation ledgers must stay consistent through and after it.
+    #[test]
+    fn audited_run_stays_consistent_through_teardown() {
+        let (cfg, rtt) = base_config(10.0, 40, 0.5, 10.0);
+        let bdp = cfg.rate.bdp_bytes(rtt);
+        let mut sim = Simulator::try_new(cfg.with_audit(true)).unwrap();
+        // Oversized windows against a small buffer force losses, so the
+        // finite flows complete amid retransmissions and dup ACKs.
+        sim.add_flow(
+            FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt).with_byte_limit(400_000),
+        );
+        sim.add_flow(
+            FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt).with_byte_limit(400_000),
+        );
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+        let report = sim.try_run().expect("audited teardown run");
+        assert!(report.flows[0].completion_time_secs.is_some());
+        assert!(report.flows[1].completion_time_secs.is_some());
+        // Goodput-based utilization: lossy run, so well below 1 but busy.
+        assert!(report.queue.utilization > 0.5);
+    }
+
+    fn workload_sim(secs: f64, rate_per_sec: f64, audit: bool) -> Simulator {
+        let (cfg, rtt) = base_config(50.0, 20, 2.0, secs);
+        let cfg = cfg
+            .with_workload(crate::workload::WorkloadConfig::new(
+                crate::workload::ArrivalProcess::Poisson { rate_per_sec },
+                crate::workload::SizeDist::Fixed { bytes: 15_000 },
+                rtt,
+                11,
+            ))
+            .with_audit(audit);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.set_workload_cc(Box::new(|_| Box::new(FixedWindow::new(8 * MSS))));
+        sim
+    }
+
+    #[test]
+    fn workload_spawns_completes_and_recycles_slots() {
+        let mut sim = workload_sim(5.0, 200.0, false);
+        let report = sim.try_run().expect("workload run");
+        assert!(
+            report.workload_spawned > 800,
+            "Poisson(200/s) over 5s spawned only {}",
+            report.workload_spawned
+        );
+        assert!(
+            report.workload_completed > report.workload_spawned * 8 / 10,
+            "most short flows must finish: {}/{}",
+            report.workload_completed,
+            report.workload_spawned
+        );
+        // No static flows: individual reports stay empty, the workload
+        // reports in aggregate.
+        assert!(report.flows.is_empty());
+        let fct = &report.workload_fct;
+        assert_eq!(fct.len(), 1, "one CCA in the mix");
+        assert_eq!(fct[0].cc_name, "fixed");
+        assert_eq!(
+            fct[0].count, report.workload_completed,
+            "every completion contributes an FCT sample"
+        );
+        assert!(fct[0].p50_secs > 0.0 && fct[0].p50_secs <= fct[0].p99_secs);
+        // Slot recycling keeps the flow table near peak concurrency, far
+        // below the cumulative spawn count.
+        assert!(
+            (sim.flow_count() as u64) < report.workload_spawned / 4,
+            "slots {} vs spawned {}",
+            sim.flow_count(),
+            report.workload_spawned
+        );
+        // The open-loop load is ~2.4 Mbps on a 50 Mbps link.
+        assert!(report.queue.utilization > 0.02);
+    }
+
+    #[test]
+    fn audited_workload_run_stays_consistent() {
+        let mut sim = workload_sim(3.0, 150.0, true);
+        let report = sim.try_run().expect("audited workload run");
+        assert!(report.workload_spawned > 200);
+        assert!(report.workload_completed > 0);
+    }
+
+    #[test]
+    fn workload_runs_are_deterministic() {
+        let run = || {
+            let mut sim = workload_sim(3.0, 150.0, false);
+            let r = sim.try_run().unwrap();
+            (
+                r.workload_spawned,
+                r.workload_completed,
+                r.events_processed,
+                r.workload_fct[0].p50_secs.to_bits(),
+                r.workload_fct[0].p99_secs.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn workload_report_roundtrips_through_json() {
+        let mut sim = workload_sim(2.0, 100.0, false);
+        let report = sim.try_run().unwrap();
+        assert!(report.workload_spawned > 0);
+        let text = report.to_json_value().to_json();
+        let parsed = SimReport::from_json_value(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.to_json_value().to_json(), text);
+        assert_eq!(parsed.workload_spawned, report.workload_spawned);
+        assert_eq!(parsed.workload_fct, report.workload_fct);
+    }
+
+    #[test]
+    fn workload_without_cc_factory_is_rejected() {
+        let (cfg, rtt) = base_config(50.0, 20, 2.0, 1.0);
+        let cfg = cfg.with_workload(crate::workload::WorkloadConfig::new(
+            crate::workload::ArrivalProcess::Poisson { rate_per_sec: 10.0 },
+            crate::workload::SizeDist::Fixed { bytes: 15_000 },
+            rtt,
+            1,
+        ));
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        assert!(matches!(
+            sim.try_run(),
+            Err(SimError::Config(ConfigError::Unsupported { .. }))
+        ));
+    }
+
+    #[test]
+    fn workload_with_early_stop_is_rejected() {
+        let (cfg, rtt) = base_config(50.0, 20, 2.0, 1.0);
+        let cfg = cfg
+            .with_workload(crate::workload::WorkloadConfig::new(
+                crate::workload::ArrivalProcess::Poisson { rate_per_sec: 10.0 },
+                crate::workload::SizeDist::Fixed { bytes: 15_000 },
+                rtt,
+                1,
+            ))
+            .with_early_stop(EarlyStop::new(0.05, 3));
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::Unsupported { .. })
+        ));
     }
 
     #[test]

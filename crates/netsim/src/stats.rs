@@ -93,6 +93,71 @@ impl FlowReport {
     }
 }
 
+/// Flow-completion-time percentiles for one CCA's workload flows.
+///
+/// Produced per congestion-control algorithm when an open-loop
+/// [`crate::workload::WorkloadConfig`] runs; percentiles use the
+/// nearest-rank method on the completed-flow FCT samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FctPercentiles {
+    /// CC algorithm name (e.g. "cubic", "bbr").
+    pub cc_name: String,
+    /// Completed workload flows contributing samples.
+    pub count: u64,
+    pub p50_secs: f64,
+    pub p95_secs: f64,
+    pub p99_secs: f64,
+}
+
+impl FctPercentiles {
+    /// Nearest-rank percentiles from an ascending-sorted FCT sample list.
+    /// Returns `None` for an empty list.
+    pub fn from_sorted(cc_name: &str, sorted_secs: &[f64]) -> Option<Self> {
+        if sorted_secs.is_empty() {
+            return None;
+        }
+        let rank = |p: f64| {
+            // Nearest rank: smallest index i with (i+1)/n >= p/100.
+            let n = sorted_secs.len();
+            let i = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+            sorted_secs[i - 1]
+        };
+        Some(FctPercentiles {
+            cc_name: cc_name.to_string(),
+            count: sorted_secs.len() as u64,
+            p50_secs: rank(50.0),
+            p95_secs: rank(95.0),
+            p99_secs: rank(99.0),
+        })
+    }
+
+    /// Serialize for the on-disk scenario result cache (inverse of
+    /// [`FctPercentiles::from_json_value`]).
+    pub fn to_json_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("cc_name", self.cc_name.as_str().into())
+            .set("count", Value::U64(self.count))
+            .set("p50_secs", self.p50_secs.into())
+            .set("p95_secs", self.p95_secs.into())
+            .set("p99_secs", self.p99_secs.into());
+        v
+    }
+
+    /// Parse a value serialized with [`FctPercentiles::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(FctPercentiles {
+            cc_name: json::req(v, "cc_name")?
+                .as_str()
+                .ok_or("non-string 'cc_name'")?
+                .to_string(),
+            count: json::req_u64(v, "count")?,
+            p50_secs: json::req_f64(v, "p50_secs")?,
+            p95_secs: json::req_f64(v, "p95_secs")?,
+            p99_secs: json::req_f64(v, "p99_secs")?,
+        })
+    }
+}
+
 /// Bottleneck-queue results.
 #[derive(Debug, Clone)]
 pub struct QueueReport {
@@ -269,5 +334,35 @@ mod tests {
             backoff_times_secs: vec![],
         };
         assert!((r.throughput_mbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fct_percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = FctPercentiles::from_sorted("cubic", &sorted).unwrap();
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50_secs, 50.0);
+        assert_eq!(p.p95_secs, 95.0);
+        assert_eq!(p.p99_secs, 99.0);
+        // Tiny sample: every percentile is the single element.
+        let one = FctPercentiles::from_sorted("bbr", &[0.25]).unwrap();
+        assert_eq!(
+            (one.p50_secs, one.p95_secs, one.p99_secs),
+            (0.25, 0.25, 0.25)
+        );
+        assert!(FctPercentiles::from_sorted("bbr", &[]).is_none());
+    }
+
+    #[test]
+    fn fct_percentiles_round_trip_through_json() {
+        let p = FctPercentiles {
+            cc_name: "bbr".into(),
+            count: 42,
+            p50_secs: 0.031_25,
+            p95_secs: 0.75,
+            p99_secs: 1.625,
+        };
+        let back = FctPercentiles::from_json_value(&p.to_json_value()).unwrap();
+        assert_eq!(back, p);
     }
 }

@@ -1,0 +1,278 @@
+//! Open-loop workload generation: finite flows arriving during the run.
+//!
+//! The paper's NE analysis uses N backlogged flows; its future-work
+//! section asks whether the equilibrium survives realistic churn. This
+//! module supplies the traffic side of that question: a
+//! [`WorkloadConfig`] describes an arrival process (Poisson or
+//! deterministic) and a flow-size distribution (fixed or bounded
+//! Pareto — the classic heavy-tailed model of web transfer sizes), and
+//! the simulator spawns one finite flow per arrival, open-loop: arrivals
+//! do not wait for earlier flows to finish, exactly like independent
+//! users behind a shared bottleneck.
+//!
+//! The workload has its own RNG stream (seeded by [`WorkloadConfig::seed`]),
+//! so enabling it never perturbs the ACK-jitter or fault-loss draw
+//! sequences of the underlying run. All draws happen in arrival order in
+//! the event loop, which keeps runs bit-for-bit deterministic.
+//!
+//! Completed workload flows are torn down (see [`crate::flow::Flow`])
+//! and their slots recycled via a free list once quiescent, so tens of
+//! thousands of cumulative flows need only peak-concurrency state.
+
+use crate::error::ConfigError;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// When new flows arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate_per_sec` flows per second
+    /// (exponential inter-arrival gaps).
+    Poisson { rate_per_sec: f64 },
+    /// One arrival every `interval`, exactly.
+    Deterministic { interval: SimDuration },
+}
+
+impl ArrivalProcess {
+    /// Draw the gap to the next arrival.
+    pub(crate) fn sample_gap(&self, rng: &mut StdRng) -> SimDuration {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                // Inverse CDF of Exp(rate): -ln(1-U)/rate, U in [0, 1).
+                let u = rng.gen_range(0.0f64..1.0);
+                SimDuration::from_secs_f64(-(1.0 - u).ln() / rate_per_sec)
+            }
+            ArrivalProcess::Deterministic { interval } => interval,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                if !rate_per_sec.is_finite() {
+                    return Err(ConfigError::NonFinite {
+                        field: "workload arrival rate",
+                    });
+                }
+                if rate_per_sec <= 0.0 {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload arrival rate",
+                    });
+                }
+            }
+            ArrivalProcess::Deterministic { interval } => {
+                if interval == SimDuration::ZERO {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload arrival interval",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How large each arriving flow is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every flow transfers exactly `bytes`.
+    Fixed { bytes: u64 },
+    /// Bounded Pareto on `[min_bytes, max_bytes]` with tail index
+    /// `alpha` — heavy-tailed below `alpha ≈ 2`, the regime measured for
+    /// web and datacenter flow sizes.
+    BoundedPareto {
+        alpha: f64,
+        min_bytes: u64,
+        max_bytes: u64,
+    },
+}
+
+impl SizeDist {
+    /// Draw one flow size in bytes (≥ 1).
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            SizeDist::Fixed { bytes } => bytes,
+            SizeDist::BoundedPareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                // Inverse CDF of the bounded Pareto:
+                //   x = L / (1 - U·(1 - (L/H)^α))^(1/α)
+                let l = min_bytes as f64;
+                let h = max_bytes as f64;
+                let u = rng.gen_range(0.0f64..1.0);
+                let x = l / (1.0 - u * (1.0 - (l / h).powf(alpha))).powf(1.0 / alpha);
+                (x as u64).clamp(min_bytes, max_bytes).max(1)
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            SizeDist::Fixed { bytes } => {
+                if bytes == 0 {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload flow size",
+                    });
+                }
+            }
+            SizeDist::BoundedPareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                if !alpha.is_finite() {
+                    return Err(ConfigError::NonFinite {
+                        field: "workload Pareto alpha",
+                    });
+                }
+                if alpha <= 0.0 {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload Pareto alpha",
+                    });
+                }
+                if min_bytes == 0 {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload Pareto min size",
+                    });
+                }
+                if max_bytes < min_bytes {
+                    return Err(ConfigError::NonPositive {
+                        field: "workload Pareto size range",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An open-loop workload attached to a run via
+/// [`crate::SimConfig::with_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Arrival process for new flows.
+    pub arrivals: ArrivalProcess,
+    /// Flow-size distribution.
+    pub sizes: SizeDist,
+    /// Base (propagation) RTT of every spawned flow's path.
+    pub base_rtt: SimDuration,
+    /// Seed of the workload's private RNG stream (arrival gaps and flow
+    /// sizes). Independent of the jitter and fault streams.
+    pub seed: u64,
+    /// When the arrival process starts (the first arrival lands one gap
+    /// after this).
+    pub start: SimTime,
+}
+
+impl WorkloadConfig {
+    /// A workload starting at t=0 with the given arrivals and sizes.
+    pub fn new(
+        arrivals: ArrivalProcess,
+        sizes: SizeDist,
+        base_rtt: SimDuration,
+        seed: u64,
+    ) -> Self {
+        WorkloadConfig {
+            arrivals,
+            sizes,
+            base_rtt,
+            seed,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Validate the workload parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.arrivals.validate()?;
+        self.sizes.validate()?;
+        if self.base_rtt == SimDuration::ZERO {
+            return Err(ConfigError::NonPositive {
+                field: "workload base RTT",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_gaps_have_roughly_the_right_mean() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 50.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| p.sample_gap(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 0.02).abs() < 0.001,
+            "mean inter-arrival {mean} should be ≈ 1/50"
+        );
+    }
+
+    #[test]
+    fn deterministic_gaps_are_exact() {
+        let p = ArrivalProcess::Deterministic {
+            interval: SimDuration::from_millis(10),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(p.sample_gap(&mut rng), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_is_heavy_tailed() {
+        let d = SizeDist::BoundedPareto {
+            alpha: 1.2,
+            min_bytes: 10_000,
+            max_bytes: 10_000_000,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (10_000..=10_000_000).contains(&s)));
+        // Median hugs the minimum while the mean is pulled up by the
+        // tail — the signature of a heavy-tailed distribution.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!(median < 2.5 * 10_000.0, "median={median}");
+        assert!(mean > 2.0 * median, "mean={mean} median={median}");
+    }
+
+    #[test]
+    fn degenerate_workloads_are_rejected() {
+        let ok = WorkloadConfig::new(
+            ArrivalProcess::Poisson { rate_per_sec: 10.0 },
+            SizeDist::Fixed { bytes: 30_000 },
+            SimDuration::from_millis(40),
+            1,
+        );
+        assert!(ok.validate().is_ok());
+        let mut bad = ok;
+        bad.arrivals = ArrivalProcess::Poisson { rate_per_sec: 0.0 };
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.arrivals = ArrivalProcess::Deterministic {
+            interval: SimDuration::ZERO,
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.sizes = SizeDist::Fixed { bytes: 0 };
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.sizes = SizeDist::BoundedPareto {
+            alpha: 1.2,
+            min_bytes: 1000,
+            max_bytes: 999,
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.base_rtt = SimDuration::ZERO;
+        assert!(bad.validate().is_err());
+    }
+}

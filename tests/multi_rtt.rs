@@ -50,6 +50,7 @@ fn rtt_fairness_direction_in_simulation() {
             faults: Default::default(),
             early_stop: None,
             backend: Default::default(),
+            workload: None,
         }
         .run()
     };
