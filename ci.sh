@@ -58,6 +58,40 @@ cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
     --jobs 2 --cache-dir "$ne_out/cache" --out "$ne_out/warm"
 diff -r "$ne_out/serial" "$ne_out/warm"
 
+# Supervised sweep smoke: the same NE pipeline sharded across two
+# crash-isolated worker processes, with one worker SIGKILLed shortly
+# after launch. The supervisor must absorb the kill (retry the
+# forfeited leases on the survivor / a replacement) and the figures
+# must still be byte-identical to the serial run; a second supervised
+# run resumes warm from the shared cache and must match too.
+echo "==> supervised sweep smoke (repro 9 --supervise 2, one worker SIGKILLed)"
+sv_out="${TMPDIR:-/tmp}/bbrdom-ci-supervised"
+rm -rf "$sv_out"
+(
+    # Kill the first worker that appears (pid files live under the
+    # supervisor's work dir). Give up quietly after 60 polls — the
+    # smoke batch may finish before a kill lands, which is fine: the
+    # assertion is output identity either way.
+    for _ in $(seq 60); do
+        pidfile=$(find "$sv_out/cache/supervise" -name 'worker-*.pid' 2>/dev/null | head -1)
+        if [[ -n "$pidfile" ]]; then
+            kill -9 "$(cat "$pidfile")" 2>/dev/null || true
+            exit 0
+        fi
+        sleep 0.1
+    done
+) &
+killer=$!
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --supervise 2 --jobs 1 --watchdog 10 \
+    --cache-dir "$sv_out/cache" --out "$sv_out/supervised"
+wait "$killer" || true
+diff -r --exclude=cache "$ne_out/serial" "$sv_out/supervised"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --supervise 2 --jobs 1 --watchdog 10 \
+    --cache-dir "$sv_out/cache" --out "$sv_out/resumed"
+diff -r --exclude=cache "$ne_out/serial" "$sv_out/resumed"
+
 # Adaptive NE smoke: the model-guided search with early termination must
 # land every observed NE within one grid step of the dense grid's, per
 # row of every fig 9 panel (an empty adaptive set against a non-empty

@@ -46,6 +46,7 @@ fn engine(jobs: usize) -> Engine {
         jobs,
         disk_cache: None,
         memory_cache: true,
+        supervise: None,
     })
 }
 

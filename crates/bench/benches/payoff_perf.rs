@@ -69,6 +69,7 @@ fn main() {
             jobs: 1,
             disk_cache: None,
             memory_cache: false,
+            supervise: None,
         })
     };
     // Warm-up: fault the code paths and page in the batch once.
@@ -93,6 +94,7 @@ fn main() {
             jobs,
             disk_cache: Some(cache_dir.clone()),
             memory_cache: false,
+            supervise: None,
         })
     };
     with_cache().run_all(&scenarios);

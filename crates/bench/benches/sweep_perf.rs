@@ -43,6 +43,7 @@ fn engine(jobs: usize) -> Engine {
         jobs,
         disk_cache: None,
         memory_cache: true,
+        supervise: None,
     })
 }
 

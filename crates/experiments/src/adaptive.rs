@@ -379,6 +379,7 @@ mod tests {
             jobs: 1,
             disk_cache: None,
             memory_cache: true,
+            supervise: None,
         })
     }
 

@@ -5,6 +5,7 @@
 //! repro fig03 --full        # one figure at paper scale
 //! repro 9 --out results/    # figure 9, CSVs into results/
 //! repro 9 --jobs 4          # four simulation workers
+//! repro 9 --supervise 4     # shard across 4 crash-isolated processes
 //! repro 9 --no-cache        # bypass the scenario result cache
 //! repro list                # what's available
 //! ```
@@ -13,9 +14,10 @@ use bbrdom_cca::CcaKind;
 use bbrdom_experiments::engine::{jobs_from_env, Engine, EngineConfig};
 use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
 use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
-use bbrdom_experiments::{BackendSpec, Profile, WorkloadSpec};
+use bbrdom_experiments::{BackendSpec, Profile, SupervisorConfig, WorkloadSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     targets: Vec<String>,
@@ -24,6 +26,8 @@ struct Args {
     jobs: Option<usize>,
     no_cache: bool,
     cache_dir: Option<PathBuf>,
+    supervise: Option<usize>,
+    watchdog_secs: Option<f64>,
 }
 
 /// Optional per-knob overrides applied on top of the chosen profile.
@@ -106,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = None;
     let mut no_cache = false;
     let mut cache_dir = None;
+    let mut supervise = None;
+    let mut watchdog_secs = None;
     let mut overrides = Overrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -128,6 +134,24 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--no-cache" => no_cache = true,
+            "--supervise" => {
+                supervise = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--supervise needs a positive worker count".to_string())?,
+                );
+            }
+            "--watchdog" => {
+                watchdog_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&s| s.is_finite() && s > 0.0)
+                        .ok_or_else(|| {
+                            "--watchdog needs a positive number of seconds".to_string()
+                        })?,
+                );
+            }
             "--cache-dir" => {
                 cache_dir =
                     Some(PathBuf::from(args.next().ok_or_else(|| {
@@ -258,6 +282,9 @@ fn parse_args() -> Result<Args, String> {
             );
         }
     }
+    if watchdog_secs.is_some() && supervise.is_none() {
+        return Err("--watchdog only makes sense with --supervise N".to_string());
+    }
     Ok(Args {
         targets,
         profile,
@@ -265,6 +292,8 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         no_cache,
         cache_dir,
+        supervise,
+        watchdog_secs,
     })
 }
 
@@ -284,13 +313,43 @@ fn usage() -> String {
          \x20     --early-stop[=EPS,DWELL] (stop converged runs early; default 0.05,3)\n\
          \x20     --no-early-stop (fixed horizon, default)\n\
          engine: --jobs N (or BBRDOM_JOBS; default: all cores)\n\
-         \x20        --no-cache (always re-simulate)  --cache-dir DIR (default: <out>/cache)\n",
+         \x20        --no-cache (always re-simulate)  --cache-dir DIR (default: <out>/cache)\n\
+         \x20        --supervise N (shard sweeps across N crash-isolated worker processes;\n\
+         \x20          --jobs then means threads per worker, default cores/N)\n\
+         \x20        --watchdog SECS (supervised stall limit before a worker is killed;\n\
+         \x20          default scales with the profile: ~30s smoke, 120s quick, 480s full)\n",
         ALL_FIGURES.join(" "),
         ALL_EXTENSIONS.join(" ")
     )
 }
 
+/// Entry point for the hidden `repro worker --dir D --id K` subcommand:
+/// the supervised-sweep worker process (see [`bbrdom_experiments::supervisor`]).
+fn worker_subcommand() -> ExitCode {
+    let mut dir = None;
+    let mut id = None;
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => dir = args.next().map(PathBuf::from),
+            "--id" => id = args.next(),
+            other => {
+                eprintln!("repro worker: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(dir), Some(id)) = (dir, id) else {
+        eprintln!("usage: repro worker --dir WORKDIR --id ID  (internal; spawned by --supervise)");
+        return ExitCode::from(2);
+    };
+    ExitCode::from(bbrdom_experiments::supervisor::worker_main(&dir, &id) as u8)
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        return worker_subcommand();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -302,27 +361,62 @@ fn main() -> ExitCode {
         println!("{}", ALL_FIGURES.join("\n"));
         return ExitCode::SUCCESS;
     }
+    // Ctrl-C / SIGTERM flush the sweep journal and print a resume hint
+    // instead of tearing the process down mid-write.
+    bbrdom_experiments::supervisor::install_signal_handlers();
     // Configure the scenario engine before anything simulates (the
     // global engine is first-use-wins). Disk cache defaults to
     // <out>/cache so warm reruns of the same figure skip the work.
+    let disk_cache = if args.no_cache {
+        None
+    } else {
+        Some(
+            args.cache_dir
+                .clone()
+                .unwrap_or_else(|| args.out_dir.join("cache")),
+        )
+    };
+    let supervise = args.supervise.map(|workers| {
+        // Supervisor scratch state (work dirs, auto-journals) lives next
+        // to the cache; with --no-cache it falls back to a temp dir.
+        let state_dir = disk_cache
+            .as_ref()
+            .map(|c| c.join("supervise"))
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("bbrdom-supervise-{}", std::process::id()))
+            });
+        let mut sup = SupervisorConfig::new(workers, state_dir);
+        // The watchdog default scales with the profile: a --full trial
+        // legitimately runs minutes of wall-clock, a --smoke one doesn't.
+        sup.watchdog = args
+            .watchdog_secs
+            .map(Duration::from_secs_f64)
+            .unwrap_or_else(|| args.profile.supervise_watchdog());
+        sup
+    });
+    // With --supervise, --jobs means threads *per worker*; the default
+    // splits the machine's cores across the worker processes.
+    let jobs = args.jobs.or_else(jobs_from_env).unwrap_or_else(|| {
+        let cores = bbrdom_experiments::runner::default_workers();
+        match args.supervise {
+            Some(n) => (cores / n.max(1)).max(1),
+            None => cores,
+        }
+    });
     let engine_config = EngineConfig {
-        jobs: args
-            .jobs
-            .or_else(jobs_from_env)
-            .unwrap_or_else(bbrdom_experiments::runner::default_workers),
-        disk_cache: if args.no_cache {
-            None
-        } else {
-            Some(
-                args.cache_dir
-                    .clone()
-                    .unwrap_or_else(|| args.out_dir.join("cache")),
-            )
-        },
+        jobs,
+        disk_cache,
         memory_cache: !args.no_cache,
+        supervise,
     };
     Engine::configure(engine_config);
-    eprintln!("engine: {} jobs", Engine::global().jobs());
+    match args.supervise {
+        Some(n) => eprintln!(
+            "engine: {n} supervised workers x {} jobs",
+            Engine::global().jobs()
+        ),
+        None => eprintln!("engine: {} jobs", Engine::global().jobs()),
+    }
     let mut targets: Vec<String> = Vec::new();
     for t in &args.targets {
         match t.as_str() {
@@ -339,6 +433,10 @@ fn main() -> ExitCode {
     // remaining figures still run; the exit code records the damage.
     let mut failed: Vec<(String, String)> = Vec::new();
     for target in &targets {
+        if bbrdom_experiments::supervisor::interrupted() {
+            eprintln!("interrupted — skipping remaining targets");
+            return ExitCode::from(130);
+        }
         eprintln!("== running {target} ==");
         let started = std::time::Instant::now();
         let stats_before = Engine::global().stats();

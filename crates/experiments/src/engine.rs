@@ -160,13 +160,18 @@ pub fn jobs_from_env() -> Option<usize> {
 /// Engine configuration: pool size and cache policy.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads for scenario batches.
+    /// Worker threads for scenario batches. Under supervision this is
+    /// the thread count *per worker subprocess*.
     pub jobs: usize,
     /// Directory for the persistent result cache (`None` = memory only).
     pub disk_cache: Option<PathBuf>,
     /// Keep an in-process memo of completed reports (cheap; only worth
     /// disabling for determinism tests that must re-simulate).
     pub memory_cache: bool,
+    /// Shard batches across crash-isolated worker subprocesses
+    /// (`repro --supervise N`; see [`crate::supervisor`]). `None` (the
+    /// default) executes in-process.
+    pub supervise: Option<crate::supervisor::SupervisorConfig>,
 }
 
 impl EngineConfig {
@@ -181,6 +186,7 @@ impl EngineConfig {
                 .filter(|v| !v.is_empty())
                 .map(PathBuf::from),
             memory_cache: true,
+            supervise: None,
         }
     }
 
@@ -191,6 +197,7 @@ impl EngineConfig {
             jobs: 1,
             disk_cache: None,
             memory_cache: false,
+            supervise: None,
         }
     }
 }
@@ -330,7 +337,7 @@ pub(crate) fn parse_journal_line(line: &str) -> Option<JournalEntry> {
 }
 
 /// One-line scenario summary used as failure context.
-fn scenario_context(s: &Scenario) -> String {
+pub(crate) fn scenario_context(s: &Scenario) -> String {
     format!(
         "{} flows, {} Mbps, buffer {} BDP, {} s, seed {}",
         s.flows.len(),
@@ -410,6 +417,7 @@ impl Engine {
     ///     jobs: 1,
     ///     disk_cache: None,
     ///     memory_cache: true,
+    ///     supervise: None,
     /// });
     /// // Two cells of a payoff sweep on the fluid fast backend.
     /// let cells: Vec<Scenario> = [1u32, 2]
@@ -432,7 +440,9 @@ impl Engine {
 
     /// [`Engine::run_all`] with an explicit pool size.
     pub fn run_all_jobs(&self, scenarios: &[Scenario], jobs: usize) -> Vec<TrialResult> {
-        let outcomes = self.execute(scenarios, jobs, None, None, None);
+        let outcomes = self
+            .execute(scenarios, jobs, None, None, None)
+            .unwrap_or_else(|e| panic!("sweep failed: {e}"));
         let mut results = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             match outcome {
@@ -449,8 +459,13 @@ impl Engine {
     /// invalid scenario becomes a structured [`TrialOutcome::Failed`]
     /// while the rest of the sweep completes. Outcomes come back in
     /// input order. See [`crate::runner::run_sweep`] for the journal
-    /// resume contract.
-    pub fn run_sweep(&self, scenarios: &[Scenario], config: &SweepConfig) -> Vec<TrialOutcome> {
+    /// resume contract and the error cases (an unopenable journal is
+    /// the only one on the in-process path).
+    pub fn run_sweep(
+        &self,
+        scenarios: &[Scenario],
+        config: &SweepConfig,
+    ) -> Result<Vec<TrialOutcome>, bbrdom_netsim::ConfigError> {
         self.execute(
             scenarios,
             config.jobs.unwrap_or(self.config.jobs),
@@ -471,12 +486,25 @@ impl Engine {
         event_budget: Option<u64>,
         wall_budget: Option<std::time::Duration>,
         journal: Option<&Path>,
-    ) -> Vec<TrialOutcome> {
+    ) -> Result<Vec<TrialOutcome>, bbrdom_netsim::ConfigError> {
         let n = scenarios.len();
         let hashes: Vec<u128> = scenarios.iter().map(scenario_hash).collect();
         let keys: Vec<String> = hashes.iter().map(|h| format!("{h:032x}")).collect();
         let wall_budget_ns = wall_budget.map(|d| d.as_nanos() as u64);
         let mut done: Vec<Option<TrialOutcome>> = (0..n).map(|_| None).collect();
+
+        // Supervised batches without an explicit journal get one derived
+        // from the batch's content hash, so a parent crash mid-batch
+        // resumes instead of restarting (workers never write it — the
+        // parent stays the single writer).
+        let auto_journal: Option<PathBuf> = match (&journal, &self.config.supervise) {
+            (None, Some(sup)) if n > 0 => Some(
+                sup.state_dir
+                    .join(format!("batch-{}.jsonl", batch_tag(&keys))),
+            ),
+            _ => None,
+        };
+        let journal: Option<&Path> = journal.or(auto_journal.as_deref());
 
         // Resume: pre-fill slots from the journal when the record's
         // scenario hash (and, for failures, its budgets) still match.
@@ -526,13 +554,28 @@ impl Engine {
         // — the writer flushes them in exactly this order.
         let to_journal: Vec<usize> = (0..n).filter(|&i| done[i].is_none()).collect();
 
-        let mut journal_file = journal.map(|path| {
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .unwrap_or_else(|e| panic!("cannot open sweep journal {}: {e}", path.display()))
-        });
+        let mut journal_file = match journal {
+            None => None,
+            Some(path) => match open_journal_append(path) {
+                Ok(file) => Some(file),
+                // The auto-journal is an accelerator, not part of the
+                // caller's contract: degrade to a non-resumable batch.
+                Err(e) if auto_journal.is_some() => {
+                    eprintln!(
+                        "warning: cannot open supervise journal {}: {e}; batch will not resume",
+                        path.display()
+                    );
+                    None
+                }
+                Err(e) => {
+                    return Err(bbrdom_netsim::ConfigError::Io {
+                        what: "sweep journal",
+                        path: path.display().to_string(),
+                        reason: e.to_string(),
+                    })
+                }
+            },
+        };
 
         // Flush the contiguous prefix of finished indices to the journal.
         // A failed write is not fatal: the sweep still completes, the
@@ -552,8 +595,42 @@ impl Engine {
             }
         };
 
-        let jobs = jobs.max(1).min(pending.len().max(1));
         let mut cursor = 0usize;
+
+        // Supervised execution: pending work is sharded across worker
+        // subprocesses; this process slots results by index and remains
+        // the journal's single writer, so the output is bit-identical
+        // to the in-process paths below.
+        if let Some(sup) = self.config.supervise.clone() {
+            if !pending.is_empty() {
+                let mut on_result = |i: usize, outcome: TrialOutcome| {
+                    for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                        done[alias] = Some(retarget(&outcome, alias));
+                    }
+                    done[i] = Some(outcome);
+                    flush_journal(&done, &mut cursor, &mut journal_file);
+                };
+                let stats = crate::supervisor::run_supervised(
+                    &sup,
+                    scenarios,
+                    &keys,
+                    &pending,
+                    event_budget,
+                    wall_budget_ns,
+                    jobs.max(1),
+                    self.config.disk_cache.as_deref(),
+                    journal,
+                    &mut on_result,
+                )?;
+                self.absorb(&stats);
+            }
+            return Ok(done
+                .into_iter()
+                .map(|slot| slot.expect("scenario not executed"))
+                .collect());
+        }
+
+        let jobs = jobs.max(1).min(pending.len().max(1));
         if jobs == 1 {
             // Serial path: a one-worker pool still pays for thread spawn,
             // channel traffic, and cross-core cache misses with nothing
@@ -561,6 +638,9 @@ impl Engine {
             // single-core box). Run the batch inline instead; the
             // ordering contract holds trivially.
             for &i in &pending {
+                if crate::supervisor::interrupted() {
+                    crate::supervisor::exit_interrupted(journal);
+                }
                 let outcome = self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
                 for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
                     done[alias] = Some(retarget(&outcome, alias));
@@ -601,13 +681,51 @@ impl Engine {
                     }
                     done[i] = Some(outcome);
                     flush_journal(&done, &mut cursor, &mut journal_file);
+                    // The flush above already wrote the contiguous
+                    // prefix, so a graceful stop loses nothing resumable.
+                    if crate::supervisor::interrupted() {
+                        crate::supervisor::exit_interrupted(journal);
+                    }
                 }
             });
         }
 
-        done.into_iter()
+        Ok(done
+            .into_iter()
             .map(|slot| slot.expect("scenario not executed"))
-            .collect()
+            .collect())
+    }
+
+    /// Run (or fetch) a single scenario outside a batch — the
+    /// supervised-worker entry point ([`crate::supervisor::worker_main`]).
+    /// Cache, budget, and failure semantics are identical to batch
+    /// execution, so a supervised sweep stays bit-identical to a serial
+    /// one.
+    pub fn run_single(
+        &self,
+        scenario: &Scenario,
+        index: usize,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> TrialOutcome {
+        self.run_one(
+            scenario,
+            scenario_hash(scenario),
+            index,
+            event_budget,
+            wall_budget,
+        )
+    }
+
+    /// Fold worker-subprocess cache counters into this engine's, so the
+    /// sweep summary reflects work done across process boundaries.
+    pub(crate) fn absorb(&self, s: &CacheStats) {
+        self.memory_hits.fetch_add(s.memory_hits, Ordering::Relaxed);
+        self.disk_hits.fetch_add(s.disk_hits, Ordering::Relaxed);
+        self.deduped.fetch_add(s.deduped, Ordering::Relaxed);
+        self.simulated.fetch_add(s.simulated, Ordering::Relaxed);
+        self.events_simulated
+            .fetch_add(s.events_simulated, Ordering::Relaxed);
     }
 
     /// Run (or fetch) one scenario. Cache policy: only successful
@@ -697,6 +815,52 @@ fn retarget(outcome: &TrialOutcome, index: usize) -> TrialOutcome {
     }
 }
 
+/// Stable 64-bit tag of a batch's scenario-key list, used to name
+/// supervised work dirs and auto-journals so the same logical batch
+/// resumes across process restarts.
+pub(crate) fn batch_tag(keys: &[String]) -> String {
+    let mut h = StableHasher::new();
+    h.write_bytes(b"sweep-batch");
+    (keys.len() as u64).stable_hash(&mut h);
+    for k in keys {
+        k.stable_hash(&mut h);
+    }
+    format!("{:016x}", h.finish() as u64)
+}
+
+/// Truncate a journal to its last complete line. A crash (or SIGKILL)
+/// mid-write can leave a partial record with no trailing newline;
+/// appending to it would glue the next record onto the fragment and
+/// corrupt *both*. Run before every append-mode open.
+fn repair_journal_tail(path: &Path) -> std::io::Result<()> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if data.last().is_some_and(|&b| b != b'\n') {
+        let keep = data.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+    }
+    Ok(())
+}
+
+/// Open a journal for appending: create parent directories, drop any
+/// torn final line, then open in append mode.
+fn open_journal_append(path: &Path) -> std::io::Result<std::fs::File> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    repair_journal_tail(path)?;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+}
+
 fn cache_entry_path(dir: &Path, hash: u128) -> PathBuf {
     dir.join(format!("{hash:032x}.json"))
 }
@@ -718,8 +882,12 @@ fn load_cache_entry(dir: &Path, hash: u128) -> Option<SimReport> {
 
 /// Persist a report. Written to a temp file then renamed, so concurrent
 /// readers never observe a torn entry; I/O errors are ignored (the
-/// cache is an accelerator, not a store of record).
+/// cache is an accelerator, not a store of record). The temp name
+/// carries the pid *and* a process-global sequence number: two threads
+/// of one process racing the same key must not share a temp file, or
+/// the interleaved writes could be published by the rename.
 fn store_cache_entry(dir: &Path, hash: u128, report: &SimReport) {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
@@ -727,8 +895,99 @@ fn store_cache_entry(dir: &Path, hash: u128, report: &SimReport) {
     v.set("version", Value::U64(CACHE_FORMAT_VERSION as u64))
         .set("key", format!("{hash:032x}").as_str().into())
         .set("report", report.to_json_value());
-    let tmp = dir.join(format!(".{hash:032x}.tmp.{}", std::process::id()));
+    let tmp = dir.join(format!(
+        ".{hash:032x}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     if std::fs::write(&tmp, v.to_json()).is_ok() {
         let _ = std::fs::rename(&tmp, cache_entry_path(dir, hash));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbrdom_cca::CcaKind;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bbrdom-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The satellite race test: threads hammering the same cache key
+    /// with tmp+rename writes while readers poll must never produce a
+    /// torn read — every load is either a miss or the exact report.
+    #[test]
+    fn concurrent_cache_writers_never_tear() {
+        let dir = temp_dir("race");
+        let scenario = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 2.0, 7);
+        let report = scenario
+            .try_report_with(None, None)
+            .expect("tiny scenario runs");
+        let hash = scenario_hash(&scenario);
+        let expected = report.to_json_value().to_json();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        store_cache_entry(&dir, hash, &report);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(r) = load_cache_entry(&dir, hash) {
+                            assert_eq!(r.to_json_value().to_json(), expected, "torn cache read");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(load_cache_entry(&dir, hash).is_some());
+        let leaked = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leaked, 0, "temp files must not leak");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_tail_repair_truncates_partial_final_line() {
+        let dir = temp_dir("tail");
+        let path = dir.join("sweep.jsonl");
+
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"partia").unwrap();
+        drop(open_journal_append(&path).unwrap());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"a\":1}\n{\"b\":2}\n",
+            "torn tail must be dropped, complete lines kept"
+        );
+
+        std::fs::write(&path, "{\"no-newline-at-al").unwrap();
+        drop(open_journal_append(&path).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+
+        // A missing journal (and missing parent dir) is created.
+        let fresh = dir.join("sub/dir/new.jsonl");
+        drop(open_journal_append(&fresh).unwrap());
+        assert!(fresh.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_tag_depends_on_keys_and_order() {
+        let a = vec!["k1".to_string(), "k2".to_string()];
+        let b = vec!["k2".to_string(), "k1".to_string()];
+        let c = vec!["k1".to_string(), "k2".to_string()];
+        assert_eq!(batch_tag(&a), batch_tag(&c));
+        assert_ne!(batch_tag(&a), batch_tag(&b));
+        assert_eq!(batch_tag(&a).len(), 16);
     }
 }

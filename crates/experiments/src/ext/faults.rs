@@ -124,7 +124,10 @@ pub fn run(profile: &Profile) -> FigResult {
         }
     }
     profile.apply_workload(&mut scenarios);
-    let outcomes = runner::run_sweep(&scenarios, &SweepConfig::default());
+    // No journal configured, so the only sweep-level error is a failed
+    // supervisor bring-up; surface it like any other figure failure.
+    let outcomes = runner::run_sweep(&scenarios, &SweepConfig::default())
+        .unwrap_or_else(|e| panic!("fault sweep failed: {e}"));
     let mut notes = Vec::new();
     let mut bbr_clean = 0.0;
     let mut bbr_lossy = 0.0;

@@ -7,6 +7,9 @@
 //! * [`engine`] — the parallel worker-pool engine with a
 //!   content-addressed scenario result cache (`--jobs` / `BBRDOM_JOBS`);
 //! * [`runner`] — the batch-execution façade over the engine;
+//! * [`supervisor`] — crash-safe multi-process sharding
+//!   (`repro --supervise N`): worker isolation, heartbeat watchdog,
+//!   retry/backoff, and scenario quarantine;
 //! * [`payoff`] — empirical payoff curves over all `n + 1` CUBIC/X splits
 //!   and the §4.4 Nash-equilibrium search;
 //! * [`adaptive`] — the two-tier adaptive NE search (`--adaptive`):
@@ -44,6 +47,7 @@ pub mod payoff;
 pub mod profile;
 pub mod runner;
 pub mod scenario;
+pub mod supervisor;
 pub mod sync;
 
 pub use adaptive::{find_ne_adaptive, find_ne_adaptive_on, AdaptiveNe, NeOracle};
@@ -53,3 +57,4 @@ pub use scenario::{
     ArrivalSpec, BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario,
     SizeSpec, TrialResult, WorkloadSpec,
 };
+pub use supervisor::SupervisorConfig;

@@ -130,8 +130,14 @@ pub struct SweepConfig {
 /// JSONL by a single writer in strict index order (so `--jobs 1` and
 /// `--jobs 8` journals are byte-identical); rerunning the same sweep
 /// resumes, re-using every journal entry whose scenario hash still
-/// matches and re-running only the rest.
-pub fn run_sweep(scenarios: &[Scenario], config: &SweepConfig) -> Vec<TrialOutcome> {
+/// matches and re-running only the rest. A journal that cannot be
+/// opened (unwritable path) is a typed
+/// [`ConfigError::Io`](bbrdom_netsim::ConfigError::Io) — per-trial
+/// failures stay fail-soft inside the `Ok` outcome vector.
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    config: &SweepConfig,
+) -> Result<Vec<TrialOutcome>, bbrdom_netsim::ConfigError> {
     Engine::global().run_sweep(scenarios, config)
 }
 
@@ -221,7 +227,7 @@ mod tests {
             jobs: Some(2),
             ..SweepConfig::default()
         };
-        let outcomes = run_sweep(&scenarios, &cfg);
+        let outcomes = run_sweep(&scenarios, &cfg).expect("sweep runs");
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes[0].ok().is_some());
         assert!(outcomes[2].ok().is_some());
@@ -245,7 +251,7 @@ mod tests {
             event_budget: Some(1_000),
             ..SweepConfig::default()
         };
-        let outcomes = run_sweep(&scenarios, &cfg);
+        let outcomes = run_sweep(&scenarios, &cfg).expect("sweep runs");
         for o in &outcomes {
             let f = o.failure().expect("budget must trip");
             assert!(
@@ -266,7 +272,7 @@ mod tests {
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
-        let first = run_sweep(&scenarios, &cfg);
+        let first = run_sweep(&scenarios, &cfg).expect("sweep runs");
         assert!(first.iter().all(|o| o.ok().is_some()));
 
         // Tamper with trial 0's journaled throughput. If the resumed
@@ -296,7 +302,7 @@ mod tests {
             .collect();
         std::fs::write(&path, tampered).unwrap();
 
-        let resumed = run_sweep(&scenarios, &cfg);
+        let resumed = run_sweep(&scenarios, &cfg).expect("sweep runs");
         assert_eq!(resumed[0].ok().unwrap().throughput_mbps[0], 999.0);
         // Untampered entries round-trip bit-exactly.
         assert_eq!(
@@ -316,14 +322,14 @@ mod tests {
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
-        let first = run_sweep(&scenarios, &cfg);
+        let first = run_sweep(&scenarios, &cfg).expect("sweep runs");
 
         // Change scenario 1 (different seed): its journal entry's hash
         // no longer matches and must be re-run; scenario 0 still resumes
         // from the journal.
         let mut changed = scenarios.clone();
         changed[1] = tiny(77);
-        let resumed = run_sweep(&changed, &cfg);
+        let resumed = run_sweep(&changed, &cfg).expect("sweep runs");
         assert_eq!(
             resumed[0].ok().unwrap().throughput_mbps,
             first[0].ok().unwrap().throughput_mbps
@@ -332,6 +338,98 @@ mod tests {
             resumed[1].ok().unwrap().throughput_mbps,
             first[1].ok().unwrap().throughput_mbps
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unopenable_journal_is_a_typed_error() {
+        // A journal path whose parent is a plain file can never be
+        // created: formerly a panic deep in the engine, now a typed
+        // error on run_sweep's Result path.
+        let blocker = temp_path("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let scenarios = vec![tiny(1)];
+        let cfg = SweepConfig {
+            jobs: Some(1),
+            journal: Some(blocker.join("sweep.jsonl")),
+            ..SweepConfig::default()
+        };
+        let err = run_sweep(&scenarios, &cfg).expect_err("journal under a plain file must fail");
+        match &err {
+            bbrdom_netsim::ConfigError::Io { what, path, .. } => {
+                assert_eq!(*what, "sweep journal");
+                assert!(path.contains("blocker"), "unhelpful path: {path}");
+            }
+            other => panic!("expected ConfigError::Io, got {other:?}"),
+        }
+        assert!(err.to_string().contains("sweep journal"), "{err}");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn resume_survives_truncated_tail_and_malformed_midline() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let scenarios: Vec<Scenario> = (0..3).map(tiny).collect();
+        let cfg = SweepConfig {
+            jobs: Some(1),
+            journal: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let first = run_sweep(&scenarios, &cfg).expect("sweep runs");
+        assert!(first.iter().all(|o| o.ok().is_some()));
+
+        // Rebuild the journal as a crash might leave it: line 0 valid
+        // but tampered (to prove reuse), a malformed mid-file line, and
+        // a torn final record with no trailing newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut r0 = first[0].ok().unwrap().clone();
+        r0.throughput_mbps[0] = 999.0;
+        let tampered0 = journal_line(
+            0,
+            &scenario_hash_hex(&scenarios[0]),
+            &TrialOutcome::Ok(r0),
+            None,
+            None,
+        );
+        let torn = &lines[2][..lines[2].len() / 2];
+        std::fs::write(
+            &path,
+            format!("{tampered0}\n{{malformed mid-file line\n{torn}"),
+        )
+        .unwrap();
+
+        let resumed = run_sweep(&scenarios, &cfg).expect("sweep resumes");
+        assert_eq!(
+            resumed[0].ok().unwrap().throughput_mbps[0],
+            999.0,
+            "intact line 0 must resume without re-running"
+        );
+        assert_eq!(
+            resumed[1].ok().unwrap().throughput_mbps,
+            first[1].ok().unwrap().throughput_mbps,
+            "malformed line 1 must be re-run"
+        );
+        assert_eq!(
+            resumed[2].ok().unwrap().throughput_mbps,
+            first[2].ok().unwrap().throughput_mbps,
+            "torn line 2 must be re-run"
+        );
+
+        // The torn tail was truncated before appending, so nothing was
+        // glued to the fragment: every index parses back exactly once.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.ends_with('\n'),
+            "repaired journal ends on a line boundary"
+        );
+        let reparsed: Vec<usize> = text
+            .lines()
+            .filter_map(|l| parse_journal_line(l).map(|e| e.index))
+            .collect();
+        assert_eq!(reparsed, vec![0, 1, 2], "journal after resume:\n{text}");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -345,7 +443,7 @@ mod tests {
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
-        let outcomes = run_sweep(&scenarios, &cfg);
+        let outcomes = run_sweep(&scenarios, &cfg).expect("sweep runs");
         assert!(
             outcomes[0].ok().is_some(),
             "corrupt journal must be ignored"
@@ -364,8 +462,8 @@ mod tests {
             journal: Some(path.clone()),
             ..SweepConfig::default()
         };
-        let first = run_sweep(&scenarios, &cfg);
-        let resumed = run_sweep(&scenarios, &cfg);
+        let first = run_sweep(&scenarios, &cfg).expect("sweep runs");
+        let resumed = run_sweep(&scenarios, &cfg).expect("sweep runs");
         assert_eq!(
             resumed[0].failure().expect("still failed"),
             first[0].failure().expect("failed")

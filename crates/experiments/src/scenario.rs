@@ -926,6 +926,14 @@ impl Scenario {
     /// [`Scenario::from_json`]). Floats round-trip bit-exactly, so a
     /// stored scenario reproduces its trial bit-for-bit.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Serialize as a JSON [`Value`], for embedding inside a larger
+    /// document (the supervisor's worker manifest stores one scenario
+    /// per batch index this way). Inverse of
+    /// [`Scenario::from_json_value`].
+    pub fn to_json_value(&self) -> Value {
         let mut v = Value::object();
         v.set("mbps", self.mbps.into())
             .set("buffer_bdp", self.buffer_bdp.into())
@@ -949,13 +957,19 @@ impl Scenario {
         if let Some(wl) = self.workload {
             v.set("workload", wl.to_json_value());
         }
-        v.to_json()
+        v
     }
 
     /// Parse a scenario serialized with [`Scenario::to_json`].
     /// `start_s`, `byte_limit`, and `discipline` may be omitted.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = json::parse(text).map_err(|e| e.to_string())?;
+        Scenario::from_json_value(&v)
+    }
+
+    /// Parse a scenario from a JSON [`Value`] (inverse of
+    /// [`Scenario::to_json_value`]).
+    pub fn from_json_value(v: &Value) -> Result<Self, String> {
         let flows = v
             .get("flows")
             .and_then(Value::as_array)

@@ -19,6 +19,7 @@ fn uncached() -> Engine {
         jobs: 1,
         disk_cache: None,
         memory_cache: false,
+        supervise: None,
     })
 }
 
@@ -90,16 +91,20 @@ proptest! {
         let _ = std::fs::remove_file(&serial_journal);
         let _ = std::fs::remove_file(&parallel_journal);
 
-        let serial = uncached().run_sweep(&scenarios, &SweepConfig {
-            jobs: Some(1),
-            journal: Some(serial_journal.clone()),
-            ..SweepConfig::default()
-        });
-        let parallel = uncached().run_sweep(&scenarios, &SweepConfig {
-            jobs: Some(8),
-            journal: Some(parallel_journal.clone()),
-            ..SweepConfig::default()
-        });
+        let serial = uncached()
+            .run_sweep(&scenarios, &SweepConfig {
+                jobs: Some(1),
+                journal: Some(serial_journal.clone()),
+                ..SweepConfig::default()
+            })
+            .expect("serial sweep runs");
+        let parallel = uncached()
+            .run_sweep(&scenarios, &SweepConfig {
+                jobs: Some(8),
+                journal: Some(parallel_journal.clone()),
+                ..SweepConfig::default()
+            })
+            .expect("parallel sweep runs");
 
         // Byte-identical journals: same lines, same order, same floats.
         let serial_bytes = std::fs::read(&serial_journal).unwrap();
@@ -332,6 +337,7 @@ fn engine_with_disk(dir: &std::path::Path) -> Engine {
         jobs: 1,
         disk_cache: Some(dir.to_path_buf()),
         memory_cache: false,
+        supervise: None,
     })
 }
 
@@ -377,14 +383,16 @@ fn cache_respects_event_budgets() {
     warm.run_all(std::slice::from_ref(&scenario));
 
     let budgeted = engine_with_disk(&dir);
-    let outcomes = budgeted.run_sweep(
-        std::slice::from_ref(&scenario),
-        &SweepConfig {
-            jobs: Some(1),
-            event_budget: Some(100),
-            ..SweepConfig::default()
-        },
-    );
+    let outcomes = budgeted
+        .run_sweep(
+            std::slice::from_ref(&scenario),
+            &SweepConfig {
+                jobs: Some(1),
+                event_budget: Some(100),
+                ..SweepConfig::default()
+            },
+        )
+        .expect("budgeted sweep runs");
     assert_eq!(budgeted.stats().disk_hits, 0, "over-budget entry admitted");
     let failure = outcomes[0].failure().expect("tiny budget must still trip");
     assert!(failure.error.contains("event budget"));
@@ -401,29 +409,33 @@ fn journal_failures_rerun_when_budget_changes() {
     let _ = std::fs::remove_file(&path);
     let scenario = short_scenario(10.0, 1.0, 1, 0, 5);
 
-    let strangled = uncached().run_sweep(
-        std::slice::from_ref(&scenario),
-        &SweepConfig {
-            jobs: Some(1),
-            event_budget: Some(100),
-            journal: Some(path.clone()),
-            ..SweepConfig::default()
-        },
-    );
+    let strangled = uncached()
+        .run_sweep(
+            std::slice::from_ref(&scenario),
+            &SweepConfig {
+                jobs: Some(1),
+                event_budget: Some(100),
+                journal: Some(path.clone()),
+                ..SweepConfig::default()
+            },
+        )
+        .expect("strangled sweep runs");
     assert!(strangled[0].failure().is_some(), "tiny budget must trip");
 
     // Same journal, generous budget: the journaled failure no longer
     // matches (different budget) and the trial re-runs to success.
     let engine = uncached();
-    let recovered = engine.run_sweep(
-        std::slice::from_ref(&scenario),
-        &SweepConfig {
-            jobs: Some(1),
-            event_budget: Some(10_000_000),
-            journal: Some(path.clone()),
-            ..SweepConfig::default()
-        },
-    );
+    let recovered = engine
+        .run_sweep(
+            std::slice::from_ref(&scenario),
+            &SweepConfig {
+                jobs: Some(1),
+                event_budget: Some(10_000_000),
+                journal: Some(path.clone()),
+                ..SweepConfig::default()
+            },
+        )
+        .expect("recovered sweep runs");
     assert!(
         recovered[0].ok().is_some(),
         "raised budget must re-run the journaled failure, got {:?}",
@@ -433,15 +445,17 @@ fn journal_failures_rerun_when_budget_changes() {
 
     // And an identical rerun resumes the success without simulating.
     let resumed_engine = uncached();
-    let resumed = resumed_engine.run_sweep(
-        std::slice::from_ref(&scenario),
-        &SweepConfig {
-            jobs: Some(1),
-            event_budget: Some(10_000_000),
-            journal: Some(path.clone()),
-            ..SweepConfig::default()
-        },
-    );
+    let resumed = resumed_engine
+        .run_sweep(
+            std::slice::from_ref(&scenario),
+            &SweepConfig {
+                jobs: Some(1),
+                event_budget: Some(10_000_000),
+                journal: Some(path.clone()),
+                ..SweepConfig::default()
+            },
+        )
+        .expect("resumed sweep runs");
     assert!(resumed[0].ok().is_some());
     assert_eq!(resumed_engine.stats().simulated, 0);
     let _ = std::fs::remove_file(&path);
@@ -469,15 +483,17 @@ fn concurrent_budget_failures_are_exact() {
 
     let path = temp_path("concurrent-budget");
     let _ = std::fs::remove_file(&path);
-    let outcomes = uncached().run_sweep(
-        &scenarios,
-        &SweepConfig {
-            jobs: Some(4),
-            event_budget: Some(budget),
-            journal: Some(path.clone()),
-            ..SweepConfig::default()
-        },
-    );
+    let outcomes = uncached()
+        .run_sweep(
+            &scenarios,
+            &SweepConfig {
+                jobs: Some(4),
+                event_budget: Some(budget),
+                journal: Some(path.clone()),
+                ..SweepConfig::default()
+            },
+        )
+        .expect("concurrent sweep runs");
 
     for (i, outcome) in outcomes.iter().enumerate() {
         if expect_failed.contains(&i) {

@@ -29,6 +29,16 @@ pub enum ConfigError {
         backend: &'static str,
         feature: &'static str,
     },
+    /// A filesystem resource the run depends on (sweep journal,
+    /// supervisor state dir) could not be opened or created.
+    Io {
+        /// What the path is for ("sweep journal", "supervisor state dir").
+        what: &'static str,
+        /// The offending path, as displayed.
+        path: String,
+        /// The underlying OS error text.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -45,6 +55,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::Unsupported { backend, feature } => {
                 write!(f, "{backend} backend does not support {feature}")
+            }
+            ConfigError::Io { what, path, reason } => {
+                write!(f, "cannot open {what} {path}: {reason}")
             }
         }
     }
@@ -147,6 +160,19 @@ mod tests {
         assert_eq!(e.to_string(), "buffer must be positive");
         let e = ConfigError::NonPositive { field: "duration" };
         assert_eq!(e.to_string(), "duration must be positive");
+    }
+
+    #[test]
+    fn io_error_display_names_path_and_reason() {
+        let e = ConfigError::Io {
+            what: "sweep journal",
+            path: "/nope/sweep.jsonl".into(),
+            reason: "No such file or directory".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("sweep journal"), "{s}");
+        assert!(s.contains("/nope/sweep.jsonl"), "{s}");
+        assert!(s.contains("No such file"), "{s}");
     }
 
     #[test]
