@@ -42,6 +42,13 @@ echo "==> churn smoke (repro ext-churn --smoke)"
 cargo run --release -p bbrdom-experiments --bin repro -- ext-churn --smoke \
     --out "${TMPDIR:-/tmp}/bbrdom-ci-churn"
 
+# Parking-lot smoke: the multi-bottleneck topology end to end — chain
+# lowering, per-hop routing with cross traffic, payoff assembly over the
+# long flows only — through the repro binary.
+echo "==> parking-lot smoke (repro ext-parkinglot --smoke)"
+cargo run --release -p bbrdom-experiments --bin repro -- ext-parkinglot --smoke \
+    --out "${TMPDIR:-/tmp}/bbrdom-ci-parkinglot"
+
 # Parallel-engine smoke: the NE pipeline (fig 9) run serial/uncached,
 # then parallel with a cold disk cache, then again warm. All three CSV
 # sets must be byte-identical — parallelism and caching are only
@@ -57,6 +64,15 @@ diff -r "$ne_out/serial" "$ne_out/parallel"
 cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
     --jobs 2 --cache-dir "$ne_out/cache" --out "$ne_out/warm"
 diff -r "$ne_out/serial" "$ne_out/warm"
+
+# Dumbbell-as-topology smoke: the same NE pipeline with every payoff
+# cell's dumbbell spelled as an explicit 4-node topology. The multi-hop
+# engine path must reproduce the legacy figures byte for byte (distinct
+# cache keys, so --no-cache keeps the comparison honest).
+echo "==> dumbbell-as-topology smoke (repro 9 --dumbbell-as-topology vs legacy)"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 1 --no-cache --dumbbell-as-topology --out "$ne_out/topo"
+diff -r "$ne_out/serial" "$ne_out/topo"
 
 # Supervised sweep smoke: the same NE pipeline sharded across two
 # crash-isolated worker processes, with one worker SIGKILLed shortly

@@ -9,11 +9,14 @@
 //! overload that drops and retransmits (scoreboard + loss-marking path) —
 //! plus a 10-second open-loop churn case that spawns and tears down over
 //! ten thousand finite flows, exercising the workload engine's slot
-//! recycling at internet-like arrival rates. The churn case carries a
-//! pinned events/sec floor: a regression that makes teardown or slot
-//! reuse leak work shows up as a hard bench failure, not a silent
-//! slowdown (set `BENCH_NO_FLOOR=1` to report without gating, e.g. on
-//! loaded CI boxes).
+//! recycling at internet-like arrival rates, and a 3-hop parking-lot
+//! chain with per-hop cross traffic, exercising the multi-hop
+//! enqueue → serialize → propagate path (each packet of a long flow is
+//! ~3× the event work of the dumbbell case). The churn and parking-lot
+//! cases carry pinned events/sec floors: a regression that makes
+//! teardown, slot reuse, or hop forwarding leak work shows up as a hard
+//! bench failure, not a silent slowdown (set `BENCH_NO_FLOOR=1` to
+//! report without gating, e.g. on loaded CI boxes).
 //!
 //! Besides the stdout report, the run writes `BENCH_netsim.json` at the
 //! repo root: machine-readable events/sec per case (format documented in
@@ -21,8 +24,8 @@
 
 use bbrdom_netsim::cc::FixedWindow;
 use bbrdom_netsim::{
-    ArrivalProcess, FlowConfig, Rate, SimConfig, SimDuration, Simulator, SizeDist, WorkloadConfig,
-    MSS,
+    ArrivalProcess, FlowConfig, Rate, SimConfig, SimDuration, Simulator, SizeDist, Topology,
+    WorkloadConfig, MSS,
 };
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -37,6 +40,10 @@ struct Case {
     /// Open-loop churn: `(arrival rate flows/s, fixed flow size bytes)`.
     /// Expected cumulative spawns ≈ rate × secs.
     workload: Option<(f64, u64)>,
+    /// Multi-hop: `(chain hops, cross flows per hop)`; `flows` long
+    /// flows traverse the whole chain, each cross flow one hop. `None`
+    /// is the legacy implicit dumbbell.
+    parking_lot: Option<(u32, usize)>,
     /// Pinned regression floor, events/sec (0 = report only, no gate).
     /// Deliberately conservative — roughly a quarter of what a 2024
     /// laptop core sustains — so it only trips on structural
@@ -51,6 +58,7 @@ const CASES: &[Case] = &[
         window_bdp: 2.0,
         secs: 1.0,
         workload: None,
+        parking_lot: None,
         floor_events_per_sec: 0.0,
     },
     Case {
@@ -59,6 +67,7 @@ const CASES: &[Case] = &[
         window_bdp: 1.0 / 3.0,
         secs: 1.0,
         workload: None,
+        parking_lot: None,
         floor_events_per_sec: 0.0,
     },
     Case {
@@ -67,6 +76,7 @@ const CASES: &[Case] = &[
         window_bdp: 1.0 / 8.0,
         secs: 1.0,
         workload: None,
+        parking_lot: None,
         floor_events_per_sec: 0.0,
     },
     // ~12k cumulative open-loop flows (Poisson 1200/s × 10 s of 8 kB
@@ -78,7 +88,20 @@ const CASES: &[Case] = &[
         window_bdp: 0.5,
         secs: 10.0,
         workload: Some((1200.0, 8_000)),
+        parking_lot: None,
         floor_events_per_sec: 1_000_000.0,
+    },
+    // 4 long flows over a 3-hop chain (2 ms/hop) with 2 CUBIC-window
+    // cross flows per hop: 10 flows, 3 queues, every long-flow packet
+    // enqueued/serialized/propagated at each hop.
+    Case {
+        name: "parkinglot_1s_3hops_100mbps",
+        flows: 4,
+        window_bdp: 1.0 / 3.0,
+        secs: 1.0,
+        workload: None,
+        parking_lot: Some((3, 2)),
+        floor_events_per_sec: 3_000_000.0,
     },
 ];
 
@@ -95,13 +118,25 @@ fn build_sim(case: &Case) -> Simulator {
             11,
         ));
     }
-    let mut sim = Simulator::new(cfg);
+    let mut cross = 0;
+    if let Some((hops, cross_per_hop)) = case.parking_lot {
+        let mut topo = Topology::parking_lot(hops, rate, SimDuration::from_millis(2), buf);
+        // Long flows ride route 0 (the whole chain); cross flows route
+        // 1 + h (hop h only).
+        topo.flow_routes = (0..case.flows as u32)
+            .map(|_| 0)
+            .chain((0..hops).flat_map(|h| std::iter::repeat_n(1 + h, cross_per_hop)))
+            .collect();
+        cross = hops as usize * cross_per_hop;
+        cfg = cfg.with_topology(topo);
+    }
+    let mut sim = Simulator::try_new(cfg).expect("valid bench config");
     if case.workload.is_some() {
         sim.set_workload_cc(Box::new(|_| Box::new(FixedWindow::new(8 * MSS))));
     }
     let bdp = rate.bdp_bytes(rtt);
     let window = ((bdp as f64 * case.window_bdp) as u64).max(MSS);
-    for _ in 0..case.flows {
+    for _ in 0..case.flows + cross {
         sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(window)), rtt));
     }
     sim

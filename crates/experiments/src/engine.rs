@@ -140,6 +140,57 @@ pub fn scenario_hash(s: &Scenario) -> u128 {
         }
         wl.rtt_ms.stable_hash(&mut h);
     }
+    // Explicit topology, same opt-in marker scheme: implicit-dumbbell
+    // scenarios keep their historical hashes, and every topology field
+    // feeds the key — including the fields that only *select* behavior
+    // (routes, flow_routes, fault_link), since the simulator output
+    // depends on all of them.
+    if let Some(t) = &s.topology {
+        h.write_bytes(b"topology");
+        (t.nodes.len() as u64).stable_hash(&mut h);
+        for name in &t.nodes {
+            name.as_str().stable_hash(&mut h);
+        }
+        (t.links.len() as u64).stable_hash(&mut h);
+        for l in &t.links {
+            l.from.as_str().stable_hash(&mut h);
+            l.to.as_str().stable_hash(&mut h);
+            match l.mbps {
+                None => h.write_bytes(&[0]),
+                Some(mbps) => {
+                    h.write_bytes(&[1]);
+                    mbps.stable_hash(&mut h);
+                }
+            }
+            l.delay_ms.stable_hash(&mut h);
+            l.buffer_bdp.stable_hash(&mut h);
+        }
+        (t.routes.len() as u64).stable_hash(&mut h);
+        for route in &t.routes {
+            (route.len() as u64).stable_hash(&mut h);
+            for &link in route {
+                (link as u64).stable_hash(&mut h);
+            }
+        }
+        (t.flow_routes.len() as u64).stable_hash(&mut h);
+        for &r in &t.flow_routes {
+            (r as u64).stable_hash(&mut h);
+        }
+        match t.workload_route {
+            None => h.write_bytes(&[0]),
+            Some(r) => {
+                h.write_bytes(&[1]);
+                (r as u64).stable_hash(&mut h);
+            }
+        }
+        match t.fault_link {
+            None => h.write_bytes(&[0]),
+            Some(l) => {
+                h.write_bytes(&[1]);
+                (l as u64).stable_hash(&mut h);
+            }
+        }
+    }
     h.finish()
 }
 

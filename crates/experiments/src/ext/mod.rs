@@ -9,14 +9,16 @@
 //! | [`utility`] | §4.3 (complex utility functions) | Do Nash equilibria persist under `u = throughput − w·delay`? |
 //! | [`faults`] | §5 (real-path diversity) | Does the split — and the Nash mix — survive wire loss, outages, and delay spikes? |
 //! | [`churn`] | §5 (future work: diverse workloads) | Does the split — and the Nash mix — survive open-loop flow churn, and what FCT tail does the churn see? |
+//! | [`parkinglot`] | §5 (real-path diversity) | Does the game survive a multi-bottleneck parking-lot chain with per-hop cross traffic? |
 //!
 //! All are runnable through the `repro` binary: `repro ext-aqm`,
 //! `repro ext-ternary`, `repro ext-shortflows`, `repro ext-utility`,
-//! `repro ext-faults`, `repro ext-churn`.
+//! `repro ext-faults`, `repro ext-churn`, `repro ext-parkinglot`.
 
 pub mod aqm;
 pub mod churn;
 pub mod faults;
+pub mod parkinglot;
 pub mod shortflows;
 pub mod ternary;
 pub mod utility;
@@ -25,13 +27,14 @@ use crate::figs::FigResult;
 use crate::profile::Profile;
 
 /// All extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 6] = [
+pub const ALL_EXTENSIONS: [&str; 7] = [
     "ext-aqm",
     "ext-ternary",
     "ext-shortflows",
     "ext-utility",
     "ext-faults",
     "ext-churn",
+    "ext-parkinglot",
 ];
 
 /// Run an extension experiment by id.
@@ -43,6 +46,7 @@ pub fn run_extension(id: &str, profile: &Profile) -> Option<FigResult> {
         "ext-utility" => Some(utility::run(profile)),
         "ext-faults" => Some(faults::run(profile)),
         "ext-churn" => Some(churn::run(profile)),
+        "ext-parkinglot" => Some(parkinglot::run(profile)),
         _ => None,
     }
 }

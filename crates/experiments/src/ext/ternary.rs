@@ -44,6 +44,7 @@ fn scenario_for(state: &[u32], duration: f64, seed: u64) -> Scenario {
         early_stop: None,
         backend: BackendSpec::Des,
         workload: None,
+        topology: None,
     }
 }
 

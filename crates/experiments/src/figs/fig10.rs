@@ -63,6 +63,7 @@ fn scenario_for_state(
         early_stop: None,
         backend: BackendSpec::Des,
         workload: None,
+        topology: None,
     }
 }
 

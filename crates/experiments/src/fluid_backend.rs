@@ -12,6 +12,8 @@
 //! * fault injection (wire loss, outages, rate steps, delay spikes);
 //! * finite (`byte_limit`) flows — fluid models backlogged aggregates;
 //! * early-stop policies — the ODE horizon is already cheap;
+//! * explicit multi-hop topologies — the fluid queue models exactly one
+//!   bottleneck;
 //! * CCAs outside {CUBIC, NewReno, BBR, BBRv2}.
 //!
 //! Anything rejected here must run on the DES backend; see DESIGN.md
@@ -60,6 +62,9 @@ pub fn lower(scenario: &Scenario) -> Result<FluidConfig, SimError> {
     }
     if scenario.workload.is_some() {
         return Err(unsupported("open-loop workloads"));
+    }
+    if scenario.topology.is_some() {
+        return Err(unsupported("multi-hop topologies"));
     }
     let rate = Rate::from_mbps(scenario.mbps);
     let ref_rtt = SimDuration::from_secs_f64(scenario.reference_rtt_ms / 1e3);

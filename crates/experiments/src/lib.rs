@@ -55,6 +55,6 @@ pub use engine::{scenario_hash, scenario_hash_hex, CacheStats, Engine, EngineCon
 pub use profile::Profile;
 pub use scenario::{
     ArrivalSpec, BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario,
-    SizeSpec, TrialResult, WorkloadSpec,
+    SizeSpec, TopoLinkSpec, TopologySpec, TrialResult, WorkloadSpec,
 };
 pub use supervisor::SupervisorConfig;

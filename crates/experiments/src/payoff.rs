@@ -225,7 +225,7 @@ pub fn distribution_scenario(
     discipline: DisciplineSpec,
     faults: &FaultSpec,
 ) -> Scenario {
-    Scenario::versus(
+    let s = Scenario::versus(
         mbps,
         rtt_ms,
         buffer_bdp,
@@ -245,7 +245,68 @@ pub fn distribution_scenario(
             .map(|(epsilon, dwell)| EarlyStopSpec::new(epsilon, dwell)),
     )
     .with_backend(profile.backend)
-    .with_workload(profile.workload)
+    .with_workload(profile.workload);
+    // `--dumbbell-as-topology`: same physics expressed as an explicit
+    // topology — bit-identical results under a distinct cache key.
+    if profile.dumbbell_topology {
+        s.with_equivalent_topology()
+    } else {
+        s
+    }
+}
+
+/// Measure payoff curves from arbitrary per-cell scenarios — the
+/// multi-bottleneck workhorse (`ext-parkinglot`). `build(k, trial)`
+/// returns the cell's scenario; its first `n` flows must be the game's
+/// own long flows (`n − k` CUBIC then `k` challengers, the
+/// [`Scenario::versus`] order). Any flows after the first `n` are cross
+/// traffic: they shape the network but are excluded from the payoffs
+/// (the per-flow means use [`TrialResult::mean_throughput_of_first`]).
+pub fn measure_payoffs_from(
+    n: u32,
+    challenger: CcaKind,
+    trials: u32,
+    build: impl Fn(u32, u32) -> Scenario,
+) -> PayoffMeasurement {
+    let trials = trials.max(1);
+    let mut scenarios = Vec::with_capacity(((n + 1) * trials) as usize);
+    for trial in 0..trials {
+        for k in 0..=n {
+            scenarios.push(build(k, trial));
+        }
+    }
+    let results = runner::run_all(&scenarios);
+    let challenger_name = challenger.name().to_string();
+    let mut out = PayoffMeasurement {
+        mbps: scenarios[0].mbps,
+        rtt_ms: scenarios[0].reference_rtt_ms,
+        buffer_bdp: scenarios[0].buffer_bdp,
+        trials: Vec::with_capacity(trials as usize),
+    };
+    for trial in 0..trials {
+        let mut x = vec![0.0; n as usize + 1];
+        let mut c = vec![0.0; n as usize + 1];
+        let mut q = vec![0.0; n as usize + 1];
+        for k in 0..=n {
+            let idx = (trial * (n + 1) + k) as usize;
+            let r: &TrialResult = &results[idx];
+            x[k as usize] = r
+                .mean_throughput_of_first(n as usize, &challenger_name)
+                .unwrap_or(0.0);
+            c[k as usize] = r
+                .mean_throughput_of_first(n as usize, "cubic")
+                .unwrap_or(0.0);
+            q[k as usize] = r.avg_queuing_delay_ms;
+        }
+        out.trials.push(PayoffCurves {
+            n,
+            challenger: challenger_name.clone(),
+            x_per_flow: x,
+            cubic_per_flow: c,
+            queuing_delay_ms: q,
+        });
+    }
+    out
 }
 
 /// Measure payoffs at a *subset* `ks` of the distributions, on an

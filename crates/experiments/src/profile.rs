@@ -44,6 +44,15 @@ pub struct Profile {
     /// reported as per-CCA FCT percentiles. `None` (the default) keeps
     /// every experiment bit-identical to historical behavior.
     pub workload: Option<crate::scenario::WorkloadSpec>,
+    /// Bottleneck count of the `ext-parkinglot` chain (`repro
+    /// --parkinglot-hops`).
+    pub parkinglot_hops: u32,
+    /// Run every payoff cell with the dumbbell expressed as an explicit
+    /// topology (`repro --dumbbell-as-topology`): results are
+    /// bit-identical to the implicit dumbbell (proven by the equivalence
+    /// suite and the CI diff), but the scenarios occupy distinct cache
+    /// keys, exercising the multi-hop code path end to end.
+    pub dumbbell_topology: bool,
 }
 
 impl Profile {
@@ -61,6 +70,8 @@ impl Profile {
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
             workload: None,
+            parkinglot_hops: 3,
+            dumbbell_topology: false,
         }
     }
 
@@ -78,6 +89,8 @@ impl Profile {
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
             workload: None,
+            parkinglot_hops: 3,
+            dumbbell_topology: false,
         }
     }
 
@@ -96,6 +109,8 @@ impl Profile {
             early_stop: None,
             backend: crate::scenario::BackendSpec::Des,
             workload: None,
+            parkinglot_hops: 2,
+            dumbbell_topology: false,
         }
     }
 

@@ -530,6 +530,319 @@ impl WorkloadSpec {
     }
 }
 
+/// One directed link of a scenario-level topology, in paper units
+/// (Mbps / ms / BDP multiples). Endpoints are node *names*, resolved to
+/// indices when the spec is lowered to the simulator's
+/// [`bbrdom_netsim::Topology`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoLinkSpec {
+    /// Source node name (must appear in [`TopologySpec::nodes`]).
+    pub from: String,
+    /// Destination node name.
+    pub to: String,
+    /// `Some(mbps)` makes this a rated link (it owns a queue and
+    /// serializes packets); `None` makes it a delay-only wire.
+    pub mbps: Option<f64>,
+    /// One-way propagation delay, milliseconds.
+    pub delay_ms: f64,
+    /// Queue capacity in BDP multiples of (own rate × the scenario's
+    /// reference RTT); ignored for delay-only wires.
+    pub buffer_bdp: f64,
+}
+
+impl TopoLinkSpec {
+    /// A rated (serializing) link.
+    pub fn rated(from: &str, to: &str, mbps: f64, delay_ms: f64, buffer_bdp: f64) -> Self {
+        TopoLinkSpec {
+            from: from.to_string(),
+            to: to.to_string(),
+            mbps: Some(mbps),
+            delay_ms,
+            buffer_bdp,
+        }
+    }
+
+    /// A delay-only wire.
+    pub fn wire(from: &str, to: &str, delay_ms: f64) -> Self {
+        TopoLinkSpec {
+            from: from.to_string(),
+            to: to.to_string(),
+            mbps: None,
+            delay_ms,
+            buffer_bdp: 0.0,
+        }
+    }
+}
+
+/// An explicit multi-bottleneck topology attached to a scenario: named
+/// nodes, directed links, and static routes (ordered link-index lists).
+/// Serializable mirror of [`bbrdom_netsim::Topology`] in the paper's
+/// units; [`TopologySpec::lower`] validates everything up front and
+/// returns typed [`ConfigError::InvalidTopology`] errors instead of
+/// panicking.
+///
+/// A scenario without a topology (the default) runs the legacy implicit
+/// dumbbell; [`Scenario::with_equivalent_topology`] re-expresses that
+/// dumbbell explicitly, which is proven bit-identical by the
+/// `topology_equivalence` suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// Node names; link endpoints refer to these.
+    pub nodes: Vec<String>,
+    /// The directed links.
+    pub links: Vec<TopoLinkSpec>,
+    /// Routes, each an ordered list of link indices forming a connected
+    /// forward path.
+    pub routes: Vec<Vec<usize>>,
+    /// Route of configured flow `i`. Empty means every flow follows
+    /// route `0`; when non-empty its length must equal the flow count.
+    pub flow_routes: Vec<usize>,
+    /// Route taken by open-loop workload flows (`None` rejects workload
+    /// configs with a typed error).
+    pub workload_route: Option<usize>,
+    /// Rated link targeted by link-level faults (`None` targets the
+    /// first rated link of route `0`).
+    pub fault_link: Option<usize>,
+}
+
+impl TopologySpec {
+    /// The legacy dumbbell as an explicit 4-node / 3-link topology:
+    /// zero-delay access wire, the rated bottleneck, zero-delay egress
+    /// wire. Lowers to exactly what the implicit dumbbell builds, so
+    /// runs are bit-identical to the legacy single-queue path.
+    pub fn dumbbell(mbps: f64, buffer_bdp: f64) -> Self {
+        TopologySpec {
+            nodes: vec![
+                "src".to_string(),
+                "in".to_string(),
+                "out".to_string(),
+                "dst".to_string(),
+            ],
+            links: vec![
+                TopoLinkSpec::wire("src", "in", 0.0),
+                TopoLinkSpec::rated("in", "out", mbps, 0.0, buffer_bdp),
+                TopoLinkSpec::wire("out", "dst", 0.0),
+            ],
+            routes: vec![vec![0, 1, 2]],
+            flow_routes: Vec::new(),
+            workload_route: Some(0),
+            fault_link: None,
+        }
+    }
+
+    /// A parking-lot chain of `hops` equal bottlenecks in series. Route
+    /// `0` traverses the whole chain; route `1 + h` covers only hop `h`,
+    /// for cross-traffic that shares just that bottleneck with the long
+    /// flows.
+    pub fn parking_lot(hops: u32, mbps: f64, per_hop_delay_ms: f64, buffer_bdp: f64) -> Self {
+        let nodes: Vec<String> = (0..=hops).map(|i| format!("n{i}")).collect();
+        let links = (0..hops as usize)
+            .map(|h| {
+                TopoLinkSpec::rated(&nodes[h], &nodes[h + 1], mbps, per_hop_delay_ms, buffer_bdp)
+            })
+            .collect();
+        let mut routes = vec![(0..hops as usize).collect::<Vec<usize>>()];
+        routes.extend((0..hops as usize).map(|h| vec![h]));
+        TopologySpec {
+            nodes,
+            links,
+            routes,
+            flow_routes: Vec::new(),
+            workload_route: Some(0),
+            fault_link: None,
+        }
+    }
+
+    /// Validate and lower to the simulator's [`bbrdom_netsim::Topology`].
+    /// `ref_rtt` is the scenario's reference RTT, used for the same
+    /// BDP-to-bytes buffer lowering the implicit dumbbell applies
+    /// ([`bbrdom_netsim::units::buffer_bytes`]), so an explicit dumbbell
+    /// gets a bit-identical buffer.
+    pub fn lower(&self, ref_rtt: SimDuration) -> Result<bbrdom_netsim::Topology, ConfigError> {
+        let bad = |reason: String| ConfigError::InvalidTopology { reason };
+        let mut index = std::collections::HashMap::new();
+        for (i, name) in self.nodes.iter().enumerate() {
+            if index.insert(name.as_str(), i as u32).is_some() {
+                return Err(bad(format!("duplicate node name '{name}'")));
+            }
+        }
+        let mut links = Vec::with_capacity(self.links.len());
+        for (i, l) in self.links.iter().enumerate() {
+            let node = |name: &str| {
+                index
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| bad(format!("link {i} references unknown node '{name}'")))
+            };
+            let from = node(&l.from)?;
+            let to = node(&l.to)?;
+            if !l.delay_ms.is_finite() || l.delay_ms < 0.0 {
+                return Err(bad(format!("link {i} delay_ms must be finite and >= 0")));
+            }
+            let delay = SimDuration::from_secs_f64(l.delay_ms / 1e3);
+            links.push(match l.mbps {
+                None => bbrdom_netsim::LinkSpec::wire(from, to, delay),
+                Some(mbps) => {
+                    // Screen before Rate::from_mbps, which asserts > 0.
+                    if !mbps.is_finite() || mbps <= 0.0 {
+                        return Err(bad(format!("link {i} mbps must be positive and finite")));
+                    }
+                    if !l.buffer_bdp.is_finite() || l.buffer_bdp <= 0.0 {
+                        return Err(bad(format!(
+                            "link {i} buffer_bdp must be positive and finite"
+                        )));
+                    }
+                    let rate = Rate::from_mbps(mbps);
+                    let buffer = bbrdom_netsim::units::buffer_bytes(rate, ref_rtt, l.buffer_bdp);
+                    bbrdom_netsim::LinkSpec::rated(from, to, rate, delay, buffer)
+                }
+            });
+        }
+        let topo = bbrdom_netsim::Topology {
+            n_nodes: self.nodes.len() as u32,
+            links,
+            routes: self
+                .routes
+                .iter()
+                .map(|r| r.iter().map(|&l| l as u32).collect())
+                .collect(),
+            flow_routes: self.flow_routes.iter().map(|&r| r as u32).collect(),
+            workload_route: self.workload_route.map(|r| r as u32),
+            fault_link: self.fault_link.map(|l| l as u32),
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    fn to_json_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set(
+            "nodes",
+            Value::Array(self.nodes.iter().map(|n| Value::Str(n.clone())).collect()),
+        )
+        .set(
+            "links",
+            Value::Array(
+                self.links
+                    .iter()
+                    .map(|l| {
+                        let mut lv = Value::object();
+                        lv.set("from", l.from.as_str().into())
+                            .set("to", l.to.as_str().into());
+                        if let Some(mbps) = l.mbps {
+                            lv.set("mbps", mbps.into());
+                        }
+                        lv.set("delay_ms", l.delay_ms.into())
+                            .set("buffer_bdp", l.buffer_bdp.into());
+                        lv
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "routes",
+            Value::Array(
+                self.routes
+                    .iter()
+                    .map(|r| Value::Array(r.iter().map(|&l| Value::U64(l as u64)).collect()))
+                    .collect(),
+            ),
+        );
+        if !self.flow_routes.is_empty() {
+            v.set(
+                "flow_routes",
+                Value::Array(
+                    self.flow_routes
+                        .iter()
+                        .map(|&r| Value::U64(r as u64))
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(wr) = self.workload_route {
+            v.set("workload_route", Value::U64(wr as u64));
+        }
+        if let Some(fl) = self.fault_link {
+            v.set("fault_link", Value::U64(fl as u64));
+        }
+        v
+    }
+
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        fn indices(v: &Value, what: &str) -> Result<Vec<usize>, String> {
+            v.as_array()
+                .ok_or_else(|| format!("{what} must be an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("non-integer entry in {what}"))
+                })
+                .collect()
+        }
+        let nodes = v
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or("topology missing 'nodes'")?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(String::from)
+                    .ok_or_else(|| "non-string node name".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let links = v
+            .get("links")
+            .and_then(Value::as_array)
+            .ok_or("topology missing 'links'")?
+            .iter()
+            .map(|l| {
+                let name = |key: &str| {
+                    l.get(key)
+                        .and_then(Value::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("topology link missing '{key}'"))
+                };
+                Ok(TopoLinkSpec {
+                    from: name("from")?,
+                    to: name("to")?,
+                    mbps: l.get("mbps").and_then(Value::as_f64),
+                    delay_ms: l
+                        .get("delay_ms")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "topology link missing 'delay_ms'".to_string())?,
+                    buffer_bdp: l.get("buffer_bdp").and_then(Value::as_f64).unwrap_or(0.0),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let routes = v
+            .get("routes")
+            .and_then(Value::as_array)
+            .ok_or("topology missing 'routes'")?
+            .iter()
+            .map(|r| indices(r, "topology route"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let flow_routes = match v.get("flow_routes") {
+            None => Vec::new(),
+            Some(fr) => indices(fr, "topology flow_routes")?,
+        };
+        Ok(TopologySpec {
+            nodes,
+            links,
+            routes,
+            flow_routes,
+            workload_route: v
+                .get("workload_route")
+                .and_then(Value::as_u64)
+                .map(|r| r as usize),
+            fault_link: v
+                .get("fault_link")
+                .and_then(Value::as_u64)
+                .map(|l| l as usize),
+        })
+    }
+}
+
 /// Which simulation backend executes a scenario.
 ///
 /// * [`BackendSpec::Des`] — the packet-level discrete-event simulator
@@ -608,6 +921,9 @@ pub struct Scenario {
     /// Opt-in open-loop background workload (default: none — only the
     /// declared flows run, bit-identical to historical behavior).
     pub workload: Option<WorkloadSpec>,
+    /// Opt-in explicit multi-bottleneck topology (default: none — the
+    /// legacy implicit dumbbell, bit-identical to historical behavior).
+    pub topology: Option<TopologySpec>,
 }
 
 /// Measurements from one run.
@@ -673,6 +989,7 @@ impl Scenario {
             early_stop: None,
             backend: BackendSpec::Des,
             workload: None,
+            topology: None,
         }
     }
 
@@ -717,6 +1034,22 @@ impl Scenario {
         self
     }
 
+    /// Attach (or detach) an explicit multi-bottleneck topology.
+    pub fn with_topology(mut self, topology: Option<TopologySpec>) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Re-express the scenario's implicit dumbbell as an explicit
+    /// 4-node / 3-link topology. The run is bit-identical to the legacy
+    /// single-queue path (the `topology_equivalence` suite proves it);
+    /// only the content hash moves, so a topology-bearing scenario is a
+    /// distinct cache key.
+    pub fn with_equivalent_topology(self) -> Self {
+        let topo = TopologySpec::dumbbell(self.mbps, self.buffer_bdp);
+        self.with_topology(Some(topo))
+    }
+
     /// Validate the scenario without running it.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.flows.is_empty() && self.workload.is_none() {
@@ -754,6 +1087,29 @@ impl Scenario {
         }
         if let Some(wl) = &self.workload {
             wl.validate(self.seed)?;
+        }
+        if let Some(t) = &self.topology {
+            t.lower(SimDuration::from_secs_f64(self.reference_rtt_ms / 1e3))?;
+            if !t.flow_routes.is_empty() && t.flow_routes.len() != self.flows.len() {
+                return Err(ConfigError::InvalidTopology {
+                    reason: format!(
+                        "flow_routes has {} entries for {} flows",
+                        t.flow_routes.len(),
+                        self.flows.len()
+                    ),
+                });
+            }
+            if self.early_stop.is_some() {
+                return Err(ConfigError::Unsupported {
+                    backend: "multi-hop topology",
+                    feature: "convergence early-stop",
+                });
+            }
+            if self.workload.is_some() && t.workload_route.is_none() {
+                return Err(ConfigError::InvalidTopology {
+                    reason: "an open-loop workload needs workload_route".into(),
+                });
+            }
         }
         self.faults.to_schedule(self.seed).validate()
     }
@@ -801,6 +1157,9 @@ impl Scenario {
         }
         if let Some(wl) = self.workload {
             cfg = cfg.with_workload(wl.to_config(self.seed));
+        }
+        if let Some(t) = &self.topology {
+            cfg = cfg.with_topology(t.lower(ref_rtt)?);
         }
         if let Some(budget) = event_budget {
             cfg = cfg.with_event_budget(budget);
@@ -957,6 +1316,9 @@ impl Scenario {
         if let Some(wl) = self.workload {
             v.set("workload", wl.to_json_value());
         }
+        if let Some(t) = &self.topology {
+            v.set("topology", t.to_json_value());
+        }
         v
     }
 
@@ -1005,6 +1367,10 @@ impl Scenario {
             None => None,
             Some(w) => Some(WorkloadSpec::from_json_value(w)?),
         };
+        let topology = match v.get("topology") {
+            None => None,
+            Some(t) => Some(TopologySpec::from_json_value(t)?),
+        };
         Ok(Scenario {
             mbps: field("mbps")?,
             buffer_bdp: field("buffer_bdp")?,
@@ -1020,6 +1386,7 @@ impl Scenario {
             early_stop,
             backend,
             workload,
+            topology,
         })
     }
 }
@@ -1063,6 +1430,28 @@ impl TrialResult {
             .iter()
             .zip(&self.throughput_mbps)
             .filter(|(n, _)| n.as_str() == cc_name)
+            .map(|(_, t)| *t)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// Mean throughput (Mbps) over the *first* `n` flows whose CC name
+    /// matches. The multi-bottleneck experiments append cross-traffic
+    /// flows after the game's own `n` long flows; the cross traffic runs
+    /// CUBIC too, so [`TrialResult::mean_throughput_of`] would fold it
+    /// into the payoffs. This restriction keeps the game's payoffs to
+    /// the game's players.
+    pub fn mean_throughput_of_first(&self, n: usize, cc_name: &str) -> Option<f64> {
+        let v: Vec<f64> = self
+            .cc_names
+            .iter()
+            .zip(&self.throughput_mbps)
+            .take(n)
+            .filter(|(name, _)| name.as_str() == cc_name)
             .map(|(_, t)| *t)
             .collect();
         if v.is_empty() {
@@ -1384,6 +1773,7 @@ mod tests {
 
         unsupported(&base().with_discipline(DisciplineSpec::Codel));
         unsupported(&base().with_early_stop(Some(EarlyStopSpec::new(0.05, 3))));
+        unsupported(&base().with_equivalent_topology());
 
         let mut s = base();
         s.faults.loss_fwd = 0.01;
@@ -1490,6 +1880,108 @@ mod tests {
             Scenario::from_json(&plain.to_json()).unwrap().workload,
             None
         );
+    }
+
+    #[test]
+    fn topology_spec_roundtrips_through_json() {
+        let mut topo = TopologySpec::parking_lot(3, 40.0, 2.0, 2.0);
+        topo.flow_routes = vec![0, 0, 1];
+        topo.fault_link = Some(1);
+        let s = Scenario::versus(40.0, 40.0, 2.0, 2, CcaKind::Bbr, 1, 5.0, 3)
+            .with_topology(Some(topo.clone()));
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.topology, Some(topo));
+
+        // The dumbbell builder round-trips too (wire links omit "mbps").
+        let s = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3)
+            .with_equivalent_topology();
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.topology, s.topology);
+
+        // No topology: the key is omitted entirely (byte-stable
+        // serialization for all existing scenarios).
+        let plain = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 3);
+        assert!(!plain.to_json().contains("topology"));
+        assert_eq!(
+            Scenario::from_json(&plain.to_json()).unwrap().topology,
+            None
+        );
+    }
+
+    #[test]
+    fn equivalent_topology_reproduces_the_legacy_run() {
+        let legacy = Scenario::versus(10.0, 20.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 7);
+        let a = legacy.try_report_with(None, None).unwrap();
+        let b = legacy
+            .clone()
+            .with_equivalent_topology()
+            .try_report_with(None, None)
+            .unwrap();
+        assert_eq!(a.to_json_value().to_json(), b.to_json_value().to_json());
+    }
+
+    #[test]
+    fn degenerate_topologies_are_rejected_with_typed_errors() {
+        let base = Scenario::versus(10.0, 20.0, 2.0, 2, CcaKind::Bbr, 1, 5.0, 1);
+        let reject = |s: &Scenario, needle: &str| {
+            let err = s.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+
+        // A zero-rate link is screened *before* Rate::from_mbps (which
+        // would panic on it).
+        let mut t = TopologySpec::dumbbell(10.0, 2.0);
+        t.links[1].mbps = Some(0.0);
+        reject(
+            &base.clone().with_topology(Some(t)),
+            "mbps must be positive",
+        );
+
+        let mut t = TopologySpec::dumbbell(10.0, 2.0);
+        t.links[0].to = "nowhere".to_string();
+        reject(&base.clone().with_topology(Some(t)), "unknown node");
+
+        let mut t = TopologySpec::dumbbell(10.0, 2.0);
+        t.routes[0] = vec![0, 9, 2];
+        reject(&base.clone().with_topology(Some(t)), "missing link 9");
+
+        let mut t = TopologySpec::dumbbell(10.0, 2.0);
+        t.flow_routes = vec![0];
+        reject(
+            &base.clone().with_topology(Some(t)),
+            "flow_routes has 1 entries for 3 flows",
+        );
+
+        reject(
+            &base
+                .clone()
+                .with_equivalent_topology()
+                .with_early_stop(Some(EarlyStopSpec::new(0.05, 3))),
+            "does not support convergence early-stop",
+        );
+    }
+
+    #[test]
+    fn parking_lot_scenario_runs_with_cross_traffic() {
+        let mut topo = TopologySpec::parking_lot(2, 20.0, 2.0, 2.0);
+        // 2 long flows over the chain + 1 CUBIC cross flow per hop.
+        topo.flow_routes = vec![0, 0, 1, 2];
+        let mut s = Scenario::versus(20.0, 40.0, 2.0, 1, CcaKind::Bbr, 1, 5.0, 9);
+        s.flows.push(FlowSpec::long(CcaKind::Cubic, 20.0));
+        s.flows.push(FlowSpec::long(CcaKind::Cubic, 20.0));
+        let s = s.with_topology(Some(topo));
+        let r = s.run();
+        assert_eq!(r.throughput_mbps.len(), 4);
+        // The first-n restriction keeps cross traffic out of the game's
+        // payoffs: the full CUBIC mean folds in both cross flows.
+        let long_cubic = r.mean_throughput_of_first(2, "cubic").unwrap();
+        assert!((long_cubic - r.throughput_mbps[0]).abs() < 1e-12);
+        assert_ne!(
+            r.mean_throughput_of("cubic").unwrap().to_bits(),
+            long_cubic.to_bits()
+        );
+        // Everyone gets a share of a 20 Mbps chain.
+        assert!(r.throughput_mbps.iter().all(|&t| t > 0.0 && t < 21.0));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use bbrdom_cca::CcaKind;
 use bbrdom_experiments::engine::{scenario_hash, Engine, EngineConfig};
 use bbrdom_experiments::runner::SweepConfig;
-use bbrdom_experiments::{EarlyStopSpec, FaultSpec, FlowSpec, Scenario};
+use bbrdom_experiments::{
+    EarlyStopSpec, FaultSpec, FlowSpec, Scenario, TopoLinkSpec, TopologySpec,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -145,6 +147,13 @@ fn rich_scenario() -> Scenario {
         50.0,
         25.0,
     ));
+    // Every TopologySpec field non-default too (the hash must cover it
+    // even though validate() would reject this topology+early-stop mix —
+    // the cache key is a pure content hash).
+    let mut topo = TopologySpec::parking_lot(2, 25.0, 2.0, 1.5);
+    topo.flow_routes = vec![0, 0, 1];
+    topo.fault_link = Some(1);
+    s.topology = Some(topo);
     s
 }
 
@@ -268,6 +277,66 @@ fn every_scenario_field_changes_the_hash() {
             "workload rtt_ms",
             Box::new(|s| s.workload.as_mut().unwrap().rtt_ms = 30.0),
         ),
+        ("topology presence", Box::new(|s| s.topology = None)),
+        (
+            "topology node renamed",
+            Box::new(|s| s.topology.as_mut().unwrap().nodes[0] = "renamed".into()),
+        ),
+        (
+            "topology node added",
+            Box::new(|s| s.topology.as_mut().unwrap().nodes.push("extra".into())),
+        ),
+        (
+            "topology link added",
+            Box::new(|s| {
+                let l = TopoLinkSpec::wire("n2", "n0", 1.0);
+                s.topology.as_mut().unwrap().links.push(l)
+            }),
+        ),
+        (
+            "topology link endpoint",
+            Box::new(|s| s.topology.as_mut().unwrap().links[0].to = "n2".into()),
+        ),
+        (
+            "topology link mbps value",
+            Box::new(|s| s.topology.as_mut().unwrap().links[0].mbps = Some(30.0)),
+        ),
+        (
+            "topology link mbps presence",
+            Box::new(|s| s.topology.as_mut().unwrap().links[0].mbps = None),
+        ),
+        (
+            "topology link delay_ms",
+            Box::new(|s| s.topology.as_mut().unwrap().links[0].delay_ms = 5.0),
+        ),
+        (
+            "topology link buffer_bdp",
+            Box::new(|s| s.topology.as_mut().unwrap().links[0].buffer_bdp = 3.0),
+        ),
+        (
+            "topology route entry",
+            Box::new(|s| s.topology.as_mut().unwrap().routes[0] = vec![1]),
+        ),
+        (
+            "topology route added",
+            Box::new(|s| s.topology.as_mut().unwrap().routes.push(vec![0])),
+        ),
+        (
+            "topology flow_routes entry",
+            Box::new(|s| s.topology.as_mut().unwrap().flow_routes[2] = 2),
+        ),
+        (
+            "topology flow_routes presence",
+            Box::new(|s| s.topology.as_mut().unwrap().flow_routes.clear()),
+        ),
+        (
+            "topology workload_route",
+            Box::new(|s| s.topology.as_mut().unwrap().workload_route = None),
+        ),
+        (
+            "topology fault_link",
+            Box::new(|s| s.topology.as_mut().unwrap().fault_link = Some(0)),
+        ),
     ];
     for (field, mutate) in mutations {
         let mut s = rich_scenario();
@@ -280,6 +349,27 @@ fn every_scenario_field_changes_the_hash() {
     }
     // Sanity: the hash is a pure function of the scenario.
     assert_eq!(scenario_hash(&rich_scenario()), base);
+}
+
+/// Cache-key compatibility: a topology-free scenario must keep the hash
+/// it had before the `topology` field existed (the `b"topology"` marker
+/// is only appended when the field is set), so every historical disk
+/// cache entry and journal key stays valid. The digest below was
+/// computed with the pre-topology hasher; it must never change.
+#[test]
+fn topology_free_scenarios_keep_their_historical_hash() {
+    let s = Scenario::versus(50.0, 40.0, 4.0, 2, CcaKind::Bbr, 2, 10.0, 7);
+    assert_eq!(
+        format!("{:032x}", scenario_hash(&s)),
+        "d9deb813fa01bbf6cae133a7b45722e8",
+        "topology-free cache keys must stay stable across releases"
+    );
+    // And spelling the same physics as an explicit topology is a
+    // *different* cache entry, never an alias.
+    assert_ne!(
+        scenario_hash(&s.clone().with_equivalent_topology()),
+        scenario_hash(&s)
+    );
 }
 
 /// Flow-order matters for results (flow ids, jitter draws), so it must

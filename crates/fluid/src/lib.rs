@@ -627,6 +627,7 @@ pub fn simulate(cfg: &FluidConfig) -> Result<SimReport, FluidError> {
     Ok(SimReport {
         flows,
         queue,
+        hops: Vec::new(),
         duration_secs: cfg.duration_secs,
         effective_duration_secs: cfg.duration_secs,
         early_stopped: false,

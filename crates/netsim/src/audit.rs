@@ -7,11 +7,12 @@
 //! * **monotonic event time**: the clock never goes backwards;
 //! * **queue bounds**: queued bytes never exceed the configured buffer,
 //!   and the per-flow occupancy breakdown sums to the total;
-//! * **packet conservation** (per flow): every packet the sender handed
-//!   to the bottleneck is accounted for exactly once across dropped /
-//!   serviced / still-queued / in-service, every serviced packet was
-//!   either delivered or lost on the wire, and every delivered packet
-//!   either produced an ACK event or lost its ACK;
+//! * **packet conservation** (per flow): every sent packet is accounted
+//!   for exactly once across in-flight-between-hops / dropped /
+//!   still-queued / in-service on each queue of its route / serviced at
+//!   the last hop, every last-hop-serviced packet was either delivered
+//!   or lost on the wire, and every delivered packet either produced an
+//!   ACK event or lost its ACK;
 //! * **sane control state**: cwnd stays positive, pacing rates stay
 //!   finite and positive;
 //! * **report finiteness** at drain: no NaN/∞ reaches the CSVs.
@@ -120,7 +121,7 @@ impl Auditor {
     pub(crate) fn after_event(
         &mut self,
         now: SimTime,
-        queue: &DropTailQueue,
+        queues: &[DropTailQueue],
         flows: &[Flow],
     ) -> Result<(), AuditViolation> {
         if now < self.last_now {
@@ -132,62 +133,85 @@ impl Auditor {
             ));
         }
         self.last_now = now;
-        if queue.queued_bytes() > queue.capacity_bytes() {
-            return Err(violation(
-                now,
-                None,
-                "queue-bound",
-                format!(
-                    "queued {} bytes > capacity {}",
-                    queue.queued_bytes(),
-                    queue.capacity_bytes()
-                ),
-            ));
+        for queue in queues {
+            if queue.queued_bytes() > queue.capacity_bytes() {
+                return Err(violation(
+                    now,
+                    None,
+                    "queue-bound",
+                    format!(
+                        "queued {} bytes > capacity {}",
+                        queue.queued_bytes(),
+                        queue.capacity_bytes()
+                    ),
+                ));
+            }
         }
         self.events_seen += 1;
         if self.events_seen.is_multiple_of(DEEP_CHECK_INTERVAL) {
-            self.deep_check(now, queue, flows)?;
+            self.deep_check(now, queues, flows)?;
         }
         Ok(())
     }
 
-    /// The O(flows) conservation sweep.
+    /// The O(flows × hops) conservation sweep.
+    ///
+    /// On a multi-hop path the per-flow identity telescopes along the
+    /// route: every sent packet is in flight between hops, held by some
+    /// queue on the path (dropped / queued / in service), or was
+    /// serviced by the *last* hop — which is the only place delivery
+    /// and wire loss happen. Legacy flows (no path) reduce to the
+    /// single-queue identity with zero hops in flight.
     pub(crate) fn deep_check(
         &self,
         now: SimTime,
-        queue: &DropTailQueue,
+        queues: &[DropTailQueue],
         flows: &[Flow],
     ) -> Result<(), AuditViolation> {
-        let mut per_flow_queued_total = 0u64;
+        let mut per_flow_queued_total = vec![0u64; queues.len()];
         for flow in flows {
             let id = flow.id;
             let mss = flow.mss().max(1);
-            let offered = queue.offered_packets_of(id);
-            let dropped = queue.dropped_packets_of(id);
-            let serviced = queue.serviced_packets_of(id);
-            let queued_bytes = queue.queued_bytes_of(id);
-            per_flow_queued_total += queued_bytes;
-            let queued_pkts = queued_bytes / mss;
-            let in_service = (queue.in_service_flow() == Some(id)) as u64;
-            let sent_pkts = flow.stats.sent_bytes / mss;
-
-            if offered != sent_pkts {
-                return Err(violation(
-                    now,
-                    Some(id),
-                    "packet-conservation",
-                    format!("sender sent {sent_pkts} pkts but bottleneck saw {offered}"),
-                ));
+            let legacy_path = [0u32];
+            let path: &[u32] = flow.path().map_or(&legacy_path, |p| &p.ser);
+            let mut held = 0u64; // dropped + queued + in-service over the path
+            for (hop, &slot) in path.iter().enumerate() {
+                let queue = &queues[slot as usize];
+                let offered = queue.offered_packets_of(id);
+                let dropped = queue.dropped_packets_of(id);
+                let serviced = queue.serviced_packets_of(id);
+                let queued_pkts = queue.queued_bytes_of(id) / mss;
+                let in_service = (queue.in_service_flow() == Some(id)) as u64;
+                let accounted = dropped + serviced + queued_pkts + in_service;
+                if offered != accounted {
+                    return Err(violation(
+                        now,
+                        Some(id),
+                        "packet-conservation",
+                        format!(
+                            "hop {hop}: offered={offered} != dropped={dropped} + \
+                             serviced={serviced} + queued={queued_pkts} + \
+                             in_service={in_service}"
+                        ),
+                    ));
+                }
+                held += dropped + queued_pkts + in_service;
             }
-            let accounted = dropped + serviced + queued_pkts + in_service;
-            if offered != accounted {
+            for (slot, total) in per_flow_queued_total.iter_mut().enumerate() {
+                *total += queues[slot].queued_bytes_of(id);
+            }
+            let last = &queues[*path.last().expect("paths are non-empty") as usize];
+            let serviced = last.serviced_packets_of(id);
+            let sent_pkts = flow.stats.sent_bytes / mss;
+            let in_flight = flow.hops_in_flight() as u64;
+            if sent_pkts != in_flight + held + serviced {
                 return Err(violation(
                     now,
                     Some(id),
                     "packet-conservation",
                     format!(
-                        "offered={offered} != dropped={dropped} + serviced={serviced} \
-                         + queued={queued_pkts} + in_service={in_service}"
+                        "sent={sent_pkts} != hops_in_flight={in_flight} + \
+                         held_in_queues={held} + serviced_at_last_hop={serviced}"
                     ),
                 ));
             }
@@ -248,16 +272,18 @@ impl Auditor {
                 }
             }
         }
-        if per_flow_queued_total != queue.queued_bytes() {
-            return Err(violation(
-                now,
-                None,
-                "queue-bound",
-                format!(
-                    "per-flow occupancy sums to {per_flow_queued_total} but total is {}",
-                    queue.queued_bytes()
-                ),
-            ));
+        for (slot, &total) in per_flow_queued_total.iter().enumerate() {
+            if total != queues[slot].queued_bytes() {
+                return Err(violation(
+                    now,
+                    None,
+                    "queue-bound",
+                    format!(
+                        "queue {slot}: per-flow occupancy sums to {total} but total is {}",
+                        queues[slot].queued_bytes()
+                    ),
+                ));
+            }
         }
         Ok(())
     }
@@ -349,13 +375,14 @@ mod tests {
         }
         let aud = Auditor::new(1);
         let flows = [f];
-        aud.deep_check(t, &q, &flows).expect("consistent state");
+        aud.deep_check(t, std::slice::from_ref(&q), &flows)
+            .expect("consistent state");
 
         // Seeded conservation bug: a serviced count with no matching
         // delivery. The auditor must flag it with flow context.
         q.test_corrupt_serviced_counter(FlowId(0));
         let err = aud
-            .deep_check(t, &q, &flows)
+            .deep_check(t, std::slice::from_ref(&q), &flows)
             .expect_err("corruption must be caught");
         assert_eq!(err.check, "packet-conservation");
         assert_eq!(err.flow, Some(FlowId(0)));
@@ -366,10 +393,18 @@ mod tests {
         let q = DropTailQueue::new(Rate::from_mbps(10.0), 4 * MSS, 1);
         let flows = [flow(0)];
         let mut aud = Auditor::new(1);
-        aud.after_event(SimTime::from_secs_f64(2.0), &q, &flows)
-            .unwrap();
+        aud.after_event(
+            SimTime::from_secs_f64(2.0),
+            std::slice::from_ref(&q),
+            &flows,
+        )
+        .unwrap();
         let err = aud
-            .after_event(SimTime::from_secs_f64(1.0), &q, &flows)
+            .after_event(
+                SimTime::from_secs_f64(1.0),
+                std::slice::from_ref(&q),
+                &flows,
+            )
             .expect_err("time went backwards");
         assert_eq!(err.check, "monotonic-time");
     }

@@ -29,6 +29,14 @@ pub enum ConfigError {
         backend: &'static str,
         feature: &'static str,
     },
+    /// A multi-hop [`crate::topo::Topology`] failed structural
+    /// validation: bad link endpoints, a route referencing a missing
+    /// link, a disconnected or cyclic route, a rated link with no
+    /// buffer, or an out-of-range route/flow/fault reference.
+    InvalidTopology {
+        /// Human-readable description naming the offending element.
+        reason: String,
+    },
     /// A filesystem resource the run depends on (sweep journal,
     /// supervisor state dir) could not be opened or created.
     Io {
@@ -55,6 +63,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::Unsupported { backend, feature } => {
                 write!(f, "{backend} backend does not support {feature}")
+            }
+            ConfigError::InvalidTopology { reason } => {
+                write!(f, "invalid topology: {reason}")
             }
             ConfigError::Io { what, path, reason } => {
                 write!(f, "cannot open {what} {path}: {reason}")

@@ -29,7 +29,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::packet::FlowId;
+use crate::packet::{FlowId, Packet};
 use crate::time::SimTime;
 
 /// Everything that can happen in the simulator.
@@ -39,8 +39,17 @@ pub enum Event {
     FlowStart(FlowId),
     /// A paced flow may release its next packet.
     Pacing(FlowId),
-    /// The bottleneck link finished serializing the packet in service.
-    LinkDequeue,
+    /// Link `0` (the single bottleneck, or queue slot `0` of a
+    /// multi-hop [`crate::topo::Topology`]) finished serializing the
+    /// packet in service. The payload names the queue slot; the legacy
+    /// single-bottleneck path always schedules slot `0`.
+    LinkDequeue(u32),
+    /// A packet propagating between hops of a multi-hop route reaches
+    /// queue slot `link`. The packet itself rides in the event queue's
+    /// payload ledger under index `pkt` (see [`EventQueue::schedule_hop`]
+    /// / [`EventQueue::claim_hop`]) so `Event` stays pointer-free and
+    /// small; never scheduled on the legacy single-bottleneck path.
+    HopArrive { link: u32, pkt: u32 },
     /// The ACK for `seq` reaches its sender (receiver behaviour — ACK per
     /// packet, immediate — is folded into scheduling this event). Only
     /// the identity travels with the event; everything else the sender
@@ -138,6 +147,12 @@ pub struct EventQueue {
     /// wheel walk's eligibility test is one compare.
     overflow_next_tick: u64,
     next_seq: u64,
+    /// Payloads of pending [`Event::HopArrive`] events. Keeping the
+    /// [`Packet`] here instead of inside the variant keeps `Event` at
+    /// its legacy size; both `Vec`s stay empty (zero allocation) unless
+    /// a multi-hop topology actually schedules hop propagation.
+    hop_pkts: Vec<Packet>,
+    hop_free: Vec<u32>,
 }
 
 impl Default for EventQueue {
@@ -151,6 +166,8 @@ impl Default for EventQueue {
             overflow: BinaryHeap::new(),
             overflow_next_tick: u64::MAX,
             next_seq: 0,
+            hop_pkts: Vec::new(),
+            hop_free: Vec::new(),
         }
     }
 }
@@ -318,6 +335,30 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Schedule a [`Event::HopArrive`] at `at` delivering `packet` to
+    /// queue slot `link`, stashing the packet in the payload ledger.
+    pub fn schedule_hop(&mut self, at: SimTime, link: u32, packet: Packet) {
+        let pkt = match self.hop_free.pop() {
+            Some(i) => {
+                self.hop_pkts[i as usize] = packet;
+                i
+            }
+            None => {
+                self.hop_pkts.push(packet);
+                (self.hop_pkts.len() - 1) as u32
+            }
+        };
+        self.schedule(at, Event::HopArrive { link, pkt });
+    }
+
+    /// Retrieve (and release) the payload of a popped
+    /// [`Event::HopArrive`]. Each ledger index must be claimed exactly
+    /// once, by the handler of the event that owns it.
+    pub fn claim_hop(&mut self, pkt: u32) -> Packet {
+        self.hop_free.push(pkt);
+        self.hop_pkts[pkt as usize]
+    }
 }
 
 /// The original engine: one global min-heap keyed by `(time, seq)`.
@@ -374,7 +415,7 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue);
+        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue(0));
         q.schedule(SimTime::from_secs_f64(1.0), Event::FlowStart(FlowId(0)));
         q.schedule(SimTime::from_secs_f64(3.0), Event::StatsSample);
         let (t1, e1) = q.pop().unwrap();
@@ -425,10 +466,10 @@ mod tests {
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs_f64(0.001));
         // Insert behind the cursor's tick but ahead of remaining events.
-        q.schedule(SimTime::from_secs_f64(0.002), Event::LinkDequeue);
+        q.schedule(SimTime::from_secs_f64(0.002), Event::LinkDequeue(0));
         let (t, e) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs_f64(0.002));
-        assert!(matches!(e, Event::LinkDequeue));
+        assert!(matches!(e, Event::LinkDequeue(0)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs_f64(10.0));
         let (t, e) = q.pop().unwrap();
@@ -452,10 +493,52 @@ mod tests {
     }
 
     #[test]
+    fn hop_ledger_round_trips_and_reuses_slots() {
+        let mut q = EventQueue::new();
+        let a = Packet {
+            flow: FlowId(1),
+            seq: 7,
+            size: 1500,
+        };
+        let b = Packet {
+            flow: FlowId(2),
+            seq: 9,
+            size: 400,
+        };
+        q.schedule_hop(SimTime::from_secs_f64(1.0), 3, a);
+        q.schedule_hop(SimTime::from_secs_f64(2.0), 1, b);
+        let (_, e) = q.pop().unwrap();
+        let Event::HopArrive { link, pkt } = e else {
+            panic!("expected HopArrive, got {e:?}");
+        };
+        assert_eq!(link, 3);
+        let got = q.claim_hop(pkt);
+        assert_eq!((got.flow, got.seq, got.size), (a.flow, a.seq, a.size));
+        // The freed ledger slot is reused by the next in-flight packet.
+        let c = Packet {
+            flow: FlowId(5),
+            seq: 11,
+            size: 1500,
+        };
+        q.schedule_hop(SimTime::from_secs_f64(3.0), 0, c);
+        let (_, e) = q.pop().unwrap();
+        let Event::HopArrive { pkt: pb, .. } = e else {
+            panic!("expected HopArrive, got {e:?}");
+        };
+        assert_eq!(q.claim_hop(pb).seq, 9);
+        let (_, e) = q.pop().unwrap();
+        let Event::HopArrive { pkt: pc, .. } = e else {
+            panic!("expected HopArrive, got {e:?}");
+        };
+        assert_eq!(pc, pkt, "freed ledger slot is recycled");
+        assert_eq!(q.claim_hop(pc).seq, 11);
+    }
+
+    #[test]
     fn reference_heap_same_behavior() {
         let mut q = BinaryHeapQueue::new();
         assert!(q.peek_time().is_none());
-        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue);
+        q.schedule(SimTime::from_secs_f64(2.0), Event::LinkDequeue(0));
         q.schedule(SimTime::from_secs_f64(1.0), Event::StatsSample);
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(1.0)));

@@ -23,11 +23,13 @@
 //! bitmap offset by `rcv_next`.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::cc::{AckSample, CongestionControl, FlowView};
 use crate::event::{Event, EventQueue};
 use crate::packet::{FlowId, Packet};
 use crate::queue::{DropTailQueue, Offer};
+use crate::routing::CompiledPath;
 use crate::stats::FlowStats;
 use crate::time::{SimDuration, SimTime};
 
@@ -164,6 +166,13 @@ pub struct Flow {
     /// `AckArrive` events scheduled but not yet fired (maintained by the
     /// simulator's event loop via [`Flow::note_ack_scheduled`]).
     acks_inflight: u32,
+    /// Multi-hop route through a compiled [`crate::topo::Topology`].
+    /// `None` is the legacy single-bottleneck configuration: queue slot
+    /// 0, zero extra propagation — the original fast path, untouched.
+    path: Option<Arc<CompiledPath>>,
+    /// `HopArrive` events in flight for this flow (packets propagating
+    /// between hops); part of the quiescence test for slot recycling.
+    hops_in_flight: u32,
     /// Test hook: keep the pre-fix behavior (completed flows stay live)
     /// so the event-count regression test has a baseline to compare to.
     #[cfg(test)]
@@ -235,6 +244,8 @@ impl Flow {
             just_completed: false,
             rto_checks_pending: 0,
             acks_inflight: 0,
+            path: None,
+            hops_in_flight: 0,
             #[cfg(test)]
             teardown_disabled: false,
             next_seq: 0,
@@ -311,7 +322,43 @@ impl Flow {
     /// (with the queue's per-flow occupancy) to decide when a torn-down
     /// flow's slot is quiescent and safe to recycle.
     pub(crate) fn has_pending_events(&self) -> bool {
-        self.pacing_event_pending || self.rto_checks_pending > 0 || self.acks_inflight > 0
+        self.pacing_event_pending
+            || self.rto_checks_pending > 0
+            || self.acks_inflight > 0
+            || self.hops_in_flight > 0
+    }
+
+    /// Assign this flow's multi-hop route (`None` = legacy bottleneck).
+    pub(crate) fn set_path(&mut self, path: Option<Arc<CompiledPath>>) {
+        self.path = path;
+    }
+
+    /// The flow's compiled route, if it runs over a topology.
+    pub(crate) fn path(&self) -> Option<&Arc<CompiledPath>> {
+        self.path.as_ref()
+    }
+
+    /// The queue slot this flow's packets enter first.
+    pub(crate) fn ingress_slot(&self) -> u32 {
+        match &self.path {
+            Some(p) => p.ingress_slot(),
+            None => 0,
+        }
+    }
+
+    /// A `HopArrive` for this flow was consumed (packet reached a queue).
+    pub(crate) fn note_hop_arrived(&mut self) {
+        self.hops_in_flight = self.hops_in_flight.saturating_sub(1);
+    }
+
+    /// A `HopArrive` for this flow was scheduled (packet left a hop).
+    pub(crate) fn note_hop_scheduled(&mut self) {
+        self.hops_in_flight += 1;
+    }
+
+    /// Packets currently propagating between hops (audit bookkeeping).
+    pub(crate) fn hops_in_flight(&self) -> u32 {
+        self.hops_in_flight
     }
 
     /// The simulator scheduled an `AckArrive` for this flow.
@@ -788,14 +835,25 @@ impl Flow {
                 seq,
                 size: self.mss,
             };
-            match queue.offer(now, pkt) {
-                Offer::StartService => {
-                    let done = now + queue.serialization_time(pkt.size);
-                    events.schedule(done, Event::LinkDequeue);
-                }
-                Offer::Queued => {}
-                Offer::Dropped => {
-                    // Tail drop: discovered later via dup-ACKs or RTO.
+            let (ingress, pre_delay) = match &self.path {
+                Some(p) => (p.ingress_slot(), p.pre_delay),
+                None => (0, SimDuration::ZERO),
+            };
+            if pre_delay.as_nanos() > 0 {
+                // Sender-side propagation before the first rated hop:
+                // the packet crosses the leading wires as one event.
+                self.hops_in_flight += 1;
+                events.schedule_hop(now + pre_delay, ingress, pkt);
+            } else {
+                match queue.offer(now, pkt) {
+                    Offer::StartService => {
+                        let done = now + queue.serialization_time(pkt.size);
+                        events.schedule(done, Event::LinkDequeue(ingress));
+                    }
+                    Offer::Queued => {}
+                    Offer::Dropped => {
+                        // Tail drop: discovered later via dup-ACKs or RTO.
+                    }
                 }
             }
             if was_empty {

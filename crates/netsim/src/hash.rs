@@ -19,6 +19,7 @@ use crate::fault::FaultSchedule;
 use crate::sim::SimConfig;
 use crate::stop::EarlyStop;
 use crate::time::{SimDuration, SimTime};
+use crate::topo::{LinkSpec, Topology};
 use crate::trace::TraceConfig;
 use crate::units::Rate;
 use crate::workload::{ArrivalProcess, SizeDist, WorkloadConfig};
@@ -277,6 +278,27 @@ impl StableHash for WorkloadConfig {
     }
 }
 
+impl StableHash for LinkSpec {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.from.stable_hash(h);
+        self.to.stable_hash(h);
+        self.rate.stable_hash(h);
+        self.delay.stable_hash(h);
+        self.buffer_bytes.stable_hash(h);
+    }
+}
+
+impl StableHash for Topology {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.n_nodes.stable_hash(h);
+        self.links.stable_hash(h);
+        self.routes.stable_hash(h);
+        self.flow_routes.stable_hash(h);
+        self.workload_route.stable_hash(h);
+        self.fault_link.stable_hash(h);
+    }
+}
+
 impl StableHash for SimConfig {
     fn stable_hash(&self, h: &mut StableHasher) {
         self.rate.stable_hash(h);
@@ -309,6 +331,10 @@ impl StableHash for SimConfig {
         if let Some(wl) = &self.workload {
             h.write_bytes(b"workload");
             wl.stable_hash(h);
+        }
+        if let Some(t) = &self.topology {
+            h.write_bytes(b"topology");
+            t.stable_hash(h);
         }
     }
 }
@@ -432,6 +458,11 @@ mod tests {
             ("workload", {
                 let mut c = base_config();
                 c.workload = Some(base_workload());
+                c
+            }),
+            ("topology", {
+                let mut c = base_config();
+                c.topology = Some(base_topology());
                 c
             }),
         ];
@@ -582,6 +613,59 @@ mod tests {
             );
         }
         // A workload-free config never aliases a workload-bearing one.
+        assert_ne!(stable_digest(&base_config()), base);
+    }
+
+    fn base_topology() -> Topology {
+        Topology::parking_lot(
+            2,
+            Rate::from_mbps(10.0),
+            SimDuration::from_millis(2),
+            30_000,
+        )
+    }
+
+    /// Every `Topology` field — including every `LinkSpec` field — must
+    /// feed the digest once a topology is attached; two different
+    /// topologies must never share cache entries.
+    #[test]
+    fn every_topology_field_changes_the_hash() {
+        let with = |f: fn(&mut Topology)| {
+            let mut c = base_config();
+            let mut t = base_topology();
+            f(&mut t);
+            c.topology = Some(t);
+            c
+        };
+        let base = stable_digest(&with(|_| {}));
+        let muts: Vec<(&str, SimConfig)> = vec![
+            ("n_nodes", with(|t| t.n_nodes += 1)),
+            ("links.from", with(|t| t.links[0].from = 2)),
+            ("links.to", with(|t| t.links[0].to = 2)),
+            ("links.rate", with(|t| t.links[0].rate = None)),
+            (
+                "links.rate value",
+                with(|t| t.links[0].rate = Some(Rate::from_mbps(11.0))),
+            ),
+            (
+                "links.delay",
+                with(|t| t.links[0].delay = SimDuration::from_millis(3)),
+            ),
+            ("links.buffer_bytes", with(|t| t.links[0].buffer_bytes += 1)),
+            ("routes", with(|t| t.routes.push(vec![0]))),
+            ("routes entry", with(|t| t.routes[0] = vec![1])),
+            ("flow_routes", with(|t| t.flow_routes = vec![0, 1])),
+            ("workload_route", with(|t| t.workload_route = None)),
+            ("fault_link", with(|t| t.fault_link = Some(1))),
+        ];
+        for (field, mutated) in muts {
+            assert_ne!(
+                stable_digest(&mutated),
+                base,
+                "mutating Topology::{field} did not change the stable hash"
+            );
+        }
+        // A topology-free config never aliases a topology-bearing one.
         assert_ne!(stable_digest(&base_config()), base);
     }
 

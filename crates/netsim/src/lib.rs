@@ -43,10 +43,12 @@ pub mod hash;
 pub mod json;
 pub mod packet;
 pub mod queue;
+pub mod routing;
 pub mod sim;
 pub mod stats;
 pub mod stop;
 pub mod time;
+pub mod topo;
 pub mod trace;
 pub mod units;
 pub mod workload;
@@ -61,6 +63,7 @@ pub use sim::{FlowConfig, SimConfig, SimReport, Simulator};
 pub use stats::{FctPercentiles, FlowReport, QueueReport};
 pub use stop::EarlyStop;
 pub use time::{SimDuration, SimTime};
+pub use topo::{LinkSpec, Topology};
 pub use trace::{Sample, Trace, TraceConfig};
 pub use units::{Rate, MSS};
 pub use workload::{ArrivalProcess, SizeDist, WorkloadConfig};

@@ -76,6 +76,11 @@ pub struct DropTailQueue {
     per_flow_offered: Vec<u64>,
     per_flow_dropped: Vec<u64>,
     per_flow_serviced: Vec<u64>,
+    /// Bytes that completed serialization on this link (total, and the
+    /// snapshot at the measurement-window start) — the per-hop
+    /// utilization numerator for multi-hop topologies.
+    serviced_bytes: u64,
+    serviced_bytes_mark: u64,
 }
 
 impl DropTailQueue {
@@ -118,6 +123,8 @@ impl DropTailQueue {
             per_flow_offered: vec![0; n_flows],
             per_flow_dropped: vec![0; n_flows],
             per_flow_serviced: vec![0; n_flows],
+            serviced_bytes: 0,
+            serviced_bytes_mark: 0,
         }
     }
 
@@ -243,6 +250,7 @@ impl DropTailQueue {
             .expect("service_complete on an idle link");
         self.advance_integrals(now);
         self.per_flow_serviced[finished.flow.index()] += 1;
+        self.serviced_bytes += finished.size;
         if self.paused > 0 {
             // Link is down: the packet already on the wire finishes, but
             // nothing new enters service until `resume`.
@@ -349,6 +357,13 @@ impl DropTailQueue {
         self.measure_mark_total = self.byte_time_integral;
         self.measure_mark_per_flow
             .copy_from_slice(&self.per_flow_integral);
+        self.serviced_bytes_mark = self.serviced_bytes;
+    }
+
+    /// Bytes this link finished serializing inside the measurement
+    /// window (`[mark, now]`, or since t=0 if no mark was set).
+    pub fn serviced_bytes_in_window(&self) -> u64 {
+        self.serviced_bytes - self.serviced_bytes_mark
     }
 
     /// Time-weighted average queue occupancy in bytes over the

@@ -6,6 +6,12 @@
 //! with per-flow throughput and queue measurements — the raw material for
 //! every figure in the paper.
 //!
+//! [`SimConfig::with_topology`] generalizes the single bottleneck to a
+//! multi-hop [`Topology`] (e.g. a parking-lot chain): each rated link
+//! owns a queue, and packets enqueue → serialize → propagate hop by hop
+//! along each flow's route. Without a topology, the legacy one-queue
+//! fast path runs unchanged, bit for bit.
+//!
 //! # Example
 //!
 //! ```
@@ -30,16 +36,18 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{FaultAction, FaultSchedule};
 use crate::flow::Flow;
 use crate::packet::FlowId;
-use crate::queue::DropTailQueue;
+use crate::queue::{DropTailQueue, Offer};
 use crate::stats::{FctPercentiles, FlowReport, QueueReport};
 use crate::stop::{ConvergenceDetector, EarlyStop};
 use crate::time::{SimDuration, SimTime};
+use crate::topo::Topology;
 use crate::trace::{Sample, Trace, TraceConfig};
 use crate::units::{Rate, MSS};
 use crate::workload::WorkloadConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Bottleneck and run-length configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +102,13 @@ pub struct SimConfig {
     /// [`crate::workload`]). `None` (the default) simulates only the
     /// statically added flows.
     pub workload: Option<WorkloadConfig>,
+    /// Multi-hop topology (see [`crate::topo`]). `None` (the default)
+    /// keeps the legacy single-bottleneck dumbbell built from `rate` and
+    /// `buffer_bytes`. When set, queues come from the topology's rated
+    /// links and each flow follows its assigned route; `rate` remains
+    /// the reference capacity the top-level queue report is normalized
+    /// against.
+    pub topology: Option<Topology>,
 }
 
 impl SimConfig {
@@ -115,6 +130,7 @@ impl SimConfig {
             max_wall_clock: None,
             stop: None,
             workload: None,
+            topology: None,
         }
     }
 
@@ -155,6 +171,23 @@ impl SimConfig {
                 return Err(ConfigError::Unsupported {
                     backend: "open-loop workload",
                     feature: "convergence early-stop",
+                });
+            }
+        }
+        if let Some(t) = &self.topology {
+            t.validate()?;
+            // The convergence detector's goodput window assumes the
+            // single shared bottleneck; per-route capacities would need
+            // per-route convergence targets.
+            if self.stop.is_some() {
+                return Err(ConfigError::Unsupported {
+                    backend: "multi-hop topology",
+                    feature: "convergence early-stop",
+                });
+            }
+            if self.workload.is_some() && t.workload_route.is_none() {
+                return Err(ConfigError::InvalidTopology {
+                    reason: "an open-loop workload needs workload_route".into(),
                 });
             }
         }
@@ -232,6 +265,15 @@ impl SimConfig {
         self.workload = Some(wl);
         self
     }
+
+    /// Replace the single built-in bottleneck with a multi-hop
+    /// [`Topology`]. Flow routes default to route `0`; set
+    /// [`Topology::flow_routes`] (one entry per added flow) to split
+    /// them across routes.
+    pub fn with_topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
 }
 
 /// Per-flow configuration.
@@ -288,6 +330,11 @@ impl FlowConfig {
 pub struct SimReport {
     pub flows: Vec<FlowReport>,
     pub queue: QueueReport,
+    /// Per-hop queue reports for multi-hop topology runs, one per queue
+    /// slot in slot order. Empty on legacy single-bottleneck runs (then
+    /// `queue` is the whole story), so pre-existing reports serialize
+    /// byte-identically.
+    pub hops: Vec<QueueReport>,
     /// Configured horizon in seconds (what the run was asked to simulate).
     pub duration_secs: f64,
     /// Horizon actually simulated: equals `duration_secs` unless the
@@ -342,6 +389,13 @@ impl SimReport {
         if !self.trace.is_empty() {
             v.set("trace", self.trace.to_json_value());
         }
+        // Per-hop queue reports exist only on multi-hop topology runs.
+        if !self.hops.is_empty() {
+            v.set(
+                "hops",
+                Value::Array(self.hops.iter().map(|q| q.to_json_value()).collect()),
+            );
+        }
         // Workload fields appear only on workload runs, keeping every
         // pre-existing report byte-identical.
         if self.workload_spawned > 0 {
@@ -371,6 +425,15 @@ impl SimReport {
                 .map(crate::stats::FlowReport::from_json_value)
                 .collect::<Result<_, _>>()?,
             queue: crate::stats::QueueReport::from_json_value(json::req(v, "queue")?)?,
+            hops: match v.get("hops") {
+                None => Vec::new(),
+                Some(a) => a
+                    .as_array()
+                    .ok_or("'hops' must be an array")?
+                    .iter()
+                    .map(crate::stats::QueueReport::from_json_value)
+                    .collect::<Result<_, _>>()?,
+            },
             duration_secs: json::req_f64(v, "duration_secs")?,
             effective_duration_secs: match v.get("effective_duration_secs") {
                 Some(x) => x
@@ -533,12 +596,57 @@ impl Simulator {
                 f.teardown_disabled = true;
             }
         }
-        let mut queue = DropTailQueue::with_discipline(
-            self.config.rate,
-            self.config.buffer_bytes,
-            self.flows.len(),
-            self.config.discipline,
-        );
+        // Lower the optional topology into queue slots and per-route
+        // paths; `None` keeps the legacy single-bottleneck layout (one
+        // queue, every flow at slot 0 with no path delays).
+        let compiled = match &self.config.topology {
+            Some(t) => Some(crate::routing::compile(t)?),
+            None => None,
+        };
+        if let Some(c) = &compiled {
+            let t = self
+                .config
+                .topology
+                .as_ref()
+                .expect("compiled implies a topology");
+            if !t.flow_routes.is_empty() && t.flow_routes.len() != self.flows.len() {
+                return Err(ConfigError::InvalidTopology {
+                    reason: format!(
+                        "flow_routes has {} entries for {} flows",
+                        t.flow_routes.len(),
+                        self.flows.len()
+                    ),
+                }
+                .into());
+            }
+            for (i, f) in self.flows.iter_mut().enumerate() {
+                let r = t.flow_routes.get(i).map_or(0, |&r| r as usize);
+                f.set_path(Some(Arc::clone(&c.paths[r])));
+            }
+        }
+        let mut queues: Vec<DropTailQueue> = match &compiled {
+            Some(c) => c
+                .queues
+                .iter()
+                .map(|&(rate, buffer)| {
+                    DropTailQueue::with_discipline(
+                        rate,
+                        buffer,
+                        self.flows.len(),
+                        self.config.discipline,
+                    )
+                })
+                .collect(),
+            None => vec![DropTailQueue::with_discipline(
+                self.config.rate,
+                self.config.buffer_bytes,
+                self.flows.len(),
+                self.config.discipline,
+            )],
+        };
+        // Link-level faults act on one queue: the compiled fault slot,
+        // or the single legacy bottleneck.
+        let fault_slot = compiled.as_ref().map_or(0, |c| c.fault_slot as usize);
         let end = SimTime::ZERO + self.config.duration;
         let mut trace = Trace::default();
         let mut jitter_rng = StdRng::seed_from_u64(self.config.seed);
@@ -653,7 +761,9 @@ impl Simulator {
             // order and no integral has advanced past `measure_start` yet,
             // so marking here is exact.
             if !window_marked && now >= measure_start {
-                queue.mark_measure_start(measure_start);
+                for q in &mut queues {
+                    q.mark_measure_start(measure_start);
+                }
                 for f in &mut self.flows {
                     f.mark_measure_start(measure_start);
                 }
@@ -661,64 +771,104 @@ impl Simulator {
             }
             match event {
                 Event::FlowStart(id) => {
-                    self.flows[id.index()].on_start(now, &mut queue, &mut self.events);
+                    let q = self.flows[id.index()].ingress_slot() as usize;
+                    self.flows[id.index()].on_start(now, &mut queues[q], &mut self.events);
                 }
                 Event::Pacing(id) => {
-                    self.flows[id.index()].on_pacing(now, &mut queue, &mut self.events);
+                    let q = self.flows[id.index()].ingress_slot() as usize;
+                    self.flows[id.index()].on_pacing(now, &mut queues[q], &mut self.events);
                 }
-                Event::LinkDequeue => {
-                    let (finished, next_size) = queue.service_complete(now);
+                Event::LinkDequeue(slot) => {
+                    let (finished, next_size) = queues[slot as usize].service_complete(now);
                     if let Some(size) = next_size {
-                        let done = now + queue.serialization_time(size);
-                        self.events.schedule(done, Event::LinkDequeue);
+                        let done = now + queues[slot as usize].serialization_time(size);
+                        self.events.schedule(done, Event::LinkDequeue(slot));
                     }
-                    // Injected wire impairments act after the bottleneck:
-                    // forward loss drops the data packet, a delay spike
-                    // stretches the forward path, ACK loss drops the ACK.
-                    let (fwd_lost, spike) = match faults.as_mut() {
-                        Some(f) => (
-                            f.loss_fwd > 0.0 && f.rng.gen_bool(f.loss_fwd),
-                            f.extra_delay,
-                        ),
-                        None => (false, SimDuration::ZERO),
-                    };
-                    let flow = &mut self.flows[finished.flow.index()];
-                    if fwd_lost {
-                        flow.stats.wire_lost_fwd += 1;
+                    // A mid-path hop hands the packet to the next queue
+                    // after the inter-hop propagation; delivery, wire
+                    // impairments, and the ACK path act at the last hop
+                    // only (so the fault RNG draw order is unchanged on
+                    // single-hop paths).
+                    let next_hop = self.flows[finished.flow.index()].path().and_then(|p| {
+                        let hop = p.hop_of(slot);
+                        (hop + 1 < p.ser.len()).then(|| (p.ser[hop + 1], p.gaps[hop]))
+                    });
+                    if let Some((next_slot, gap)) = next_hop {
+                        self.flows[finished.flow.index()].note_hop_scheduled();
+                        self.events.schedule_hop(now + gap, next_slot, finished);
                     } else {
-                        let delivery_time = now + flow.prop_fwd + spike;
-                        // Receiver bookkeeping happens at delivery time.
-                        let new_bytes = flow.receiver_on_data(finished.seq, finished.size);
-                        flow.stats.goodput_bytes_total += new_bytes;
-                        if delivery_time >= self.config.measure_start && delivery_time <= end {
-                            flow.stats.goodput_bytes += new_bytes;
-                        }
-                        if let Some(aud) = auditor.as_mut() {
-                            aud.on_delivered(finished.flow);
-                        }
-                        let ack_lost = match faults.as_mut() {
-                            Some(f) => f.loss_ack > 0.0 && f.rng.gen_bool(f.loss_ack),
-                            None => false,
+                        // Injected wire impairments act after the bottleneck:
+                        // forward loss drops the data packet, a delay spike
+                        // stretches the forward path, ACK loss drops the ACK.
+                        let (fwd_lost, spike) = match faults.as_mut() {
+                            Some(f) => (
+                                f.loss_fwd > 0.0 && f.rng.gen_bool(f.loss_fwd),
+                                f.extra_delay,
+                            ),
+                            None => (false, SimDuration::ZERO),
                         };
-                        if ack_lost {
-                            flow.stats.wire_lost_ack += 1;
+                        let flow = &mut self.flows[finished.flow.index()];
+                        // Propagation after the last serializing hop and
+                        // along the reverse route (both zero on the
+                        // legacy path, keeping its arithmetic bit-exact).
+                        let (post_delay, rev_delay) = match flow.path() {
+                            Some(p) => (p.post_delay, p.rev_delay),
+                            None => (SimDuration::ZERO, SimDuration::ZERO),
+                        };
+                        if fwd_lost {
+                            flow.stats.wire_lost_fwd += 1;
                         } else {
-                            let mut ack_time = delivery_time + flow.prop_rev;
-                            if jitter_ns > 0 {
-                                ack_time +=
-                                    crate::time::SimDuration(jitter_rng.gen_range(0..jitter_ns));
+                            let delivery_time = now + post_delay + flow.prop_fwd + spike;
+                            // Receiver bookkeeping happens at delivery time.
+                            let new_bytes = flow.receiver_on_data(finished.seq, finished.size);
+                            flow.stats.goodput_bytes_total += new_bytes;
+                            if delivery_time >= self.config.measure_start && delivery_time <= end {
+                                flow.stats.goodput_bytes += new_bytes;
                             }
                             if let Some(aud) = auditor.as_mut() {
-                                aud.on_ack_scheduled(finished.flow);
+                                aud.on_delivered(finished.flow);
                             }
-                            flow.note_ack_scheduled();
-                            self.events.schedule(
-                                ack_time,
-                                Event::AckArrive {
-                                    flow: finished.flow,
-                                    seq: finished.seq,
-                                },
-                            );
+                            let ack_lost = match faults.as_mut() {
+                                Some(f) => f.loss_ack > 0.0 && f.rng.gen_bool(f.loss_ack),
+                                None => false,
+                            };
+                            if ack_lost {
+                                flow.stats.wire_lost_ack += 1;
+                            } else {
+                                let mut ack_time = delivery_time + rev_delay + flow.prop_rev;
+                                if jitter_ns > 0 {
+                                    ack_time += crate::time::SimDuration(
+                                        jitter_rng.gen_range(0..jitter_ns),
+                                    );
+                                }
+                                if let Some(aud) = auditor.as_mut() {
+                                    aud.on_ack_scheduled(finished.flow);
+                                }
+                                flow.note_ack_scheduled();
+                                self.events.schedule(
+                                    ack_time,
+                                    Event::AckArrive {
+                                        flow: finished.flow,
+                                        seq: finished.seq,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                Event::HopArrive { link, pkt } => {
+                    let pkt = self.events.claim_hop(pkt);
+                    self.flows[pkt.flow.index()].note_hop_arrived();
+                    let q = &mut queues[link as usize];
+                    match q.offer(now, pkt) {
+                        Offer::StartService => {
+                            let done = now + q.serialization_time(pkt.size);
+                            self.events.schedule(done, Event::LinkDequeue(link));
+                        }
+                        Offer::Queued => {}
+                        Offer::Dropped => {
+                            // Mid-path tail drop: discovered by the sender
+                            // later via dup-ACKs or RTO, like any drop.
                         }
                     }
                 }
@@ -727,7 +877,8 @@ impl Simulator {
                         aud.on_ack_fired(flow);
                     }
                     self.flows[flow.index()].note_ack_fired();
-                    self.flows[flow.index()].on_ack(now, seq, &mut queue, &mut self.events);
+                    let q = self.flows[flow.index()].ingress_slot() as usize;
+                    self.flows[flow.index()].on_ack(now, seq, &mut queues[q], &mut self.events);
                     // Harvest workload completions at the completing ACK:
                     // record the FCT and queue the slot for recycling.
                     if let Some(rt) = workload.as_mut() {
@@ -746,7 +897,8 @@ impl Simulator {
                     }
                 }
                 Event::RtoCheck(id) => {
-                    self.flows[id.index()].on_rto_check(now, &mut queue, &mut self.events);
+                    let q = self.flows[id.index()].ingress_slot() as usize;
+                    self.flows[id.index()].on_rto_check(now, &mut queues[q], &mut self.events);
                 }
                 Event::StatsSample => {
                     let at_cap = self
@@ -757,7 +909,7 @@ impl Simulator {
                     if !at_cap {
                         trace.samples.push(Sample {
                             time: now,
-                            queue_bytes: queue.queued_bytes(),
+                            queue_bytes: queues[0].queued_bytes(),
                             cwnd_bytes: self.flows.iter().map(|f| f.cc().cwnd_bytes()).collect(),
                             inflight_bytes: self.flows.iter().map(|f| f.inflight_bytes()).collect(),
                             delivered_bytes: self
@@ -810,16 +962,17 @@ impl Simulator {
                 Event::Fault(idx) => {
                     if let Some(f) = faults.as_mut() {
                         match f.timeline[idx as usize].1 {
-                            FaultAction::LinkDown => queue.pause(now),
+                            FaultAction::LinkDown => queues[fault_slot].pause(now),
                             FaultAction::LinkUp => {
                                 // Resume pulls the head-of-line packet into
                                 // service if the link went fully up and idle.
-                                if let Some(size) = queue.resume(now) {
-                                    let done = now + queue.serialization_time(size);
-                                    self.events.schedule(done, Event::LinkDequeue);
+                                if let Some(size) = queues[fault_slot].resume(now) {
+                                    let done = now + queues[fault_slot].serialization_time(size);
+                                    self.events
+                                        .schedule(done, Event::LinkDequeue(fault_slot as u32));
                                 }
                             }
-                            FaultAction::SetRate(rate) => queue.set_rate(rate),
+                            FaultAction::SetRate(rate) => queues[fault_slot].set_rate(rate),
                             FaultAction::DelayStart(d) => {
                                 f.extra_delay = f.extra_delay + d;
                             }
@@ -857,15 +1010,19 @@ impl Simulator {
                             let f = &self.flows[i];
                             f.is_torn_down()
                                 && !f.has_pending_events()
-                                && queue.queued_bytes_of(f.id) == 0
-                                && queue.in_service_flow() != Some(f.id)
+                                && queues.iter().all(|q| {
+                                    q.queued_bytes_of(f.id) == 0
+                                        && q.in_service_flow() != Some(f.id)
+                                })
                         });
                         let idx = match slot {
                             Some(k) => {
                                 let i = rt.free.remove(k);
                                 let id = self.flows[i].id;
                                 rt.recycled_goodput += self.flows[i].stats.goodput_bytes;
-                                queue.reset_flow_slot(id);
+                                for q in &mut queues {
+                                    q.reset_flow_slot(id);
+                                }
                                 if let Some(aud) = auditor.as_mut() {
                                     aud.reset_flow_slot(id);
                                 }
@@ -873,7 +1030,9 @@ impl Simulator {
                             }
                             None => {
                                 let i = self.flows.len();
-                                queue.grow_to(i + 1);
+                                for q in &mut queues {
+                                    q.grow_to(i + 1);
+                                }
                                 if let Some(aud) = auditor.as_mut() {
                                     aud.grow_to(i + 1);
                                 }
@@ -885,6 +1044,10 @@ impl Simulator {
                         let other_half = SimDuration(wl.base_rtt.0 - half.0);
                         let mut flow = Flow::new(id, cc, self.config.mss, half, other_half, now);
                         flow.set_byte_limit(size);
+                        if let Some(c) = &compiled {
+                            let r = c.workload_path.expect("validated: workload has a route");
+                            flow.set_path(Some(Arc::clone(&c.paths[r])));
+                        }
                         #[cfg(test)]
                         {
                             flow.teardown_disabled = self.teardown_disabled;
@@ -894,16 +1057,17 @@ impl Simulator {
                         } else {
                             self.flows[idx] = flow;
                         }
-                        self.flows[idx].on_start(now, &mut queue, &mut self.events);
+                        let q = self.flows[idx].ingress_slot() as usize;
+                        self.flows[idx].on_start(now, &mut queues[q], &mut self.events);
                     }
                 }
             }
             #[cfg(test)]
             if Some(events_processed) == self.corrupt_at_event {
-                queue.test_corrupt_serviced_counter(FlowId(0));
+                queues[0].test_corrupt_serviced_counter(FlowId(0));
             }
             if let Some(aud) = auditor.as_mut() {
-                aud.after_event(now, &queue, &self.flows)?;
+                aud.after_event(now, &queues, &self.flows)?;
             }
             if stopped_at.is_some() {
                 break;
@@ -917,7 +1081,9 @@ impl Simulator {
         // If every event fired before the window opened, mark now so the
         // window averages cover `[measure_start, end]` of (idle) time.
         if !window_marked {
-            queue.mark_measure_start(measure_start);
+            for q in &mut queues {
+                q.mark_measure_start(measure_start);
+            }
             for f in &mut self.flows {
                 f.mark_measure_start(measure_start);
             }
@@ -925,9 +1091,11 @@ impl Simulator {
         // Drain-time conservation sweep: every packet must be accounted
         // for before the counters are folded into reports.
         if let Some(aud) = auditor.as_ref() {
-            aud.deep_check(effective_end, &queue, &self.flows)?;
+            aud.deep_check(effective_end, &queues, &self.flows)?;
         }
-        queue.finalize(effective_end);
+        for q in &mut queues {
+            q.finalize(effective_end);
+        }
         for f in &mut self.flows {
             f.finalize(effective_end);
         }
@@ -954,7 +1122,16 @@ impl Simulator {
                 rtos: f.stats.rtos,
                 wire_lost_fwd: f.stats.wire_lost_fwd,
                 wire_lost_ack: f.stats.wire_lost_ack,
-                avg_queue_occupancy_bytes: queue.avg_occupancy_bytes_of(f.id, measure_secs),
+                avg_queue_occupancy_bytes: match f.path() {
+                    // Multi-hop flows report the occupancy they hold
+                    // summed across every queue on their route.
+                    Some(p) => p
+                        .ser
+                        .iter()
+                        .map(|&s| queues[s as usize].avg_occupancy_bytes_of(f.id, measure_secs))
+                        .sum(),
+                    None => queues[0].avg_occupancy_bytes_of(f.id, measure_secs),
+                },
                 min_rtt_secs: f.min_rtt().map(|d| d.as_secs_f64()),
                 mean_rtt_secs: f.mean_rtt_secs(),
                 avg_cwnd_bytes: if measure_secs > 0.0 {
@@ -985,27 +1162,60 @@ impl Simulator {
             .sum::<u64>()
             + workload.as_ref().map_or(0, |rt| rt.recycled_goodput);
         let capacity_bytes_in_window = self.config.rate.bytes_per_sec() * measure_secs;
-        let avg_occ = queue.avg_occupancy_bytes(measure_secs);
+        let avg_occ = queues[0].avg_occupancy_bytes(measure_secs);
         let queue_report = QueueReport {
             avg_occupancy_bytes: avg_occ,
             avg_queuing_delay_secs: avg_occ / self.config.rate.bytes_per_sec(),
-            peak_occupancy_bytes: queue.peak_bytes(),
-            capacity_bytes: queue.capacity_bytes(),
-            dropped_packets: queue.dropped_packets(),
-            aqm_drops: queue.aqm_drops(),
-            enqueued_packets: queue.enqueued_packets(),
+            peak_occupancy_bytes: queues[0].peak_bytes(),
+            capacity_bytes: queues[0].capacity_bytes(),
+            dropped_packets: queues[0].dropped_packets(),
+            aqm_drops: queues[0].aqm_drops(),
+            enqueued_packets: queues[0].enqueued_packets(),
             utilization: if capacity_bytes_in_window > 0.0 {
                 total_goodput as f64 / capacity_bytes_in_window
             } else {
                 0.0
             },
-            drops: queue
+            drops: queues[0]
                 .drops()
                 .iter()
                 .map(|d| (d.time.as_secs_f64(), d.flow))
                 .collect(),
         };
-        self.queue = Some(queue);
+        // On multi-hop runs, every queue slot also gets its own report;
+        // hop utilization is bytes the hop actually serialized in the
+        // window against its own (possibly fault-adjusted) rate.
+        let hops: Vec<QueueReport> = if queues.len() > 1 {
+            queues
+                .iter()
+                .map(|q| {
+                    let avg_occ = q.avg_occupancy_bytes(measure_secs);
+                    let cap_window = q.rate().bytes_per_sec() * measure_secs;
+                    QueueReport {
+                        avg_occupancy_bytes: avg_occ,
+                        avg_queuing_delay_secs: avg_occ / q.rate().bytes_per_sec(),
+                        peak_occupancy_bytes: q.peak_bytes(),
+                        capacity_bytes: q.capacity_bytes(),
+                        dropped_packets: q.dropped_packets(),
+                        aqm_drops: q.aqm_drops(),
+                        enqueued_packets: q.enqueued_packets(),
+                        utilization: if cap_window > 0.0 {
+                            q.serviced_bytes_in_window() as f64 / cap_window
+                        } else {
+                            0.0
+                        },
+                        drops: q
+                            .drops()
+                            .iter()
+                            .map(|d| (d.time.as_secs_f64(), d.flow))
+                            .collect(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.queue = queues.into_iter().next();
 
         if let Some(aud) = auditor.as_ref() {
             aud.check_report(effective_end, &flow_reports, &queue_report)?;
@@ -1029,6 +1239,7 @@ impl Simulator {
         Ok(SimReport {
             flows: flow_reports,
             queue: queue_report,
+            hops,
             duration_secs: self.config.duration.as_secs_f64(),
             effective_duration_secs: effective_end.as_secs_f64(),
             early_stopped: stopped_at.is_some(),
@@ -1805,5 +2016,151 @@ mod tests {
             )
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    /// The legacy dumbbell expressed as an explicit 4-node topology must
+    /// reproduce the legacy fast path bit for bit: same event count,
+    /// same serialized report.
+    #[test]
+    fn dumbbell_as_topology_is_bit_identical_to_legacy() {
+        let run = |with_topo: bool| {
+            let (mut cfg, rtt) = base_config(10.0, 40, 2.0, 10.0);
+            if with_topo {
+                cfg.topology = Some(crate::topo::Topology::dumbbell(cfg.rate, cfg.buffer_bytes));
+            }
+            let bdp = cfg.rate.bdp_bytes(rtt);
+            let mut sim = Simulator::try_new(cfg.with_audit(true)).unwrap();
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(3 * bdp)), rtt));
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+            sim.try_run().unwrap()
+        };
+        let legacy = run(false);
+        let topo = run(true);
+        assert_eq!(legacy.events_processed, topo.events_processed);
+        assert!(topo.hops.is_empty(), "one slot: no per-hop reports");
+        assert_eq!(
+            legacy.to_json_value().to_json(),
+            topo.to_json_value().to_json()
+        );
+    }
+
+    /// An audited two-hop parking-lot run: the long flow crosses both
+    /// queues, each cross flow only its own; conservation holds across
+    /// hops and the per-hop reports appear.
+    #[test]
+    fn audited_parking_lot_run_stays_consistent() {
+        let rate = Rate::from_mbps(10.0);
+        let rtt = SimDuration::from_millis(40);
+        let bdp = rate.bdp_bytes(rtt);
+        let mut topo =
+            crate::topo::Topology::parking_lot(2, rate, SimDuration::from_millis(2), 2 * bdp);
+        topo.flow_routes = vec![0, 1, 2];
+        let cfg = SimConfig::new(rate, 2 * bdp, SimDuration::from_secs_f64(10.0))
+            .with_topology(topo)
+            .with_audit(true);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        for _ in 0..3 {
+            sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        }
+        let report = sim.try_run().expect("audited multi-hop run");
+        assert_eq!(report.hops.len(), 2, "one report per rated link");
+        // Both hops carry the long flow plus one cross flow; each must
+        // be busy and every flow must move bytes.
+        for hop in &report.hops {
+            assert!(hop.utilization > 0.8, "hop utilization {}", hop.utilization);
+        }
+        for f in &report.flows {
+            assert!(f.goodput_bytes > 0);
+        }
+        // The long flow's min RTT includes both per-hop propagation
+        // delays on top of its configured base RTT (fwd + rev: 2 × 2ms
+        // × 2 hops = 8ms).
+        let long_rtt = report.flows[0].min_rtt_secs.unwrap();
+        assert!(long_rtt >= 0.048, "long-path RTT {long_rtt}");
+        let report_json = report.to_json_value().to_json();
+        let parsed =
+            SimReport::from_json_value(&crate::json::parse(&report_json).unwrap()).unwrap();
+        assert_eq!(parsed.to_json_value().to_json(), report_json);
+    }
+
+    #[test]
+    fn flow_routes_length_mismatch_is_typed() {
+        let rate = Rate::from_mbps(10.0);
+        let rtt = SimDuration::from_millis(40);
+        let bdp = rate.bdp_bytes(rtt);
+        let mut topo =
+            crate::topo::Topology::parking_lot(2, rate, SimDuration::from_millis(2), 2 * bdp);
+        topo.flow_routes = vec![0, 1]; // two entries, one flow
+        let cfg =
+            SimConfig::new(rate, 2 * bdp, SimDuration::from_secs_f64(1.0)).with_topology(topo);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(2 * bdp)), rtt));
+        match sim.try_run() {
+            Err(SimError::Config(ConfigError::InvalidTopology { reason })) => {
+                assert!(reason.contains("flow_routes"), "{reason}")
+            }
+            other => panic!("expected InvalidTopology, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_with_early_stop_is_rejected() {
+        let (cfg, _) = base_config(10.0, 40, 2.0, 10.0);
+        let cfg = cfg
+            .with_topology(crate::topo::Topology::dumbbell(
+                Rate::from_mbps(10.0),
+                30_000,
+            ))
+            .with_early_stop(EarlyStop::new(0.05, 3));
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_workload_needs_a_route() {
+        let (cfg, rtt) = base_config(50.0, 20, 2.0, 2.0);
+        let mut topo = crate::topo::Topology::dumbbell(Rate::from_mbps(50.0), 100_000);
+        topo.workload_route = None;
+        let cfg = cfg
+            .with_workload(crate::workload::WorkloadConfig::new(
+                crate::workload::ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+                crate::workload::SizeDist::Fixed { bytes: 15_000 },
+                rtt,
+                3,
+            ))
+            .with_topology(topo);
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::InvalidTopology { .. })
+        ));
+    }
+
+    /// An audited workload routed over a multi-hop chain: spawned flows
+    /// take the workload route, recycle across all queues, and conserve.
+    #[test]
+    fn audited_workload_over_parking_lot_runs() {
+        let rate = Rate::from_mbps(50.0);
+        let rtt = SimDuration::from_millis(20);
+        let bdp = rate.bdp_bytes(rtt);
+        let topo =
+            crate::topo::Topology::parking_lot(2, rate, SimDuration::from_millis(1), 2 * bdp);
+        let cfg = SimConfig::new(rate, 2 * bdp, SimDuration::from_secs_f64(3.0))
+            .with_workload(crate::workload::WorkloadConfig::new(
+                crate::workload::ArrivalProcess::Poisson {
+                    rate_per_sec: 100.0,
+                },
+                crate::workload::SizeDist::Fixed { bytes: 15_000 },
+                rtt,
+                5,
+            ))
+            .with_topology(topo)
+            .with_audit(true);
+        let mut sim = Simulator::try_new(cfg).unwrap();
+        sim.set_workload_cc(Box::new(|_| Box::new(FixedWindow::new(8 * MSS))));
+        let report = sim.try_run().expect("audited multi-hop workload run");
+        assert!(report.workload_spawned > 100);
+        assert!(report.workload_completed > report.workload_spawned / 2);
     }
 }

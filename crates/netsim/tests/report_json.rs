@@ -85,6 +85,43 @@ fn finite_flow_completion_time_roundtrips() {
     );
 }
 
+/// A multi-hop run, so the optional `hops` array is populated.
+fn multi_hop_report() -> SimReport {
+    let rate = Rate::from_mbps(10.0);
+    let rtt = SimDuration::from_millis(20);
+    let buf = bbrdom_netsim::units::buffer_bytes(rate, rtt, 2.0);
+    let mut topo = bbrdom_netsim::Topology::parking_lot(2, rate, SimDuration::from_millis(2), buf);
+    topo.flow_routes = vec![0, 1];
+    let cfg = SimConfig::new(rate, buf, SimDuration::from_secs_f64(3.0)).with_topology(topo);
+    let mut sim = Simulator::try_new(cfg).unwrap();
+    for _ in 0..2 {
+        sim.add_flow(FlowConfig::new(
+            Box::new(FixedWindow::new(2 * rate.bdp_bytes(rtt))),
+            rtt,
+        ));
+    }
+    sim.run()
+}
+
+#[test]
+fn per_hop_reports_roundtrip_bit_exactly() {
+    let report = multi_hop_report();
+    assert_eq!(report.hops.len(), 2, "want per-hop reports");
+    let text = report.to_json_value().to_json();
+    assert!(text.contains("\"hops\""), "multi-hop reports carry the key");
+    let parsed = SimReport::from_json_value(&json::parse(&text).unwrap()).unwrap();
+    assert_eq!(parsed.to_json_value().to_json(), text);
+    assert_eq!(
+        parsed.hops[1].avg_queuing_delay_secs.to_bits(),
+        report.hops[1].avg_queuing_delay_secs.to_bits()
+    );
+    // Single-bottleneck reports must NOT carry the key: pre-topology
+    // cache entries and goldens stay byte-identical.
+    let legacy = busy_report();
+    assert!(legacy.hops.is_empty());
+    assert!(!legacy.to_json_value().to_json().contains("\"hops\""));
+}
+
 #[test]
 fn sim_report_parse_rejects_malformed_input() {
     let report = busy_report();

@@ -1,0 +1,119 @@
+//! Property tests for the multi-hop topology engine: conservation,
+//! physical latency bounds, and determinism must hold for *every* small
+//! chain topology, not just the hand-built ones in the unit tests.
+//!
+//! Every run executes with the conservation auditor enabled, so the
+//! telescoping per-hop packet accounting (injected = delivered + lost +
+//! in-flight, at every queue) is checked by the simulator itself on top
+//! of the end-to-end assertions here.
+
+use bbrdom_netsim::cc::FixedWindow;
+use bbrdom_netsim::{
+    FlowConfig, Rate, SimConfig, SimDuration, SimReport, Simulator, Topology, MSS,
+};
+use proptest::prelude::*;
+
+/// Build and run a parking-lot chain: `windows_bdp[i]` sizes flow `i`'s
+/// fixed window; `routes[i]` picks its route (0 = the full chain,
+/// `1 + h` = hop `h` only). Audit is always on.
+fn run_chain(
+    hops: u32,
+    mbps: f64,
+    rtt_ms: u64,
+    per_hop_delay_ms: u64,
+    buffer_bdp: f64,
+    flows: &[(f64, u32)],
+    secs: f64,
+) -> SimReport {
+    let rate = Rate::from_mbps(mbps);
+    let rtt = SimDuration::from_millis(rtt_ms);
+    let buffer = bbrdom_netsim::units::buffer_bytes(rate, rtt, buffer_bdp);
+    let mut topo = Topology::parking_lot(
+        hops,
+        rate,
+        SimDuration::from_millis(per_hop_delay_ms),
+        buffer,
+    );
+    topo.flow_routes = flows.iter().map(|&(_, r)| r % (hops + 1)).collect();
+    let cfg = SimConfig::new(rate, buffer, SimDuration::from_secs_f64(secs))
+        .with_topology(topo)
+        .with_audit(true);
+    let bdp = rate.bdp_bytes(rtt).max(MSS);
+    let mut sim = Simulator::try_new(cfg).expect("valid chain config");
+    for &(w, _) in flows {
+        let cwnd = ((bdp as f64 * w) as u64).max(2 * MSS);
+        sim.add_flow(FlowConfig::new(Box::new(FixedWindow::new(cwnd)), rtt));
+    }
+    sim.try_run().expect("audited multi-hop run")
+}
+
+proptest! {
+    // Multi-hop sims are the most expensive substrate tests; a couple of
+    // dozen randomized chains is plenty to catch a routing or
+    // accounting bug.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end conservation on arbitrary chains: no flow delivers
+    /// more than it sent, and every queue's drop count is consistent
+    /// with what it enqueued (the in-run auditor checks the per-hop
+    /// telescoping sums; `try_run` fails the test if any hop leaks).
+    #[test]
+    fn chains_conserve_packets(
+        hops in 1u32..4,
+        mbps in 5.0f64..40.0,
+        rtt_ms in 10u64..60,
+        per_hop_delay_ms in 0u64..5,
+        buffer_bdp in 0.5f64..4.0,
+        flows in prop::collection::vec((0.3f64..4.0, 0u32..8), 1..5),
+        secs in 2.0f64..5.0,
+    ) {
+        let report = run_chain(hops, mbps, rtt_ms, per_hop_delay_ms, buffer_bdp, &flows, secs);
+        for f in &report.flows {
+            prop_assert!(f.goodput_bytes <= f.sent_bytes);
+        }
+        for hop in &report.hops {
+            prop_assert!(hop.dropped_packets <= hop.enqueued_packets);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&hop.utilization));
+        }
+        // Multi-hop chains surface per-hop reports, one per rated link.
+        let expect_hops = if hops > 1 { hops as usize } else { 0 };
+        prop_assert_eq!(report.hops.len(), expect_hops);
+    }
+
+    /// Physics: a flow's observed min RTT can never beat its base RTT
+    /// plus twice the propagation delay of every link on its route
+    /// (forward data + reverse ACK both cross the chain).
+    #[test]
+    fn min_rtt_respects_route_propagation(
+        hops in 1u32..4,
+        per_hop_delay_ms in 1u64..6,
+        route in 0u32..8,
+        window in 0.5f64..3.0,
+    ) {
+        let rtt_ms = 20u64;
+        let report = run_chain(hops, 20.0, rtt_ms, per_hop_delay_ms, 2.0, &[(window, route)], 4.0);
+        let links_on_route = if route % (hops + 1) == 0 { hops as u64 } else { 1 };
+        let floor_secs =
+            (rtt_ms as f64 + 2.0 * (links_on_route * per_hop_delay_ms) as f64) / 1e3;
+        let min_rtt = report.flows[0].min_rtt_secs.expect("flow saw traffic");
+        prop_assert!(
+            min_rtt >= floor_secs - 1e-9,
+            "min RTT {min_rtt} beats the propagation floor {floor_secs}"
+        );
+    }
+
+    /// Determinism: the same chain run twice serializes identically,
+    /// whatever the topology shape.
+    #[test]
+    fn chains_are_deterministic(
+        hops in 1u32..4,
+        per_hop_delay_ms in 0u64..5,
+        flows in prop::collection::vec((0.3f64..3.0, 0u32..8), 1..4),
+    ) {
+        let go = || run_chain(hops, 15.0, 30, per_hop_delay_ms, 2.0, &flows, 3.0);
+        prop_assert_eq!(
+            go().to_json_value().to_json(),
+            go().to_json_value().to_json()
+        );
+    }
+}

@@ -51,6 +51,7 @@ fn rtt_fairness_direction_in_simulation() {
             early_stop: None,
             backend: Default::default(),
             workload: None,
+            topology: None,
         }
         .run()
     };
