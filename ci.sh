@@ -157,6 +157,33 @@ for f in "$ne_out/serial"/fig09_*.csv; do
     fi
 done
 
+# Result-store smoke: wipe the NE smoke cache's index, rebuild it from
+# the cache entries alone, then re-assemble fig 9 entirely from store
+# hits — the engine summary on stderr must report zero simulations AND
+# zero full-report parses — and exercise `repro query` / `repro cache
+# stats` over the same index.
+echo "==> result store smoke (index rebuild -> store-served fig 9 -> query/stats)"
+st_out="${TMPDIR:-/tmp}/bbrdom-ci-store"
+rm -rf "$st_out"
+mkdir -p "$st_out"
+rm -f "$ne_out/cache/index.jsonl"
+cargo run --release -p bbrdom-experiments --bin repro -- index rebuild \
+    --cache-dir "$ne_out/cache"
+cargo run --release -p bbrdom-experiments --bin repro -- 9 --smoke \
+    --jobs 2 --cache-dir "$ne_out/cache" --out "$st_out/warm" \
+    2> "$st_out/warm.log" || { cat "$st_out/warm.log"; exit 1; }
+cat "$st_out/warm.log"
+diff -r "$ne_out/serial" "$st_out/warm"
+grep -F "(0 simulated (0 events)" "$st_out/warm.log" >/dev/null \
+    || { echo "store-served fig 9 still simulated something"; exit 1; }
+grep -F ", 0 disk-parse," "$st_out/warm.log" >/dev/null \
+    || { echo "store-served fig 9 still parsed full reports"; exit 1; }
+hits=$(cargo run --release -p bbrdom-experiments --bin repro -- query \
+    --cache-dir "$ne_out/cache" --cca bbr --ok --count)
+[[ "$hits" -gt 0 ]] || { echo "repro query found no BBR cells in the rebuilt index"; exit 1; }
+cargo run --release -p bbrdom-experiments --bin repro -- cache stats \
+    --cache-dir "$ne_out/cache"
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # Perf smoke: a short netsim_perf run (few samples) to catch gross
     # regressions and keep BENCH_netsim.json generation exercised. The
@@ -183,6 +210,14 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     # the numbers).
     echo "==> sweep perf smoke (sweep_perf)"
     cargo bench -p bbrdom-bench --bench sweep_perf
+
+    # Result-store perf smoke: store-hit figure assembly vs warm
+    # full-report parse on a reduced grid. The >= 10x floor is asserted
+    # inside the bench; BENCH_store.json records the numbers (the full
+    # default grid is 1000 cells — BENCH_STORE_CELLS shrinks the cold
+    # populate for CI).
+    echo "==> store perf smoke (store_perf, BENCH_STORE_CELLS=200)"
+    BENCH_STORE_CELLS=200 cargo bench -p bbrdom-bench --bench store_perf
 
     # Fluid perf smoke: the two-tier pipeline's pinned claims — the fluid
     # payoff grid >= 100x faster than the DES grid on a fig 9 panel, and

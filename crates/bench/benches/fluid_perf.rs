@@ -47,6 +47,7 @@ fn engine(jobs: usize) -> Engine {
         disk_cache: None,
         memory_cache: true,
         supervise: None,
+        result_store: false,
     })
 }
 

@@ -70,6 +70,7 @@ fn main() {
             disk_cache: None,
             memory_cache: false,
             supervise: None,
+            result_store: false,
         })
     };
     // Warm-up: fault the code paths and page in the batch once.
@@ -95,6 +96,7 @@ fn main() {
             disk_cache: Some(cache_dir.clone()),
             memory_cache: false,
             supervise: None,
+            result_store: false,
         })
     };
     with_cache().run_all(&scenarios);

@@ -1,0 +1,147 @@
+//! Result-store performance: store-hit figure assembly vs warm
+//! full-report parsing.
+//!
+//! Not a paper figure — this pins the indexed result store's perf
+//! claim on a fig 9/11-shaped grid: once the index is populated,
+//! assembling the whole grid from store hits (no simulation, no
+//! full-report deserialization) must be at least 10x faster than the
+//! old warm path that re-parses every cached `SimReport` from disk.
+//! Bit-identity between the two paths is asserted inline, as is the
+//! zero-simulation / zero-parse invariant on the store engine.
+//!
+//! Besides the stdout report, the run writes `BENCH_store.json` at the
+//! repo root (format documented in `EXPERIMENTS.md`). The index-load
+//! cost is reported separately (`store_open_secs`) because it is paid
+//! once per process, not per cell. Set `BENCH_STORE_CELLS` to resize
+//! the grid (default 1000) and `BENCH_NO_FLOOR=1` to report without
+//! gating (tiny smoke grids amortize the parse overhead differently).
+
+use bbrdom_cca::CcaKind;
+use bbrdom_experiments::engine::{Engine, EngineConfig};
+use bbrdom_experiments::Scenario;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const SPEEDUP_FLOOR: f64 = 10.0;
+
+/// A ~1k-cell figure-shaped grid: short trials, distinct seeds, a few
+/// capacity rows — the workload a fig 9/11 assembly fans out after a
+/// sweep has already filled the cache.
+fn grid(cells: usize) -> Vec<Scenario> {
+    (0..cells)
+        .map(|k| {
+            Scenario::versus(
+                10.0 + (k % 16) as f64,
+                20.0,
+                1.0,
+                1,
+                CcaKind::Bbr,
+                1,
+                0.3,
+                100_000 + k as u64,
+            )
+        })
+        .collect()
+}
+
+fn engine(cache: &Path, jobs: usize, store: bool) -> Engine {
+    Engine::new(EngineConfig {
+        jobs,
+        disk_cache: Some(cache.to_path_buf()),
+        memory_cache: false,
+        supervise: None,
+        result_store: store,
+    })
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+fn fingerprint(results: &[bbrdom_experiments::TrialResult]) -> String {
+    results
+        .iter()
+        .map(|r| r.to_json_value().to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let cells = std::env::var("BENCH_STORE_CELLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000usize)
+        .max(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = cores.min(8);
+    let scenarios = grid(cells);
+
+    let cache = std::env::temp_dir().join(format!("bbrdom-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    // Cold populate: simulate every cell once, writing cache + index.
+    let populate_engine = engine(&cache, jobs, true);
+    let (populated, cold) = time(|| populate_engine.run_all(&scenarios));
+    assert_eq!(populate_engine.stats().simulated, cells as u64);
+
+    // Warm parse baseline: the pre-store path, re-deserializing every
+    // full SimReport. One untimed pass first so both contenders run
+    // against a hot page cache.
+    engine(&cache, jobs, false).run_all(&scenarios);
+    let parse_engine = engine(&cache, jobs, false);
+    let (from_parse, warm_parse) = time(|| parse_engine.run_all(&scenarios));
+    assert_eq!(parse_engine.stats().disk_hits, cells as u64);
+
+    // Store path: index load (once per process, timed separately),
+    // then pure metric-lookup assembly.
+    let store_engine = engine(&cache, jobs, true);
+    let (_, store_open) = time(|| store_engine.store().expect("store configured").len());
+    let (from_store, store_assembly) = time(|| store_engine.run_all(&scenarios));
+    let stats = store_engine.stats();
+    assert_eq!(stats.simulated, 0, "warm store must simulate nothing");
+    assert_eq!(stats.disk_hits, 0, "warm store must parse no full reports");
+    assert_eq!(stats.store_hits, cells as u64);
+
+    let bit_identical = fingerprint(&populated) == fingerprint(&from_store)
+        && fingerprint(&from_parse) == fingerprint(&from_store);
+    assert!(
+        bit_identical,
+        "store-served results diverged from the simulated/parsed paths"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let speedup = warm_parse.as_secs_f64() / store_assembly.as_secs_f64().max(1e-9);
+    let gated = std::env::var("BENCH_NO_FLOOR").map_or(true, |v| v != "1");
+    println!(
+        "store/{cells} cells: cold {cold:>9.3?}  warm-parse {warm_parse:>9.3?}  \
+         store-open {store_open:>9.3?} + assembly {store_assembly:>9.3?} ({speedup:.1}x)  \
+         [{cores} cores, jobs={jobs}, bit-identical: {bit_identical}]",
+    );
+    if gated {
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "store-hit assembly is {speedup:.1}x vs warm parse, need >= {SPEEDUP_FLOOR}x \
+             (BENCH_NO_FLOOR=1 to report without gating)"
+        );
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let json = format!(
+        "{{\n  \"schema\": \"store-perf-v1\",\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \
+         \"cells\": {cells},\n  \"cold_populate_secs\": {:.6},\n  \
+         \"warm_parse_secs\": {:.6},\n  \"store_open_secs\": {:.6},\n  \
+         \"store_assembly_secs\": {:.6},\n  \"speedup\": {speedup:.1},\n  \
+         \"speedup_floor\": {SPEEDUP_FLOOR},\n  \"floor_gated\": {gated},\n  \
+         \"bit_identical\": {bit_identical}\n}}\n",
+        cold.as_secs_f64(),
+        warm_parse.as_secs_f64(),
+        store_open.as_secs_f64(),
+        store_assembly.as_secs_f64(),
+    );
+    std::fs::write(out, json).expect("write BENCH_store.json");
+    println!("wrote {out}");
+}

@@ -380,6 +380,7 @@ mod tests {
             disk_cache: None,
             memory_cache: true,
             supervise: None,
+            result_store: false,
         })
     }
 

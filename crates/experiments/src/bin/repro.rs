@@ -8,13 +8,19 @@
 //! repro 9 --supervise 4     # shard across 4 crash-isolated processes
 //! repro 9 --no-cache        # bypass the scenario result cache
 //! repro list                # what's available
+//!
+//! repro query --cca bbr --mbps 10        # query the indexed result store
+//! repro index rebuild                    # backfill the index from the cache
+//! repro cache stats                      # cache size and index coverage
 //! ```
 
 use bbrdom_cca::CcaKind;
-use bbrdom_experiments::engine::{jobs_from_env, Engine, EngineConfig};
+use bbrdom_experiments::engine::{jobs_from_env, scenario_hash, Engine, EngineConfig};
 use bbrdom_experiments::ext::{run_extension, ALL_EXTENSIONS};
 use bbrdom_experiments::figs::{run_figure, ALL_FIGURES};
-use bbrdom_experiments::{BackendSpec, Profile, SupervisorConfig, WorkloadSpec};
+use bbrdom_experiments::output::Table;
+use bbrdom_experiments::store::{Store, StoreOutcome};
+use bbrdom_experiments::{BackendSpec, Profile, Scenario, SupervisorConfig, WorkloadSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,6 +31,7 @@ struct Args {
     out_dir: PathBuf,
     jobs: Option<usize>,
     no_cache: bool,
+    no_store: bool,
     cache_dir: Option<PathBuf>,
     supervise: Option<usize>,
     watchdog_secs: Option<f64>,
@@ -111,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir = PathBuf::from("results");
     let mut jobs = None;
     let mut no_cache = false;
+    let mut no_store = false;
     let mut cache_dir = None;
     let mut supervise = None;
     let mut watchdog_secs = None;
@@ -136,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--no-cache" => no_cache = true,
+            "--no-store" => no_store = true,
             "--supervise" => {
                 supervise = Some(
                     args.next()
@@ -324,6 +333,7 @@ fn parse_args() -> Result<Args, String> {
         out_dir,
         jobs,
         no_cache,
+        no_store,
         cache_dir,
         supervise,
         watchdog_secs,
@@ -350,10 +360,14 @@ fn usage() -> String {
          \x20     --no-early-stop (fixed horizon, default)\n\
          engine: --jobs N (or BBRDOM_JOBS; default: all cores)\n\
          \x20        --no-cache (always re-simulate)  --cache-dir DIR (default: <out>/cache)\n\
+         \x20        --no-store (bypass the indexed result store; full-report cache only)\n\
          \x20        --supervise N (shard sweeps across N crash-isolated worker processes;\n\
          \x20          --jobs then means threads per worker, default cores/N)\n\
          \x20        --watchdog SECS (supervised stall limit before a worker is killed;\n\
-         \x20          default scales with the profile: ~30s smoke, 120s quick, 480s full)\n",
+         \x20          default scales with the profile: ~30s smoke, 120s quick, 480s full)\n\
+         store:  repro query [FILTERS] (search the indexed result store; see repro query -h)\n\
+         \x20        repro index rebuild [--cache-dir DIR] (backfill the index from the cache)\n\
+         \x20        repro cache stats [--cache-dir DIR] (entry count, bytes, index coverage)\n",
         ALL_FIGURES.join(" "),
         ALL_EXTENSIONS.join(" ")
     )
@@ -382,9 +396,415 @@ fn worker_subcommand() -> ExitCode {
     ExitCode::from(bbrdom_experiments::supervisor::worker_main(&dir, &id) as u8)
 }
 
+/// Default store location when a subcommand gets no `--cache-dir`:
+/// matches the figure path's `<out>/cache` with the default `--out`.
+fn default_cache_dir() -> PathBuf {
+    PathBuf::from("results").join("cache")
+}
+
+fn query_usage() -> String {
+    "usage: repro query [--cache-dir DIR] [FILTERS] [OUTPUT]\n\
+     \n\
+     Search the indexed result store (<cache>/index.jsonl) without opening\n\
+     a single full report. Filters AND together:\n\
+     \x20 --cca MIX        flow mix: 'bbr' (present, any count) or exact 'cubic:4+bbr:2'\n\
+     \x20 --mbps X --rtt MS --buffer BDP   bottleneck capacity / base RTT / buffer size\n\
+     \x20 --n N            total flow count      --seed N   trial seed\n\
+     \x20 --backend des|fluid               simulation backend\n\
+     \x20 --workload yes|no --topology yes|no   presence of churn / an explicit topology\n\
+     \x20 --ok | --failed  outcome status (default: both)\n\
+     output:\n\
+     \x20 aligned table (default)  --jsonl (raw index lines)  --count (matches only)\n\
+     \x20 --missing FILE   read scenario-JSON lines from FILE ('-' = stdin) and print\n\
+     \x20                  the ones the store cannot serve — sweep planning\n"
+        .to_string()
+}
+
+struct QueryFilter {
+    cca: Option<String>,
+    mbps: Option<f64>,
+    rtt: Option<f64>,
+    buffer: Option<f64>,
+    n: Option<usize>,
+    seed: Option<u64>,
+    backend: Option<BackendSpec>,
+    workload: Option<bool>,
+    topology: Option<bool>,
+    ok_only: bool,
+    failed_only: bool,
+}
+
+impl QueryFilter {
+    fn matches(&self, entry: &bbrdom_experiments::StoreEntry) -> bool {
+        let s = &entry.scenario;
+        let ok = entry.ok().is_some();
+        if self.ok_only && !ok {
+            return false;
+        }
+        if self.failed_only && ok {
+            return false;
+        }
+        if let Some(mix) = &self.cca {
+            if !entry.mix_matches(mix) {
+                return false;
+            }
+        }
+        self.mbps.is_none_or(|v| s.mbps == v)
+            && self.rtt.is_none_or(|v| s.reference_rtt_ms == v)
+            && self.buffer.is_none_or(|v| s.buffer_bdp == v)
+            && self.n.is_none_or(|v| s.flows.len() == v)
+            && self.seed.is_none_or(|v| s.seed == v)
+            && self.backend.is_none_or(|v| s.backend == v)
+            && self.workload.is_none_or(|v| s.workload.is_some() == v)
+            && self.topology.is_none_or(|v| s.topology.is_some() == v)
+    }
+}
+
+fn parse_yes_no(flag: &str, v: Option<String>) -> Result<bool, String> {
+    match v.as_deref() {
+        Some("yes") => Ok(true),
+        Some("no") => Ok(false),
+        _ => Err(format!("{flag} needs 'yes' or 'no'")),
+    }
+}
+
+/// `repro query ...` — answer filters from the index alone.
+fn query_subcommand() -> ExitCode {
+    let mut cache_dir = default_cache_dir();
+    let mut filter = QueryFilter {
+        cca: None,
+        mbps: None,
+        rtt: None,
+        buffer: None,
+        n: None,
+        seed: None,
+        backend: None,
+        workload: None,
+        topology: None,
+        ok_only: false,
+        failed_only: false,
+    };
+    let mut jsonl = false;
+    let mut count = false;
+    let mut missing: Option<String> = None;
+    let mut args = std::env::args().skip(2);
+    let fail = |msg: String| -> ExitCode {
+        eprintln!("{msg}\n{}", query_usage());
+        ExitCode::from(2)
+    };
+    while let Some(a) = args.next() {
+        let num = |flag: &str, v: Option<String>| -> Result<f64, String> {
+            v.and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("{flag} needs a number"))
+        };
+        match a.as_str() {
+            "--cache-dir" => match args.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => return fail("--cache-dir needs a directory".into()),
+            },
+            "--cca" => match args.next() {
+                Some(m) => filter.cca = Some(m),
+                None => return fail("--cca needs a mix like 'bbr' or 'cubic:4+bbr:2'".into()),
+            },
+            "--mbps" => match num("--mbps", args.next()) {
+                Ok(v) => filter.mbps = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--rtt" => match num("--rtt", args.next()) {
+                Ok(v) => filter.rtt = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--buffer" => match num("--buffer", args.next()) {
+                Ok(v) => filter.buffer = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--n" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => filter.n = Some(v),
+                None => return fail("--n needs a flow count".into()),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => filter.seed = Some(v),
+                None => return fail("--seed needs a number".into()),
+            },
+            "--backend" => match args.next().as_deref().and_then(BackendSpec::from_name) {
+                Some(b) => filter.backend = Some(b),
+                None => return fail("--backend needs 'des' or 'fluid'".into()),
+            },
+            "--workload" => match parse_yes_no("--workload", args.next()) {
+                Ok(v) => filter.workload = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--topology" => match parse_yes_no("--topology", args.next()) {
+                Ok(v) => filter.topology = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--ok" => filter.ok_only = true,
+            "--failed" => filter.failed_only = true,
+            "--jsonl" => jsonl = true,
+            "--count" => count = true,
+            "--missing" => match args.next() {
+                Some(p) => missing = Some(p),
+                None => {
+                    return fail(
+                        "--missing needs a file of scenario-JSON lines ('-' = stdin)".into(),
+                    )
+                }
+            },
+            "--help" | "-h" => {
+                print!("{}", query_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(format!("unknown query argument '{other}'")),
+        }
+    }
+    if filter.ok_only && filter.failed_only {
+        return fail("--ok and --failed are mutually exclusive".into());
+    }
+    let store = Store::open(&cache_dir);
+
+    // Sweep planning: which of the given scenarios can the store NOT
+    // serve? Prints the unservable lines (or their count) so a caller
+    // can pipe them straight into a sweep.
+    if let Some(src) = missing {
+        let text = if src == "-" {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("repro query: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(&src) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("repro query: cannot read {src}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let mut missing_count = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let scenario = bbrdom_netsim::json::parse(line)
+                .ok()
+                .and_then(|v| Scenario::from_json_value(&v).ok());
+            let Some(scenario) = scenario else {
+                eprintln!(
+                    "repro query: --missing line {} is not a scenario",
+                    lineno + 1
+                );
+                return ExitCode::from(2);
+            };
+            let served = store
+                .get(scenario_hash(&scenario))
+                .is_some_and(|e| e.ok().is_some());
+            if !served {
+                missing_count += 1;
+                if !count {
+                    println!("{line}");
+                }
+            }
+        }
+        if count {
+            println!("{missing_count}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let matches: Vec<_> = store
+        .entries()
+        .into_iter()
+        .filter(|e| filter.matches(e))
+        .collect();
+    if count {
+        println!("{}", matches.len());
+        return ExitCode::SUCCESS;
+    }
+    if jsonl {
+        for e in &matches {
+            println!("{}", e.to_json_line());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut table = Table::new(
+        format!("store query — {} of {} entries", matches.len(), store.len()),
+        &[
+            "key",
+            "mix",
+            "mbps",
+            "rtt_ms",
+            "buf_bdp",
+            "n",
+            "seed",
+            "backend",
+            "status",
+            "events",
+            "util",
+            "goodput_mbps",
+        ],
+    );
+    for e in &matches {
+        let s = &e.scenario;
+        let (status, events, util, goodput) = match &e.outcome {
+            StoreOutcome::Ok { events, result } => (
+                "ok".to_string(),
+                events.map_or_else(|| "-".to_string(), |v| v.to_string()),
+                format!("{:.3}", result.utilization),
+                e.goodput_by_cca()
+                    .iter()
+                    .map(|(cca, g)| format!("{cca}={g:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+            StoreOutcome::Failed { error, .. } => (
+                format!("failed: {}", error.chars().take(24).collect::<String>()),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ),
+        };
+        table.push_row(vec![
+            e.key[..12].to_string(),
+            e.mix(),
+            format!("{}", s.mbps),
+            format!("{}", s.reference_rtt_ms),
+            format!("{}", s.buffer_bdp),
+            s.flows.len().to_string(),
+            s.seed.to_string(),
+            s.backend.name().to_string(),
+            status,
+            events,
+            util,
+            goodput,
+        ]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+/// `repro index rebuild [--cache-dir DIR]` — backfill the index by
+/// scanning every cache entry (tolerant of corrupt/pre-store entries).
+fn index_subcommand() -> ExitCode {
+    let mut cache_dir = default_cache_dir();
+    let mut args = std::env::args().skip(2);
+    let usage = "usage: repro index rebuild [--cache-dir DIR]";
+    match args.next().as_deref() {
+        Some("rebuild") => {}
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cache-dir" => match args.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--cache-dir needs a directory\n{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{usage}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match Store::rebuild(&cache_dir) {
+        Ok((store, stats)) => {
+            println!(
+                "rebuilt {}: {} entries indexed from {} cache files ({} corrupt skipped, {} without scenario params)",
+                cache_dir.join("index.jsonl").display(),
+                store.len(),
+                stats.scanned,
+                stats.corrupt,
+                stats.no_scenario,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!(
+                "repro index rebuild: cannot scan {}: {e}",
+                cache_dir.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro cache stats [--cache-dir DIR]` — entry count, bytes, coverage.
+fn cache_subcommand() -> ExitCode {
+    let mut cache_dir = default_cache_dir();
+    let mut args = std::env::args().skip(2);
+    let usage = "usage: repro cache stats [--cache-dir DIR]";
+    match args.next().as_deref() {
+        Some("stats") => {}
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cache-dir" => match args.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--cache-dir needs a directory\n{usage}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{usage}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match Store::cache_stats(&cache_dir) {
+        Ok((_, s)) => {
+            let covered_pct = if s.disk_entries == 0 {
+                0.0
+            } else {
+                100.0 * s.covered as f64 / s.disk_entries as f64
+            };
+            println!("cache {}", cache_dir.display());
+            println!(
+                "  disk entries : {} ({} bytes)",
+                s.disk_entries, s.disk_bytes
+            );
+            println!(
+                "  index        : {} ok + {} failed ({} bytes)",
+                s.index_ok, s.index_failed, s.index_bytes
+            );
+            println!(
+                "  coverage     : {}/{} disk entries indexed ({covered_pct:.0}%)",
+                s.covered, s.disk_entries
+            );
+            if s.orphans_swept > 0 {
+                println!("  orphan tmps  : {} swept on open", s.orphans_swept);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!(
+                "repro cache stats: cannot scan {}: {e}",
+                cache_dir.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("worker") {
-        return worker_subcommand();
+    match std::env::args().nth(1).as_deref() {
+        Some("worker") => return worker_subcommand(),
+        Some("query") => return query_subcommand(),
+        Some("index") => return index_subcommand(),
+        Some("cache") => return cache_subcommand(),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -444,6 +864,7 @@ fn main() -> ExitCode {
         disk_cache,
         memory_cache: !args.no_cache,
         supervise,
+        result_store: !args.no_cache && !args.no_store,
     };
     Engine::configure(engine_config);
     match args.supervise {

@@ -223,6 +223,10 @@ pub struct EngineConfig {
     /// (`repro --supervise N`; see [`crate::supervisor`]). `None` (the
     /// default) executes in-process.
     pub supervise: Option<crate::supervisor::SupervisorConfig>,
+    /// Maintain (and serve from) the indexed result store over the disk
+    /// cache ([`crate::store`]): a store hit skips full-report parsing,
+    /// not just simulation. No effect without `disk_cache`.
+    pub result_store: bool,
 }
 
 impl EngineConfig {
@@ -238,6 +242,7 @@ impl EngineConfig {
                 .map(PathBuf::from),
             memory_cache: true,
             supervise: None,
+            result_store: true,
         }
     }
 
@@ -249,6 +254,7 @@ impl EngineConfig {
             disk_cache: None,
             memory_cache: false,
             supervise: None,
+            result_store: false,
         }
     }
 }
@@ -258,7 +264,10 @@ impl EngineConfig {
 pub struct CacheStats {
     /// Results served from the in-process memo.
     pub memory_hits: u64,
-    /// Results served from the on-disk cache.
+    /// Results served from the indexed result store (metric lookup — no
+    /// full-report parse).
+    pub store_hits: u64,
+    /// Results served by parsing a full on-disk cache entry.
     pub disk_hits: u64,
     /// Results copied from an identical scenario in the same batch.
     pub deduped: u64,
@@ -274,6 +283,7 @@ impl CacheStats {
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             memory_hits: self.memory_hits - earlier.memory_hits,
+            store_hits: self.store_hits - earlier.store_hits,
             disk_hits: self.disk_hits - earlier.disk_hits,
             deduped: self.deduped - earlier.deduped,
             simulated: self.simulated - earlier.simulated,
@@ -283,7 +293,7 @@ impl CacheStats {
 
     /// Simulations skipped thanks to the cache (all sources).
     pub fn skipped(&self) -> u64 {
-        self.memory_hits + self.disk_hits + self.deduped
+        self.memory_hits + self.store_hits + self.disk_hits + self.deduped
     }
 
     /// Total scenario slots served.
@@ -300,11 +310,12 @@ impl CacheStats {
             100.0 * self.skipped() as f64 / total as f64
         };
         format!(
-            "{} simulated ({} events), {} cache hits ({} memory, {} disk, {} deduped) — {:.0}% skipped",
+            "{} simulated ({} events), {} cache hits ({} memory, {} store, {} disk-parse, {} deduped) — {:.0}% skipped",
             self.simulated,
             self.events_simulated,
             self.skipped(),
             self.memory_hits,
+            self.store_hits,
             self.disk_hits,
             self.deduped,
             pct
@@ -319,20 +330,23 @@ pub(crate) struct JournalEntry {
     pub outcome: TrialOutcome,
     pub event_budget: Option<u64>,
     pub wall_budget_ns: Option<u64>,
+    /// Recorded event count — present only on the supervisor's wire
+    /// protocol (workers report it so the parent's result store stays
+    /// budget-admissible), never written to journal files.
+    pub events: Option<u64>,
 }
 
-/// Serialize one finished trial as a journal line. Every record carries
-/// the scenario's content hash (`key`), so resume can never reuse a
-/// trial whose scenario was edited between runs; failed records also
-/// carry the budgets they failed under, so raising a budget re-runs
-/// them instead of resuming a stale failure.
-pub(crate) fn journal_line(
+/// The journal record as a JSON value (see [`journal_line`]). Split out
+/// so the supervisor's wire protocol can extend a record with fields
+/// that journal *files* must not carry (the parent re-serializes its
+/// own journal, keeping the on-disk byte format frozen).
+pub(crate) fn journal_value(
     index: usize,
     key: &str,
     outcome: &TrialOutcome,
     event_budget: Option<u64>,
     wall_budget_ns: Option<u64>,
-) -> String {
+) -> Value {
     let mut v = Value::object();
     v.set("index", Value::U64(index as u64))
         .set("key", key.into());
@@ -352,7 +366,22 @@ pub(crate) fn journal_line(
             }
         }
     }
-    v.to_json()
+    v
+}
+
+/// Serialize one finished trial as a journal line. Every record carries
+/// the scenario's content hash (`key`), so resume can never reuse a
+/// trial whose scenario was edited between runs; failed records also
+/// carry the budgets they failed under, so raising a budget re-runs
+/// them instead of resuming a stale failure.
+pub(crate) fn journal_line(
+    index: usize,
+    key: &str,
+    outcome: &TrialOutcome,
+    event_budget: Option<u64>,
+    wall_budget_ns: Option<u64>,
+) -> String {
+    journal_value(index, key, outcome, event_budget, wall_budget_ns).to_json()
 }
 
 /// Parse one journal line; `None` for malformed or truncated lines
@@ -384,6 +413,7 @@ pub(crate) fn parse_journal_line(line: &str) -> Option<JournalEntry> {
         outcome,
         event_budget: v.get("event_budget").and_then(Value::as_u64),
         wall_budget_ns: v.get("wall_budget_ns").and_then(Value::as_u64),
+        events: v.get("events").and_then(Value::as_u64),
     })
 }
 
@@ -404,7 +434,11 @@ pub(crate) fn scenario_context(s: &Scenario) -> String {
 pub struct Engine {
     config: EngineConfig,
     memo: Mutex<HashMap<u128, Arc<SimReport>>>,
+    /// The indexed result store over `disk_cache`, opened lazily on
+    /// first use (so engines that never touch a cache never scan one).
+    store: OnceLock<crate::store::Store>,
     memory_hits: AtomicU64,
+    store_hits: AtomicU64,
     disk_hits: AtomicU64,
     deduped: AtomicU64,
     simulated: AtomicU64,
@@ -418,7 +452,9 @@ impl Engine {
         Engine {
             config,
             memo: Mutex::new(HashMap::new()),
+            store: OnceLock::new(),
             memory_hits: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
@@ -449,11 +485,23 @@ impl Engine {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
             events_simulated: self.events_simulated.load(Ordering::Relaxed),
         }
+    }
+
+    /// The indexed result store, if this engine maintains one
+    /// (`result_store` on and a disk cache configured). Opened lazily:
+    /// the first call sweeps orphan tmps and loads `index.jsonl`.
+    pub fn store(&self) -> Option<&crate::store::Store> {
+        if !self.config.result_store {
+            return None;
+        }
+        let dir = self.config.disk_cache.as_deref()?;
+        Some(self.store.get_or_init(|| crate::store::Store::open(dir)))
     }
 
     /// Run all scenarios with the engine's pool, panicking on the first
@@ -469,6 +517,7 @@ impl Engine {
     ///     disk_cache: None,
     ///     memory_cache: true,
     ///     supervise: None,
+    ///     result_store: false,
     /// });
     /// // Two cells of a payoff sweep on the fluid fast backend.
     /// let cells: Vec<Scenario> = [1u32, 2]
@@ -543,6 +592,10 @@ impl Engine {
         let keys: Vec<String> = hashes.iter().map(|h| format!("{h:032x}")).collect();
         let wall_budget_ns = wall_budget.map(|d| d.as_nanos() as u64);
         let mut done: Vec<Option<TrialOutcome>> = (0..n).map(|_| None).collect();
+        // Recorded event counts, alongside `done`: fed to the result
+        // store so its entries stay budget-admissible. Unknown (`None`)
+        // for failures and journal-resumed slots.
+        let mut done_events: Vec<Option<u64>> = vec![None; n];
 
         // Supervised batches without an explicit journal get one derived
         // from the batch's content hash, so a parent crash mid-batch
@@ -628,23 +681,40 @@ impl Engine {
             },
         };
 
-        // Flush the contiguous prefix of finished indices to the journal.
-        // A failed write is not fatal: the sweep still completes, the
-        // trial just won't resume for free.
-        let flush_journal = |done: &Vec<Option<TrialOutcome>>,
-                             cursor: &mut usize,
-                             journal_file: &mut Option<std::fs::File>| {
-            if let Some(file) = journal_file.as_mut() {
+        // Flush the contiguous prefix of finished indices to the journal
+        // and the result store, in strict index order — one cursor, one
+        // writer, so serial, pooled, and supervised runs produce
+        // byte-identical journal *and* index files. A failed write is
+        // not fatal: the sweep still completes, the trial just won't
+        // resume (or index) for free.
+        let store = self.store();
+        let flush_finished =
+            |done: &Vec<Option<TrialOutcome>>,
+             done_events: &Vec<Option<u64>>,
+             cursor: &mut usize,
+             journal_file: &mut Option<std::fs::File>| {
                 while *cursor < to_journal.len() {
                     let idx = to_journal[*cursor];
                     let Some(outcome) = &done[idx] else { break };
-                    let line = journal_line(idx, &keys[idx], outcome, event_budget, wall_budget_ns);
-                    let _ = writeln!(file, "{line}");
-                    let _ = file.flush();
+                    if let Some(file) = journal_file.as_mut() {
+                        let line =
+                            journal_line(idx, &keys[idx], outcome, event_budget, wall_budget_ns);
+                        let _ = writeln!(file, "{line}");
+                        let _ = file.flush();
+                    }
+                    if let Some(store) = store {
+                        store.record(
+                            &keys[idx],
+                            &scenarios[idx],
+                            outcome,
+                            done_events[idx],
+                            event_budget,
+                            wall_budget_ns,
+                        );
+                    }
                     *cursor += 1;
                 }
-            }
-        };
+            };
 
         let mut cursor = 0usize;
 
@@ -654,12 +724,14 @@ impl Engine {
         // to the in-process paths below.
         if let Some(sup) = self.config.supervise.clone() {
             if !pending.is_empty() {
-                let mut on_result = |i: usize, outcome: TrialOutcome| {
+                let mut on_result = |i: usize, outcome: TrialOutcome, events: Option<u64>| {
                     for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
                         done[alias] = Some(retarget(&outcome, alias));
+                        done_events[alias] = events;
                     }
                     done[i] = Some(outcome);
-                    flush_journal(&done, &mut cursor, &mut journal_file);
+                    done_events[i] = events;
+                    flush_finished(&done, &done_events, &mut cursor, &mut journal_file);
                 };
                 let stats = crate::supervisor::run_supervised(
                     &sup,
@@ -692,16 +764,19 @@ impl Engine {
                 if crate::supervisor::interrupted() {
                     crate::supervisor::exit_interrupted(journal);
                 }
-                let outcome = self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
+                let (outcome, events) =
+                    self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
                 for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
                     done[alias] = Some(retarget(&outcome, alias));
+                    done_events[alias] = events;
                 }
                 done[i] = Some(outcome);
-                flush_journal(&done, &mut cursor, &mut journal_file);
+                done_events[i] = events;
+                flush_finished(&done, &done_events, &mut cursor, &mut journal_file);
             }
         } else {
             let next = AtomicUsize::new(0);
-            let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
+            let (tx, rx) = mpsc::channel::<(usize, TrialOutcome, Option<u64>)>();
             std::thread::scope(|scope| {
                 for _ in 0..jobs {
                     let tx = tx.clone();
@@ -714,9 +789,9 @@ impl Engine {
                             break;
                         }
                         let i = pending[slot];
-                        let outcome =
+                        let (outcome, events) =
                             self.run_one(&scenarios[i], hashes[i], i, event_budget, wall_budget);
-                        if tx.send((i, outcome)).is_err() {
+                        if tx.send((i, outcome, events)).is_err() {
                             break;
                         }
                     });
@@ -726,12 +801,14 @@ impl Engine {
                 // Single writer: results arrive in completion order, are
                 // slotted by index, and the journal advances only over the
                 // contiguous prefix of finished indices.
-                for (i, outcome) in rx {
+                for (i, outcome, events) in rx {
                     for &alias in aliases.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
                         done[alias] = Some(retarget(&outcome, alias));
+                        done_events[alias] = events;
                     }
                     done[i] = Some(outcome);
-                    flush_journal(&done, &mut cursor, &mut journal_file);
+                    done_events[i] = events;
+                    flush_finished(&done, &done_events, &mut cursor, &mut journal_file);
                     // The flush above already wrote the contiguous
                     // prefix, so a graceful stop loses nothing resumable.
                     if crate::supervisor::interrupted() {
@@ -759,6 +836,20 @@ impl Engine {
         event_budget: Option<u64>,
         wall_budget: Option<std::time::Duration>,
     ) -> TrialOutcome {
+        self.run_single_traced(scenario, index, event_budget, wall_budget)
+            .0
+    }
+
+    /// [`Engine::run_single`] plus the recorded event count (when
+    /// known), which supervised workers report back to the parent so
+    /// *its* result store stays budget-admissible.
+    pub(crate) fn run_single_traced(
+        &self,
+        scenario: &Scenario,
+        index: usize,
+        event_budget: Option<u64>,
+        wall_budget: Option<std::time::Duration>,
+    ) -> (TrialOutcome, Option<u64>) {
         self.run_one(
             scenario,
             scenario_hash(scenario),
@@ -772,6 +863,7 @@ impl Engine {
     /// sweep summary reflects work done across process boundaries.
     pub(crate) fn absorb(&self, s: &CacheStats) {
         self.memory_hits.fetch_add(s.memory_hits, Ordering::Relaxed);
+        self.store_hits.fetch_add(s.store_hits, Ordering::Relaxed);
         self.disk_hits.fetch_add(s.disk_hits, Ordering::Relaxed);
         self.deduped.fetch_add(s.deduped, Ordering::Relaxed);
         self.simulated.fetch_add(s.simulated, Ordering::Relaxed);
@@ -779,10 +871,13 @@ impl Engine {
             .fetch_add(s.events_simulated, Ordering::Relaxed);
     }
 
-    /// Run (or fetch) one scenario. Cache policy: only successful
-    /// reports are cached; under an event budget a cached report is
-    /// reused only if its recorded event count fits the budget, which
-    /// keeps cached and fresh outcomes identical.
+    /// Run (or fetch) one scenario, also returning the recorded event
+    /// count when known. Cache policy: only successful reports are
+    /// cached; under an event budget a cached result is reused only if
+    /// its recorded event count fits the budget, which keeps cached and
+    /// fresh outcomes identical. Lookup order is cheapest-first: memory
+    /// memo, then the indexed result store (metric lookup, no parse),
+    /// then the full on-disk report, then simulation.
     fn run_one(
         &self,
         scenario: &Scenario,
@@ -790,7 +885,7 @@ impl Engine {
         index: usize,
         event_budget: Option<u64>,
         wall_budget: Option<std::time::Duration>,
-    ) -> TrialOutcome {
+    ) -> (TrialOutcome, Option<u64>) {
         let admits = |report: &SimReport| {
             event_budget.is_none_or(|budget| report.events_processed <= budget)
         };
@@ -800,8 +895,22 @@ impl Engine {
             if let Some(report) = memo.get(&hash) {
                 if admits(report) {
                     self.memory_hits.fetch_add(1, Ordering::Relaxed);
-                    return TrialOutcome::Ok(TrialResult::from_report(report));
+                    let events = report.events_processed;
+                    return (
+                        TrialOutcome::Ok(TrialResult::from_report(report)),
+                        Some(events),
+                    );
                 }
+            }
+        }
+
+        // Store hit: the extracted metrics are the entire answer — no
+        // SimReport is materialized (so the memo is not populated; the
+        // store lookup itself is as cheap as the memo's).
+        if let Some(store) = self.store() {
+            if let Some((result, events)) = store.lookup(hash, event_budget) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return (TrialOutcome::Ok(result), events);
             }
         }
 
@@ -809,6 +918,7 @@ impl Engine {
             if let Some(report) = load_cache_entry(dir, hash) {
                 if admits(&report) {
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let events = report.events_processed;
                     let result = TrialResult::from_report(&report);
                     if self.config.memory_cache {
                         self.memo
@@ -816,7 +926,7 @@ impl Engine {
                             .expect("engine memo poisoned")
                             .insert(hash, Arc::new(report));
                     }
-                    return TrialOutcome::Ok(result);
+                    return (TrialOutcome::Ok(result), Some(events));
                 }
             }
         }
@@ -828,9 +938,10 @@ impl Engine {
             Ok(Ok(report)) => {
                 self.events_simulated
                     .fetch_add(report.events_processed, Ordering::Relaxed);
+                let events = report.events_processed;
                 let result = TrialResult::from_report(&report);
                 if let Some(dir) = &self.config.disk_cache {
-                    store_cache_entry(dir, hash, &report);
+                    store_cache_entry(dir, hash, scenario, &report);
                 }
                 if self.config.memory_cache {
                     self.memo
@@ -838,18 +949,24 @@ impl Engine {
                         .expect("engine memo poisoned")
                         .insert(hash, Arc::new(report));
                 }
-                TrialOutcome::Ok(result)
+                (TrialOutcome::Ok(result), Some(events))
             }
-            Ok(Err(err)) => TrialOutcome::Failed(TrialFailure {
-                index,
-                error: err.to_string(),
-                context: scenario_context(scenario),
-            }),
-            Err(payload) => TrialOutcome::Failed(TrialFailure {
-                index,
-                error: format!("panic: {}", payload_message(&*payload)),
-                context: scenario_context(scenario),
-            }),
+            Ok(Err(err)) => (
+                TrialOutcome::Failed(TrialFailure {
+                    index,
+                    error: err.to_string(),
+                    context: scenario_context(scenario),
+                }),
+                None,
+            ),
+            Err(payload) => (
+                TrialOutcome::Failed(TrialFailure {
+                    index,
+                    error: format!("panic: {}", payload_message(&*payload)),
+                    context: scenario_context(scenario),
+                }),
+                None,
+            ),
         }
     }
 }
@@ -898,8 +1015,9 @@ fn repair_journal_tail(path: &Path) -> std::io::Result<()> {
 }
 
 /// Open a journal for appending: create parent directories, drop any
-/// torn final line, then open in append mode.
-fn open_journal_append(path: &Path) -> std::io::Result<std::fs::File> {
+/// torn final line, then open in append mode. Shared with the result
+/// store's index, which follows the same append/repair discipline.
+pub(crate) fn open_journal_append(path: &Path) -> std::io::Result<std::fs::File> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -937,7 +1055,12 @@ fn load_cache_entry(dir: &Path, hash: u128) -> Option<SimReport> {
 /// carries the pid *and* a process-global sequence number: two threads
 /// of one process racing the same key must not share a temp file, or
 /// the interleaved writes could be published by the rename.
-fn store_cache_entry(dir: &Path, hash: u128, report: &SimReport) {
+///
+/// The entry embeds the scenario (reports don't echo their parameters),
+/// so `repro index rebuild` can recover a queryable index from the
+/// cache alone. Same format version: readers ignore unknown fields, and
+/// pre-existing entries simply rebuild as unindexable.
+fn store_cache_entry(dir: &Path, hash: u128, scenario: &Scenario, report: &SimReport) {
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     if std::fs::create_dir_all(dir).is_err() {
         return;
@@ -945,6 +1068,7 @@ fn store_cache_entry(dir: &Path, hash: u128, report: &SimReport) {
     let mut v = Value::object();
     v.set("version", Value::U64(CACHE_FORMAT_VERSION as u64))
         .set("key", format!("{hash:032x}").as_str().into())
+        .set("scenario", scenario.to_json_value())
         .set("report", report.to_json_value());
     let tmp = dir.join(format!(
         ".{hash:032x}.tmp.{}.{}",
@@ -984,7 +1108,7 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..50 {
-                        store_cache_entry(&dir, hash, &report);
+                        store_cache_entry(&dir, hash, &scenario, &report);
                     }
                 });
             }

@@ -10,6 +10,9 @@
 //! * [`supervisor`] — crash-safe multi-process sharding
 //!   (`repro --supervise N`): worker isolation, heartbeat watchdog,
 //!   retry/backoff, and scenario quarantine;
+//! * [`store`] — the indexed result store over the cache: content hash
+//!   → scenario params + extracted metrics, so warm figure assembly and
+//!   `repro query` skip both simulation and full-report parsing;
 //! * [`payoff`] — empirical payoff curves over all `n + 1` CUBIC/X splits
 //!   and the §4.4 Nash-equilibrium search;
 //! * [`adaptive`] — the two-tier adaptive NE search (`--adaptive`):
@@ -47,6 +50,7 @@ pub mod payoff;
 pub mod profile;
 pub mod runner;
 pub mod scenario;
+pub mod store;
 pub mod supervisor;
 pub mod sync;
 
@@ -57,4 +61,5 @@ pub use scenario::{
     ArrivalSpec, BackendSpec, DisciplineSpec, EarlyStopSpec, FaultSpec, FlowSpec, Scenario,
     SizeSpec, TopoLinkSpec, TopologySpec, TrialResult, WorkloadSpec,
 };
+pub use store::{CacheDirStats, RebuildStats, Store, StoreEntry, StoreOutcome};
 pub use supervisor::SupervisorConfig;

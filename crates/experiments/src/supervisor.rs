@@ -36,7 +36,7 @@
 //! sabotage to the first encounter so retries succeed.
 
 use crate::engine::{
-    batch_tag, journal_line, parse_journal_line, scenario_context, CacheStats, Engine, EngineConfig,
+    batch_tag, parse_journal_line, scenario_context, CacheStats, Engine, EngineConfig,
 };
 use crate::runner::{TrialFailure, TrialOutcome};
 use crate::scenario::Scenario;
@@ -176,6 +176,7 @@ fn parse_stats_line(line: &str) -> Option<CacheStats> {
     let g = |k: &str| s.get(k).and_then(Value::as_u64).unwrap_or(0);
     Some(CacheStats {
         memory_hits: g("memory_hits"),
+        store_hits: g("store_hits"),
         disk_hits: g("disk_hits"),
         deduped: g("deduped"),
         simulated: g("simulated"),
@@ -185,6 +186,7 @@ fn parse_stats_line(line: &str) -> Option<CacheStats> {
 
 fn add_stats(total: &mut CacheStats, part: &CacheStats) {
     total.memory_hits += part.memory_hits;
+    total.store_hits += part.store_hits;
     total.disk_hits += part.disk_hits;
     total.deduped += part.deduped;
     total.simulated += part.simulated;
@@ -192,9 +194,11 @@ fn add_stats(total: &mut CacheStats, part: &CacheStats) {
 }
 
 /// Run the `pending` indices of a batch across worker subprocesses.
-/// Calls `on_result(index, outcome)` exactly once per pending index, in
-/// completion order (the caller slots by index and owns the journal).
-/// Returns the workers' aggregated cache counters.
+/// Calls `on_result(index, outcome, events)` exactly once per pending
+/// index, in completion order (the caller slots by index and owns the
+/// journal and the result store — `events` is the worker-reported event
+/// count feeding the latter). Returns the workers' aggregated cache
+/// counters.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_supervised(
     config: &SupervisorConfig,
@@ -206,7 +210,7 @@ pub(crate) fn run_supervised(
     jobs_per_worker: usize,
     cache_dir: Option<&Path>,
     journal_hint: Option<&Path>,
-    on_result: &mut dyn FnMut(usize, TrialOutcome),
+    on_result: &mut dyn FnMut(usize, TrialOutcome, Option<u64>),
 ) -> Result<CacheStats, ConfigError> {
     let work_dir =
         config
@@ -341,7 +345,7 @@ pub(crate) fn run_supervised(
             if unresolved.remove(&i) {
                 strikes.remove(&i);
                 queue.retain(|&(_, q)| q != i);
-                on_result(i, entry.outcome);
+                on_result(i, entry.outcome, entry.events);
             }
         }
 
@@ -422,6 +426,7 @@ pub(crate) fn run_supervised(
                             ),
                             context: scenario_context(&scenarios[i]),
                         }),
+                        None,
                     );
                 } else {
                     let delay = config.backoff_base * 2u32.saturating_pow(*s - 1);
@@ -465,6 +470,7 @@ pub(crate) fn run_supervised(
                             .to_string(),
                         context: scenario_context(&scenarios[i]),
                     }),
+                    None,
                 );
             }
             break;
@@ -630,6 +636,10 @@ pub fn worker_main(dir: &Path, id: &str) -> i32 {
         disk_cache: cache_dir,
         memory_cache: true,
         supervise: None,
+        // Workers read the shared index but never append to it: only
+        // the parent runs the batch executor, so the parent stays the
+        // index's single writer (same discipline as the journal).
+        result_store: true,
     });
 
     let inflight: Arc<Mutex<HashMap<usize, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -701,22 +711,28 @@ pub fn worker_main(dir: &Path, id: &str) -> i32 {
                     },
                     None => {}
                 }
-                let outcome = match parsed {
-                    Ok(s) => engine.run_single(s, i, event_budget, wall_budget),
-                    Err(e) => TrialOutcome::Failed(TrialFailure {
-                        index: i,
-                        error: format!("worker: bad scenario record: {e}"),
-                        context: String::new(),
-                    }),
+                let (outcome, events) = match parsed {
+                    Ok(s) => engine.run_single_traced(s, i, event_budget, wall_budget),
+                    Err(e) => (
+                        TrialOutcome::Failed(TrialFailure {
+                            index: i,
+                            error: format!("worker: bad scenario record: {e}"),
+                            context: String::new(),
+                        }),
+                        None,
+                    ),
                 };
                 inflight.lock().expect("inflight lock").remove(&i);
-                emit(&journal_line(
-                    i,
-                    key,
-                    &outcome,
-                    event_budget,
-                    wall_budget_ns,
-                ));
+                // The wire record is a journal record plus the event
+                // count (for the parent's result store). The parent
+                // re-serializes its own journal, so the extra field
+                // never reaches journal files.
+                let mut record =
+                    crate::engine::journal_value(i, key, &outcome, event_budget, wall_budget_ns);
+                if let Some(e) = events {
+                    record.set("events", Value::U64(e));
+                }
+                emit(&record.to_json());
             });
         }
     });
@@ -725,8 +741,8 @@ pub fn worker_main(dir: &Path, id: &str) -> i32 {
     let _ = hb.join();
     let s = engine.stats();
     emit(&format!(
-        "{{\"stats\":{{\"memory_hits\":{},\"disk_hits\":{},\"deduped\":{},\"simulated\":{},\"events_simulated\":{}}}}}",
-        s.memory_hits, s.disk_hits, s.deduped, s.simulated, s.events_simulated
+        "{{\"stats\":{{\"memory_hits\":{},\"store_hits\":{},\"disk_hits\":{},\"deduped\":{},\"simulated\":{},\"events_simulated\":{}}}}}",
+        s.memory_hits, s.store_hits, s.disk_hits, s.deduped, s.simulated, s.events_simulated
     ));
     0
 }
@@ -830,16 +846,25 @@ mod tests {
     fn stats_lines_round_trip() {
         let s = CacheStats {
             memory_hits: 1,
+            store_hits: 6,
             disk_hits: 2,
             deduped: 3,
             simulated: 4,
             events_simulated: 5,
         };
         let line = format!(
-            "{{\"stats\":{{\"memory_hits\":{},\"disk_hits\":{},\"deduped\":{},\"simulated\":{},\"events_simulated\":{}}}}}",
-            s.memory_hits, s.disk_hits, s.deduped, s.simulated, s.events_simulated
+            "{{\"stats\":{{\"memory_hits\":{},\"store_hits\":{},\"disk_hits\":{},\"deduped\":{},\"simulated\":{},\"events_simulated\":{}}}}}",
+            s.memory_hits, s.store_hits, s.disk_hits, s.deduped, s.simulated, s.events_simulated
         );
         assert_eq!(parse_stats_line(&line), Some(s));
+        // A pre-store worker's stats line still parses (missing counters
+        // read as zero).
+        let legacy = parse_stats_line(
+            "{\"stats\":{\"memory_hits\":1,\"disk_hits\":2,\"deduped\":3,\"simulated\":4,\"events_simulated\":5}}",
+        )
+        .expect("legacy line parses");
+        assert_eq!(legacy.store_hits, 0);
+        assert_eq!(legacy.disk_hits, 2);
         assert_eq!(parse_stats_line("{\"claim\":3}"), None);
         assert_eq!(parse_stats_line("not json"), None);
     }

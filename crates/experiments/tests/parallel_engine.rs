@@ -22,6 +22,7 @@ fn uncached() -> Engine {
         disk_cache: None,
         memory_cache: false,
         supervise: None,
+        result_store: false,
     })
 }
 
@@ -428,6 +429,7 @@ fn engine_with_disk(dir: &std::path::Path) -> Engine {
         disk_cache: Some(dir.to_path_buf()),
         memory_cache: false,
         supervise: None,
+        result_store: false,
     })
 }
 

@@ -59,6 +59,7 @@ fn supervised_engine(dir: &Path, workers: usize, env: Vec<(String, String)>) -> 
         disk_cache: Some(dir.join("cache")),
         memory_cache: true,
         supervise: Some(sup),
+        result_store: false,
     })
 }
 
@@ -69,6 +70,7 @@ fn serial_engine(dir: &Path) -> Engine {
         disk_cache: Some(dir.join("serial-cache")),
         memory_cache: true,
         supervise: None,
+        result_store: false,
     })
 }
 
@@ -298,6 +300,7 @@ fn stalled_worker_trips_the_watchdog_and_work_is_retried() {
         disk_cache: Some(dir.join("cache")),
         memory_cache: true,
         supervise: Some(sup),
+        result_store: false,
     });
     let started = std::time::Instant::now();
     let outcomes = engine
